@@ -1,0 +1,61 @@
+// Reproduces Figure 6: impact of K and lambda on recall@50 and on
+// co-cluster properties (users per co-cluster, items per co-cluster,
+// co-cluster density) for the MovieLens-like dataset.
+//
+// Expected shape: recall peaks at moderate lambda (both lambda=0 and very
+// large lambda hurt); co-cluster sizes shrink as K grows; densities rise
+// as clusters get smaller/tighter.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/coclusters.h"
+
+int main(int argc, char** argv) {
+  using namespace ocular;
+  const double scale = bench::FlagDouble(argc, argv, "scale", 0.06);
+  std::printf("=== Figure 6: recall and co-cluster metrics vs (K, lambda) "
+              "(MovieLens-like, scale=%.3f) ===\n", scale);
+
+  Rng rng(13);
+  auto data = MakeMovieLensLike(scale, &rng).value();
+  std::printf("%s\n", data.dataset.Summary().c_str());
+  Rng split_rng(17);
+  auto split =
+      SplitInteractions(data.dataset.interactions(), 0.75, &split_rng)
+          .value();
+
+  // The paper sweeps K in [~50, 300] and lambda in {0, 30, 100} at
+  // Netflix/B2B scale; at our reduced scale the equivalent ranges are
+  // smaller.
+  const std::vector<uint32_t> ks{4, 8, 12, 16, 24};
+  const std::vector<double> lambdas{0.0, 0.5, 5.0, 50.0, 500.0};
+
+  std::printf("\n%-8s %-8s %10s %12s %12s %10s %12s\n", "K", "lambda",
+              "recall@50", "users/cc", "items/cc", "density", "cc-count");
+  for (double lambda : lambdas) {
+    for (uint32_t k : ks) {
+      OcularConfig cfg;
+      cfg.k = k;
+      cfg.lambda = lambda;
+      cfg.max_sweeps = 40;
+      OcularRecommender rec(cfg);
+      Status st = rec.Fit(split.train);
+      if (!st.ok()) {
+        OCULAR_LOG(kWarning) << st.ToString();
+        continue;
+      }
+      auto metrics =
+          EvaluateRankingAtM(rec, split.train, split.test, 50).value();
+      auto clusters = ExtractCoClusters(rec.model());
+      auto stats = ComputeCoClusterStats(clusters, split.train);
+      std::printf("%-8u %-8.1f %10.4f %12.1f %12.1f %10.3f %12u\n", k,
+                  lambda, metrics.recall, stats.mean_users, stats.mean_items,
+                  stats.mean_density, stats.num_clusters);
+    }
+    std::printf("\n");
+  }
+  std::printf("Shape check vs paper: recall worst at the lambda extremes; "
+              "co-clusters shrink and densify as K grows.\n");
+  return 0;
+}

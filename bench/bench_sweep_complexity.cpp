@@ -1,0 +1,102 @@
+// Micro-benchmark (google-benchmark) of the Section IV-D complexity claim:
+// one block-coordinate sweep costs O(nnz * K). The two suites sweep nnz
+// (at fixed K) and K (at fixed nnz); reported time should grow linearly
+// with each. Complements bench_fig7_scaling, which measures the same claim
+// end-to-end on the Netflix-like dataset.
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/ocular_recommender.h"
+#include "core/ocular_trainer.h"
+#include "data/synthetic.h"
+
+namespace ocular {
+namespace {
+
+CsrMatrix MakeMatrix(uint32_t users, uint32_t items, uint64_t seed) {
+  PlantedCoClusterConfig cfg;
+  cfg.num_users = users;
+  cfg.num_items = items;
+  cfg.num_clusters = 6;
+  cfg.user_membership_prob = 0.2;
+  cfg.item_membership_prob = 0.2;
+  Rng rng(seed);
+  return GeneratePlantedCoClusters(cfg, &rng)
+      .value()
+      .dataset.interactions();
+}
+
+void BM_SweepVsNnz(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  CsrMatrix r = MakeMatrix(n, n / 2, 7);
+  OcularConfig cfg;
+  cfg.k = 16;
+  cfg.max_sweeps = 1;
+  cfg.tolerance = 0.0;
+  cfg.track_objective = false;
+  OcularTrainer trainer(cfg);
+  for (auto _ : state) {
+    auto fit = trainer.Fit(r);
+    benchmark::DoNotOptimize(fit);
+  }
+  state.counters["nnz"] = static_cast<double>(r.nnz());
+  state.counters["ns_per_nnz"] = benchmark::Counter(
+      static_cast<double>(r.nnz()),
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_SweepVsNnz)->Arg(100)->Arg(200)->Arg(400)->Arg(800)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SweepVsK(benchmark::State& state) {
+  CsrMatrix r = MakeMatrix(300, 150, 7);
+  OcularConfig cfg;
+  cfg.k = static_cast<uint32_t>(state.range(0));
+  cfg.max_sweeps = 1;
+  cfg.tolerance = 0.0;
+  cfg.track_objective = false;
+  OcularTrainer trainer(cfg);
+  for (auto _ : state) {
+    auto fit = trainer.Fit(r);
+    benchmark::DoNotOptimize(fit);
+  }
+  state.counters["K"] = static_cast<double>(cfg.k);
+}
+BENCHMARK(BM_SweepVsK)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ObjectiveEvaluation(benchmark::State& state) {
+  CsrMatrix r = MakeMatrix(400, 200, 9);
+  OcularConfig cfg;
+  cfg.k = 16;
+  cfg.max_sweeps = 3;
+  OcularTrainer trainer(cfg);
+  auto fit = trainer.Fit(r).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ObjectiveQ(fit.model, r, 0.5));
+  }
+}
+BENCHMARK(BM_ObjectiveEvaluation)->Unit(benchmark::kMicrosecond);
+
+void BM_TopMRecommendation(benchmark::State& state) {
+  CsrMatrix r = MakeMatrix(400, 200, 11);
+  OcularConfig cfg;
+  cfg.k = 16;
+  cfg.max_sweeps = 5;
+  OcularRecommender rec(cfg);
+  OCULAR_CHECK(rec.Fit(r).ok());
+  uint32_t u = 0;
+  for (auto _ : state) {
+    auto top = rec.Recommend(u, 50, r);
+    benchmark::DoNotOptimize(top);
+    u = (u + 1) % r.num_rows();
+  }
+}
+BENCHMARK(BM_TopMRecommendation)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace ocular
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Reproduces Table I: MAP@50 and recall@50 of OCuLaR, R-OCuLaR, wALS, BPR,
+// user-based and item-based CF on MovieLens-like, CiteULike-like and
+// B2B-like datasets (75/25 split, best hyper-parameters per method,
+// averaged over independent instances).
+//
+// Paper values (for shape comparison; our substrate is synthetic):
+//   Movielens  MAP@50: OCuLaR .1809  R-OCuLaR .1805  wALS .1513  BPR .1434
+//              user .1639  item .1329 | recall@50 .4021/.4086/.3982/.3587/...
+//   CiteULike  wALS and item-based competitive with OCuLaR.
+//   B2B-DB     OCuLaR .1801 ~ wALS .1749 > BPR .1325.
+// Expected shape: OCuLaR/R-OCuLaR best or tied-best with wALS; BPR and
+// item-based trail; user-based in between.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace ocular {
+namespace {
+
+void RunDataset(const char* label, const PlantedCoClusterData& data,
+                uint32_t k_hint, int instances) {
+  std::printf("\n%s  (%s)\n", label, data.dataset.Summary().c_str());
+  std::printf("%-12s %10s %10s\n", "algorithm", "MAP@50", "recall@50");
+  auto results = bench::RunComparison(data.dataset.interactions(), 50, k_hint,
+                                      instances, /*seed=*/1234);
+  for (const auto& r : results) {
+    std::printf("%-12s %10.4f %10.4f\n", r.algorithm.c_str(), r.map,
+                r.recall);
+  }
+}
+
+}  // namespace
+}  // namespace ocular
+
+int main(int argc, char** argv) {
+  using namespace ocular;
+  const double scale = bench::FlagDouble(argc, argv, "scale", 0.06);
+  const int instances =
+      static_cast<int>(bench::FlagDouble(argc, argv, "instances", 2));
+  std::printf("=== Table I: comparison with baseline one-class algorithms "
+              "(synthetic stand-ins, scale=%.3f) ===\n", scale);
+
+  Rng rng(99);
+  auto ml = MakeMovieLensLike(scale, &rng).value();
+  RunDataset("Movielens", ml, /*k_hint=*/8, instances);
+
+  auto cul = MakeCiteULikeLike(scale, &rng).value();
+  RunDataset("CiteULike", cul, /*k_hint=*/8, instances);
+
+  auto b2b = MakeB2BLike(scale, &rng).value();
+  RunDataset("B2B-DB", b2b, /*k_hint=*/8, instances);
+
+  std::printf("\nShape check vs paper: OCuLaR/R-OCuLaR should be best or "
+              "tied with wALS; BPR and item-based should trail.\n");
+  return 0;
+}

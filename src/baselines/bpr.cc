@@ -1,0 +1,80 @@
+#include "baselines/bpr.h"
+
+#include <cmath>
+
+namespace ocular {
+
+Status BprConfig::Validate() const {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (learning_rate <= 0.0) {
+    return Status::InvalidArgument("learning_rate must be positive");
+  }
+  if (lambda < 0.0) return Status::InvalidArgument("lambda must be >= 0");
+  if (epochs == 0) return Status::InvalidArgument("epochs must be positive");
+  return Status::OK();
+}
+
+Status BprRecommender::Fit(const CsrMatrix& interactions) {
+  OCULAR_RETURN_IF_ERROR(config_.Validate());
+  if (interactions.nnz() == 0) {
+    return Status::InvalidArgument("interaction matrix has no positives");
+  }
+  if (interactions.num_cols() < 2) {
+    return Status::InvalidArgument("BPR needs at least two items");
+  }
+  Rng rng(config_.seed);
+  user_factors_ = DenseMatrix(interactions.num_rows(), config_.k);
+  item_factors_ = DenseMatrix(interactions.num_cols(), config_.k);
+  // Symmetric small init around zero (BPR scores are unconstrained).
+  user_factors_.FillUniform(&rng, -config_.init_scale, config_.init_scale);
+  item_factors_.FillUniform(&rng, -config_.init_scale, config_.init_scale);
+
+  // Users that have at least one positive AND at least one unknown item can
+  // generate training triplets.
+  std::vector<uint32_t> eligible;
+  for (uint32_t u = 0; u < interactions.num_rows(); ++u) {
+    const uint32_t deg = interactions.RowDegree(u);
+    if (deg > 0 && deg < interactions.num_cols()) eligible.push_back(u);
+  }
+  if (eligible.empty()) {
+    return Status::InvalidArgument("no user admits (positive, unknown) pairs");
+  }
+
+  const uint32_t k = config_.k;
+  const double lr = config_.learning_rate;
+  const double reg = config_.lambda;
+  const size_t draws_per_epoch = interactions.nnz();
+  for (uint32_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (size_t s = 0; s < draws_per_epoch; ++s) {
+      const uint32_t u =
+          eligible[static_cast<size_t>(rng.UniformInt(eligible.size()))];
+      auto pos = interactions.Row(u);
+      const uint32_t i = pos[static_cast<size_t>(rng.UniformInt(pos.size()))];
+      // Rejection-sample an unknown item j.
+      uint32_t j;
+      do {
+        j = static_cast<uint32_t>(rng.UniformInt(interactions.num_cols()));
+      } while (interactions.HasEntry(u, j));
+
+      auto fu = user_factors_.Row(u);
+      auto fi = item_factors_.Row(i);
+      auto fj = item_factors_.Row(j);
+      const double x = vec::Dot(fu, fi) - vec::Dot(fu, fj);
+      // dL/dx of ln sigma(x) is sigma(-x).
+      const double g = 1.0 / (1.0 + std::exp(x));
+      for (uint32_t d = 0; d < k; ++d) {
+        const double wu = fu[d], wi = fi[d], wj = fj[d];
+        fu[d] += lr * (g * (wi - wj) - reg * wu);
+        fi[d] += lr * (g * wu - reg * wi);
+        fj[d] += lr * (-g * wu - reg * wj);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double BprRecommender::Score(uint32_t u, uint32_t i) const {
+  return vec::Dot(user_factors_.Row(u), item_factors_.Row(i));
+}
+
+}  // namespace ocular

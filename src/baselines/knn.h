@@ -1,0 +1,96 @@
+#ifndef OCULAR_BASELINES_KNN_H_
+#define OCULAR_BASELINES_KNN_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/recommender.h"
+
+namespace ocular {
+
+/// Hyper-parameters of the neighborhood baselines.
+struct KnnConfig {
+  /// Number of nearest neighbors kept per user (user-based) or per item
+  /// (item-based). The paper grid-searches this value.
+  uint32_t num_neighbors = 50;
+
+  Status Validate() const;
+};
+
+/// User-based collaborative filtering with cosine similarity
+/// (Sarwar et al.): interpretable via "similar users also bought".
+///
+/// For binary rows, cosine(u, v) = |R_u ∩ R_v| / sqrt(|R_u| |R_v|).
+/// Fit() keeps the top-N neighbors per user (computed through the
+/// item->users adjacency, so cost is Σ_i deg(i)², never n_u²·n_i);
+/// Score(u, i) = Σ_{v ∈ N(u), r_vi = 1} cosine(u, v).
+class UserKnnRecommender : public Recommender {
+ public:
+  explicit UserKnnRecommender(KnnConfig config) : config_(std::move(config)) {}
+
+  std::string name() const override { return "user-based"; }
+  Status Fit(const CsrMatrix& interactions) override;
+  double Score(uint32_t u, uint32_t i) const override;
+  std::vector<ScoredItem> Recommend(uint32_t u, uint32_t m,
+                                    const CsrMatrix& exclude) const override;
+  uint32_t num_users() const override { return interactions_.num_rows(); }
+  uint32_t num_items() const override { return interactions_.num_cols(); }
+
+  /// The kept neighbor list of `u` (neighbor id, similarity), descending.
+  const std::vector<ScoredItem>& Neighbors(uint32_t u) const {
+    return neighbors_[u];
+  }
+
+ private:
+  KnnConfig config_;
+  CsrMatrix interactions_;
+  std::vector<std::vector<ScoredItem>> neighbors_;  // item field = user id
+};
+
+/// Item-based collaborative filtering with cosine similarity
+/// (Deshpande & Karypis): interpretable via "you bought similar items".
+/// Fit() keeps top-N similar items per item; Score(u, i) =
+/// Σ_{j ∈ R_u ∩ N(i)} cosine(i, j).
+class ItemKnnRecommender : public Recommender {
+ public:
+  explicit ItemKnnRecommender(KnnConfig config) : config_(std::move(config)) {}
+
+  std::string name() const override { return "item-based"; }
+  Status Fit(const CsrMatrix& interactions) override;
+  double Score(uint32_t u, uint32_t i) const override;
+  uint32_t num_users() const override { return interactions_.num_rows(); }
+  uint32_t num_items() const override { return interactions_.num_cols(); }
+
+  /// The kept neighbor list of item `i` (neighbor item, similarity).
+  const std::vector<ScoredItem>& Neighbors(uint32_t i) const {
+    return neighbors_[i];
+  }
+
+ private:
+  KnnConfig config_;
+  CsrMatrix interactions_;
+  std::vector<std::vector<ScoredItem>> neighbors_;
+};
+
+/// Non-personalized popularity baseline: Score(u, i) = item degree. A
+/// sanity floor every personalized method must beat.
+class PopularityRecommender : public Recommender {
+ public:
+  PopularityRecommender() = default;
+
+  std::string name() const override { return "popularity"; }
+  Status Fit(const CsrMatrix& interactions) override;
+  double Score(uint32_t u, uint32_t i) const override;
+  uint32_t num_users() const override { return num_users_; }
+  uint32_t num_items() const override {
+    return static_cast<uint32_t>(degrees_.size());
+  }
+
+ private:
+  uint32_t num_users_ = 0;
+  std::vector<uint32_t> degrees_;
+};
+
+}  // namespace ocular
+
+#endif  // OCULAR_BASELINES_KNN_H_

@@ -1,0 +1,76 @@
+#include "baselines/wals.h"
+
+#include "sparse/linalg.h"
+
+namespace ocular {
+
+Status WalsConfig::Validate() const {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (lambda < 0.0) return Status::InvalidArgument("lambda must be >= 0");
+  if (b < 0.0 || b > 1.0) {
+    return Status::InvalidArgument("unknown-weight b must be in [0,1]");
+  }
+  if (iterations == 0) {
+    return Status::InvalidArgument("iterations must be positive");
+  }
+  return Status::OK();
+}
+
+Status WalsRecommender::SolveSide(const CsrMatrix& pattern,
+                                  const DenseMatrix& fixed,
+                                  DenseMatrix* target) const {
+  const uint32_t k = config_.k;
+  // Precompute b * F^T F + lambda I once; per-row we add the positive
+  // corrections.
+  std::vector<double> base = GramMatrix(fixed);
+  for (auto& v : base) v *= config_.b;
+  for (uint32_t d = 0; d < k; ++d) {
+    base[static_cast<size_t>(d) * k + d] += config_.lambda;
+  }
+
+  std::vector<double> a;
+  std::vector<double> rhs(k);
+  std::vector<double> solution;
+  for (uint32_t r = 0; r < pattern.num_rows(); ++r) {
+    a = base;
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+    for (uint32_t n : pattern.Row(r)) {
+      auto row = fixed.Row(n);
+      // c = 1 for positives: correction (1 - b) f f^T; rhs accumulates
+      // c * r * f = f.
+      AddOuterProduct(&a, k, 1.0 - config_.b, row);
+      for (uint32_t d = 0; d < k; ++d) rhs[d] += row[d];
+    }
+    OCULAR_RETURN_IF_ERROR(CholeskySolveInPlace(&a, k, rhs, &solution));
+    auto out = target->Row(r);
+    std::copy(solution.begin(), solution.end(), out.begin());
+  }
+  return Status::OK();
+}
+
+Status WalsRecommender::Fit(const CsrMatrix& interactions) {
+  OCULAR_RETURN_IF_ERROR(config_.Validate());
+  if (interactions.nnz() == 0) {
+    return Status::InvalidArgument("interaction matrix has no positives");
+  }
+  Rng rng(config_.seed);
+  user_factors_ = DenseMatrix(interactions.num_rows(), config_.k);
+  item_factors_ = DenseMatrix(interactions.num_cols(), config_.k);
+  user_factors_.FillUniform(&rng, 0.0, config_.init_scale);
+  item_factors_.FillUniform(&rng, 0.0, config_.init_scale);
+
+  const CsrMatrix transposed = interactions.Transpose();
+  for (uint32_t it = 0; it < config_.iterations; ++it) {
+    OCULAR_RETURN_IF_ERROR(
+        SolveSide(interactions, item_factors_, &user_factors_));
+    OCULAR_RETURN_IF_ERROR(
+        SolveSide(transposed, user_factors_, &item_factors_));
+  }
+  return Status::OK();
+}
+
+double WalsRecommender::Score(uint32_t u, uint32_t i) const {
+  return vec::Dot(user_factors_.Row(u), item_factors_.Row(i));
+}
+
+}  // namespace ocular

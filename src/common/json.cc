@@ -1,0 +1,129 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ocular {
+
+void JsonWriter::MaybeComma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows its key; no comma
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_.push_back(',');
+    needs_comma_.back() = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  MaybeComma();
+  out_.push_back('{');
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  out_.push_back('}');
+  needs_comma_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  MaybeComma();
+  out_.push_back('[');
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  out_.push_back(']');
+  needs_comma_.pop_back();
+}
+
+void JsonWriter::Key(const std::string& name) {
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_.push_back(',');
+    needs_comma_.back() = true;
+  }
+  out_.push_back('"');
+  out_ += Escape(name);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::String(const std::string& value) {
+  MaybeComma();
+  out_.push_back('"');
+  out_ += Escape(value);
+  out_.push_back('"');
+}
+
+void JsonWriter::Int(int64_t value) {
+  MaybeComma();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::UInt(uint64_t value) {
+  MaybeComma();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Double(double value) {
+  MaybeComma();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  MaybeComma();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  MaybeComma();
+  out_ += "null";
+}
+
+std::string JsonWriter::Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace ocular

@@ -1,0 +1,61 @@
+#ifndef OCULAR_COMMON_JSON_H_
+#define OCULAR_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ocular {
+
+/// Minimal streaming JSON writer (no external deps). Produces compact,
+/// valid JSON for the structured outputs of the library (explanations for
+/// the deployment UI, CLI results, experiment records).
+///
+/// Usage:
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("user"); w.Int(6);
+///   w.Key("items"); w.BeginArray(); w.Int(4); w.EndArray();
+///   w.EndObject();
+///   std::string out = w.str();
+///
+/// Invariants are enforced with asserts in debug builds only — this is a
+/// programmer-facing API, not a parser of untrusted input.
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits an object key. Must be inside an object, before a value.
+  void Key(const std::string& name);
+
+  void String(const std::string& value);
+  void Int(int64_t value);
+  void UInt(uint64_t value);
+  /// Non-finite doubles are emitted as null (JSON has no NaN/Inf).
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// The accumulated document.
+  const std::string& str() const { return out_; }
+
+  /// Escapes a string per RFC 8259 (quotes, backslash, control chars).
+  static std::string Escape(const std::string& s);
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  // Stack of container states: true = needs comma before next element.
+  std::vector<bool> needs_comma_;
+  bool pending_key_ = false;
+};
+
+}  // namespace ocular
+
+#endif  // OCULAR_COMMON_JSON_H_

@@ -1,0 +1,88 @@
+#ifndef OCULAR_COMMON_RESULT_H_
+#define OCULAR_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ocular {
+
+/// Result<T> holds either a value of type T or a non-OK Status.
+/// This is the library's replacement for exceptions on value-returning
+/// fallible paths (Arrow's arrow::Result idiom).
+///
+/// Usage:
+///   Result<Dataset> r = LoadMovieLens(path);
+///   if (!r.ok()) return r.status();
+///   Dataset d = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result. Intentionally implicit so functions can
+  /// `return value;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result from a non-OK status. Intentionally implicit
+  /// so functions can `return Status::InvalidArgument(...);`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The status; OK when a value is held.
+  const Status& status() const { return status_; }
+
+  /// Value accessors. Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+/// Early-return helper for Result-returning expressions:
+///   OCULAR_ASSIGN_OR_RETURN(auto ds, LoadMovieLens(path));
+#define OCULAR_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+#define OCULAR_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define OCULAR_ASSIGN_OR_RETURN_NAME(a, b) OCULAR_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define OCULAR_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  OCULAR_ASSIGN_OR_RETURN_IMPL(                                             \
+      OCULAR_ASSIGN_OR_RETURN_NAME(_result_tmp_, __LINE__), lhs, expr)
+
+}  // namespace ocular
+
+#endif  // OCULAR_COMMON_RESULT_H_

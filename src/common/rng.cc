@@ -1,0 +1,145 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cmath>
+#include <unordered_set>
+
+namespace ocular {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& w : state_) w = SplitMix64(&s);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high-quality bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(hi > lo);
+  return lo + static_cast<int64_t>(UniformInt(static_cast<uint64_t>(hi - lo)));
+}
+
+double Rng::Normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = Uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  const double two_pi = 6.283185307179586476925286766559;
+  spare_ = mag * std::sin(two_pi * u2);
+  has_spare_ = true;
+  return mag * std::cos(two_pi * u2);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+double Rng::Exponential(double lambda) {
+  assert(lambda > 0.0);
+  double u = 0.0;
+  do {
+    u = Uniform();
+  } while (u <= 1e-300);
+  return -std::log(u) / lambda;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return Uniform() < p;
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  assert(n > 0);
+  if (zipf_n_ != n || zipf_s_ != s) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_cdf_.resize(n);
+    double acc = 0.0;
+    for (uint64_t k = 0; k < n; ++k) {
+      acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      zipf_cdf_[k] = acc;
+    }
+    for (auto& v : zipf_cdf_) v /= acc;
+  }
+  const double u = Uniform();
+  auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  if (it == zipf_cdf_.end()) return n - 1;
+  return static_cast<uint64_t>(it - zipf_cdf_.begin());
+}
+
+std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n, uint64_t k) {
+  assert(k <= n);
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  if (k * 3 >= n) {
+    // Dense case: partial Fisher–Yates over an explicit index array.
+    std::vector<uint64_t> idx(n);
+    for (uint64_t i = 0; i < n; ++i) idx[i] = i;
+    for (uint64_t i = 0; i < k; ++i) {
+      uint64_t j = i + UniformInt(n - i);
+      std::swap(idx[i], idx[j]);
+    }
+    out.assign(idx.begin(), idx.begin() + static_cast<ptrdiff_t>(k));
+  } else {
+    // Sparse case: rejection sampling into a hash set.
+    std::unordered_set<uint64_t> seen;
+    seen.reserve(static_cast<size_t>(k * 2));
+    while (seen.size() < k) seen.insert(UniformInt(n));
+    out.assign(seen.begin(), seen.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Rng Rng::Split() { return Rng(Next() ^ 0xa0761d6478bd642fULL); }
+
+}  // namespace ocular

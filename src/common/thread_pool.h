@@ -1,0 +1,67 @@
+#ifndef OCULAR_COMMON_THREAD_POOL_H_
+#define OCULAR_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ocular {
+
+/// Fixed-size worker pool with a simple FIFO task queue.
+///
+/// This is the substrate behind ParallelExecutor (src/parallel), which
+/// emulates the paper's GPU kernel decomposition (Section VI) on CPU
+/// threads. The pool is intentionally minimal: Submit() for fire-and-forget
+/// tasks, ParallelFor() for blocking index-range decomposition, and Wait()
+/// to drain.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (at least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task. Thread-safe.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  /// Runs fn(i) for i in [begin, end), partitioned into contiguous chunks
+  /// across the workers, and blocks until all complete. `grain` is the
+  /// minimum chunk size (guards against tiny-task overheads).
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn, size_t grain = 64);
+
+  /// Runs fn(chunk_begin, chunk_end) over a partition of [begin, end) and
+  /// blocks. Useful when the body wants to amortize per-chunk setup.
+  void ParallelForChunked(
+      size_t begin, size_t end,
+      const std::function<void(size_t, size_t)>& fn, size_t grain = 64);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;   // signalled when a task is available
+  std::condition_variable cv_done_;   // signalled when the pool drains
+  size_t in_flight_ = 0;              // queued + running tasks
+  bool shutdown_ = false;
+};
+
+}  // namespace ocular
+
+#endif  // OCULAR_COMMON_THREAD_POOL_H_

@@ -1,0 +1,39 @@
+#ifndef OCULAR_COMMON_TIMER_H_
+#define OCULAR_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace ocular {
+
+/// Monotonic stopwatch for measuring wall-clock intervals.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction / Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed microseconds since construction / Restart().
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ocular
+
+#endif  // OCULAR_COMMON_TIMER_H_

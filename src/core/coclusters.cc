@@ -1,0 +1,101 @@
+#include "core/coclusters.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ocular {
+
+namespace {
+
+/// Collects (entity, strength) pairs above threshold for dimension c,
+/// sorted by descending strength.
+void CollectMembers(const DenseMatrix& factors, uint32_t c, double threshold,
+                    std::vector<uint32_t>* members,
+                    std::vector<double>* strengths) {
+  std::vector<std::pair<double, uint32_t>> found;
+  for (uint32_t e = 0; e < factors.rows(); ++e) {
+    const double s = factors.At(e, c);
+    if (s > threshold) found.emplace_back(s, e);
+  }
+  std::sort(found.begin(), found.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  members->clear();
+  strengths->clear();
+  members->reserve(found.size());
+  strengths->reserve(found.size());
+  for (const auto& [s, e] : found) {
+    members->push_back(e);
+    strengths->push_back(s);
+  }
+}
+
+}  // namespace
+
+std::vector<CoCluster> ExtractCoClusters(const OcularModel& model,
+                                         const CoClusterOptions& options) {
+  std::vector<CoCluster> out;
+  uint32_t dims = model.k();
+  if (options.max_dims > 0 && options.max_dims < dims) {
+    dims = options.max_dims;
+  }
+  for (uint32_t c = 0; c < dims; ++c) {
+    CoCluster cluster;
+    cluster.index = c;
+    CollectMembers(model.user_factors(), c, options.threshold, &cluster.users,
+                   &cluster.user_strengths);
+    CollectMembers(model.item_factors(), c, options.threshold, &cluster.items,
+                   &cluster.item_strengths);
+    // A co-cluster must contain at least one user AND one item
+    // (Section IV-A), plus the caller's size floor.
+    if (cluster.users.size() >= std::max(1u, options.min_users) &&
+        cluster.items.size() >= std::max(1u, options.min_items)) {
+      out.push_back(std::move(cluster));
+    }
+  }
+  return out;
+}
+
+double CoClusterDensity(const CoCluster& cluster,
+                        const CsrMatrix& interactions) {
+  if (cluster.empty()) return 0.0;
+  size_t positives = 0;
+  for (uint32_t u : cluster.users) {
+    for (uint32_t i : cluster.items) {
+      if (interactions.HasEntry(u, i)) ++positives;
+    }
+  }
+  return static_cast<double>(positives) /
+         (static_cast<double>(cluster.users.size()) *
+          static_cast<double>(cluster.items.size()));
+}
+
+CoClusterStats ComputeCoClusterStats(const std::vector<CoCluster>& clusters,
+                                     const CsrMatrix& interactions) {
+  CoClusterStats stats;
+  stats.num_clusters = static_cast<uint32_t>(clusters.size());
+  if (clusters.empty()) return stats;
+  std::vector<uint32_t> user_memberships(interactions.num_rows(), 0);
+  std::vector<uint32_t> item_memberships(interactions.num_cols(), 0);
+  for (const auto& cluster : clusters) {
+    stats.mean_users += static_cast<double>(cluster.users.size());
+    stats.mean_items += static_cast<double>(cluster.items.size());
+    stats.mean_density += CoClusterDensity(cluster, interactions);
+    for (uint32_t u : cluster.users) ++user_memberships[u];
+    for (uint32_t i : cluster.items) ++item_memberships[i];
+  }
+  const double n = static_cast<double>(clusters.size());
+  stats.mean_users /= n;
+  stats.mean_items /= n;
+  stats.mean_density /= n;
+  stats.mean_user_memberships =
+      std::accumulate(user_memberships.begin(), user_memberships.end(), 0.0) /
+      std::max<double>(1.0, interactions.num_rows());
+  stats.mean_item_memberships =
+      std::accumulate(item_memberships.begin(), item_memberships.end(), 0.0) /
+      std::max<double>(1.0, interactions.num_cols());
+  return stats;
+}
+
+}  // namespace ocular

@@ -1,0 +1,74 @@
+#ifndef OCULAR_CORE_COCLUSTERS_H_
+#define OCULAR_CORE_COCLUSTERS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/ocular_model.h"
+#include "sparse/csr.h"
+
+namespace ocular {
+
+/// A discovered overlapping co-cluster: the users and items whose
+/// affiliation strength with dimension c exceeds the extraction threshold,
+/// together with those strengths (descending).
+struct CoCluster {
+  uint32_t index = 0;  // which factor dimension c
+  std::vector<uint32_t> users;
+  std::vector<double> user_strengths;   // aligned with `users`
+  std::vector<uint32_t> items;
+  std::vector<double> item_strengths;   // aligned with `items`
+
+  size_t num_users() const { return users.size(); }
+  size_t num_items() const { return items.size(); }
+  bool empty() const { return users.empty() || items.empty(); }
+};
+
+/// Extraction options. A user/item belongs to co-cluster c when its factor
+/// entry exceeds `threshold`. The default makes a pair of boundary members
+/// generate a positive with probability 1 − e^{−t²} ≈ 0.3, i.e. a
+/// borderline-but-meaningful affiliation (Section IV-C: members are those
+/// for which [f]_c is "large").
+struct CoClusterOptions {
+  double threshold = 0.6;
+  /// Drop co-clusters with fewer users or items than this (the paper's
+  /// application-specific size criterion, Section VII-C).
+  uint32_t min_users = 1;
+  uint32_t min_items = 1;
+  /// Only the first `max_dims` factor dimensions are treated as
+  /// co-clusters (0 = all). Set to config.k for models trained with
+  /// use_biases, whose last two dimensions are bias terms, not clusters.
+  uint32_t max_dims = 0;
+};
+
+/// Extracts all (non-empty) co-clusters from a fitted model. Members are
+/// sorted by descending strength.
+std::vector<CoCluster> ExtractCoClusters(const OcularModel& model,
+                                         const CoClusterOptions& options = {});
+
+/// Summary statistics of a co-clustering, the quantities plotted in
+/// Figure 6 (users per co-cluster, items per co-cluster, density).
+struct CoClusterStats {
+  double mean_users = 0.0;
+  double mean_items = 0.0;
+  /// Mean fraction of in-cluster (user, item) cells that are positive in R.
+  double mean_density = 0.0;
+  /// Mean number of co-clusters a user / item belongs to (overlap degree).
+  double mean_user_memberships = 0.0;
+  double mean_item_memberships = 0.0;
+  uint32_t num_clusters = 0;
+};
+
+/// Computes stats against the interaction matrix the model was fitted on.
+CoClusterStats ComputeCoClusterStats(const std::vector<CoCluster>& clusters,
+                                     const CsrMatrix& interactions);
+
+/// Density of a single co-cluster block in `interactions`.
+double CoClusterDensity(const CoCluster& cluster,
+                        const CsrMatrix& interactions);
+
+}  // namespace ocular
+
+#endif  // OCULAR_CORE_COCLUSTERS_H_

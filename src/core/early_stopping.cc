@@ -1,0 +1,92 @@
+#include "core/early_stopping.h"
+
+#include "eval/metrics.h"
+
+namespace ocular {
+
+Status EarlyStoppingOptions::Validate() const {
+  if (check_every == 0) {
+    return Status::InvalidArgument("check_every must be positive");
+  }
+  if (max_sweeps < check_every) {
+    return Status::InvalidArgument("max_sweeps must be >= check_every");
+  }
+  if (m == 0) return Status::InvalidArgument("m must be positive");
+  return Status::OK();
+}
+
+namespace {
+
+/// Minimal Recommender view over a model (no training state).
+class ModelView : public Recommender {
+ public:
+  explicit ModelView(const OcularModel* model) : model_(model) {}
+  std::string name() const override { return "ocular-view"; }
+  Status Fit(const CsrMatrix&) override {
+    return Status::FailedPrecondition("view is read-only");
+  }
+  double Score(uint32_t u, uint32_t i) const override {
+    return model_->Probability(u, i);
+  }
+  uint32_t num_users() const override { return model_->num_users(); }
+  uint32_t num_items() const override { return model_->num_items(); }
+
+ private:
+  const OcularModel* model_;
+};
+
+}  // namespace
+
+Result<EarlyStoppedFit> FitWithEarlyStopping(
+    const OcularConfig& config, const CsrMatrix& train,
+    const CsrMatrix& validation, const EarlyStoppingOptions& options) {
+  OCULAR_RETURN_IF_ERROR(config.Validate());
+  OCULAR_RETURN_IF_ERROR(options.Validate());
+  if (train.num_rows() != validation.num_rows() ||
+      train.num_cols() != validation.num_cols()) {
+    return Status::InvalidArgument("train/validation shape mismatch");
+  }
+  if (validation.nnz() == 0) {
+    return Status::InvalidArgument("validation matrix has no positives");
+  }
+
+  OcularConfig chunk_config = config;
+  chunk_config.max_sweeps = options.check_every;
+  chunk_config.tolerance = 0.0;         // always run the full chunk
+  chunk_config.track_objective = false;  // ranking quality is the signal
+  OcularTrainer trainer(chunk_config);
+
+  EarlyStoppedFit out;
+  OcularModel current;
+  uint32_t stall = 0;
+  bool first = true;
+  while (out.sweeps_run < options.max_sweeps) {
+    OcularFitResult fit;
+    if (first) {
+      OCULAR_ASSIGN_OR_RETURN(fit, trainer.Fit(train));
+      first = false;
+    } else {
+      OCULAR_ASSIGN_OR_RETURN(fit, trainer.FitFrom(train, std::move(current)));
+    }
+    current = std::move(fit.model);
+    out.sweeps_run += fit.sweeps_run;
+
+    ModelView view(&current);
+    OCULAR_ASSIGN_OR_RETURN(
+        MetricsAtM metrics,
+        EvaluateRankingAtM(view, train, validation, options.m));
+    out.validation_curve.push_back(metrics.recall);
+    if (metrics.recall > out.best_recall) {
+      out.best_recall = metrics.recall;
+      out.best_sweep = out.sweeps_run;
+      out.model = current;  // snapshot (copy)
+      stall = 0;
+    } else if (++stall >= options.patience) {
+      break;
+    }
+  }
+  if (out.model.num_users() == 0) out.model = std::move(current);
+  return out;
+}
+
+}  // namespace ocular

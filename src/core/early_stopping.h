@@ -1,0 +1,49 @@
+#ifndef OCULAR_CORE_EARLY_STOPPING_H_
+#define OCULAR_CORE_EARLY_STOPPING_H_
+
+#include "common/result.h"
+#include "core/ocular_trainer.h"
+
+namespace ocular {
+
+/// Validation-based early stopping.
+///
+/// The paper stops when the objective Q plateaus; in deployment one
+/// usually cares about *ranking* quality, which can peak before (or
+/// after) Q does. This driver trains in chunks of `check_every` sweeps,
+/// evaluates recall@m on a held-out validation matrix after each chunk,
+/// and stops when `patience` consecutive checks bring no improvement —
+/// returning the model snapshot from the best check.
+struct EarlyStoppingOptions {
+  /// Sweeps between validation checks.
+  uint32_t check_every = 5;
+  /// Stop after this many consecutive non-improving checks.
+  uint32_t patience = 2;
+  /// Hard cap on total sweeps.
+  uint32_t max_sweeps = 200;
+  /// Validation cutoff (recall@m).
+  uint32_t m = 50;
+
+  Status Validate() const;
+};
+
+/// Result of an early-stopped fit.
+struct EarlyStoppedFit {
+  OcularModel model;       // best-on-validation snapshot
+  double best_recall = 0.0;
+  uint32_t best_sweep = 0;  // sweeps run when the best snapshot was taken
+  uint32_t sweeps_run = 0;  // total sweeps actually executed
+  /// recall@m after each validation check, in order.
+  std::vector<double> validation_curve;
+};
+
+/// Trains with `config` (its max_sweeps/tolerance are ignored in favor of
+/// the options') on `train`, early-stopping on `validation`. The two
+/// matrices must share a shape and be disjoint (standard split output).
+Result<EarlyStoppedFit> FitWithEarlyStopping(
+    const OcularConfig& config, const CsrMatrix& train,
+    const CsrMatrix& validation, const EarlyStoppingOptions& options = {});
+
+}  // namespace ocular
+
+#endif  // OCULAR_CORE_EARLY_STOPPING_H_

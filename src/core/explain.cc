@@ -1,0 +1,183 @@
+#include "core/explain.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <sstream>
+
+#include "common/json.h"
+#include "common/strings.h"
+
+namespace ocular {
+
+Result<Explanation> ExplainRecommendation(const OcularModel& model,
+                                          const CsrMatrix& interactions,
+                                          uint32_t user, uint32_t item,
+                                          const ExplainOptions& options) {
+  if (user >= model.num_users()) {
+    return Status::InvalidArgument("user id out of range: " +
+                                   std::to_string(user));
+  }
+  if (item >= model.num_items()) {
+    return Status::InvalidArgument("item id out of range: " +
+                                   std::to_string(item));
+  }
+  Explanation out;
+  out.user = user;
+  out.item = item;
+  out.confidence = model.Probability(user, item);
+
+  const std::vector<double> contributions =
+      model.ClusterContributions(user, item);
+  const double total = std::accumulate(contributions.begin(),
+                                       contributions.end(), 0.0);
+  if (total <= 0.0) return out;  // nothing to explain — no shared cluster
+
+  // Rank clusters by contribution.
+  std::vector<uint32_t> order(contributions.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return contributions[a] > contributions[b];
+  });
+
+  const double threshold = options.cocluster_options.threshold;
+  for (uint32_t c : order) {
+    if (contributions[c] < options.min_contribution_fraction * total) break;
+
+    ExplanationClause clause;
+    clause.cluster_index = c;
+    clause.contribution = contributions[c];
+
+    // Supporting items: the user's training positives whose item factor is
+    // strong in cluster c, strongest first.
+    std::vector<std::pair<double, uint32_t>> items;
+    for (uint32_t i : interactions.Row(user)) {
+      const double s = model.item_factors().At(i, c);
+      if (s > threshold && i != item) items.emplace_back(s, i);
+    }
+    std::sort(items.rbegin(), items.rend());
+    for (const auto& [s, i] : items) {
+      if (clause.supporting_items.size() >= options.max_evidence) break;
+      clause.supporting_items.push_back(i);
+    }
+
+    // Supporting peers: users strong in cluster c that actually bought the
+    // recommended item. Scan cluster-member users via the factor column.
+    std::vector<std::pair<double, uint32_t>> peers;
+    for (uint32_t u2 = 0; u2 < model.num_users(); ++u2) {
+      if (u2 == user) continue;
+      const double s = model.user_factors().At(u2, c);
+      if (s > threshold && interactions.HasEntry(u2, item)) {
+        peers.emplace_back(s, u2);
+      }
+    }
+    std::sort(peers.rbegin(), peers.rend());
+    for (const auto& [s, u2] : peers) {
+      if (clause.supporting_users.size() >= options.max_evidence) break;
+      clause.supporting_users.push_back(u2);
+    }
+
+    out.clauses.push_back(std::move(clause));
+  }
+  return out;
+}
+
+namespace {
+
+std::string JoinLabels(const std::vector<uint32_t>& ids,
+                       const std::function<std::string(uint32_t)>& label) {
+  std::vector<std::string> parts;
+  parts.reserve(ids.size());
+  for (uint32_t id : ids) parts.push_back(label(id));
+  return Join(parts, ", ");
+}
+
+}  // namespace
+
+std::string RenderExplanationText(const Explanation& explanation,
+                                  const Dataset& dataset) {
+  std::ostringstream out;
+  out << dataset.ItemLabel(explanation.item) << " is recommended to "
+      << dataset.UserLabel(explanation.user) << " with confidence "
+      << FormatDouble(explanation.confidence, 2) << " because:\n";
+  if (explanation.clauses.empty()) {
+    out << "  (no shared co-cluster; this recommendation has low support)\n";
+    return out.str();
+  }
+  auto user_label = [&dataset](uint32_t u) { return dataset.UserLabel(u); };
+  auto item_label = [&dataset](uint32_t i) { return dataset.ItemLabel(i); };
+  int clause_no = 0;
+  for (const auto& clause : explanation.clauses) {
+    ++clause_no;
+    out << "  " << clause_no << ". [co-cluster " << clause.cluster_index
+        << ", contribution " << FormatDouble(clause.contribution, 2) << "] ";
+    if (!clause.supporting_items.empty()) {
+      out << dataset.UserLabel(explanation.user) << " has purchased "
+          << JoinLabels(clause.supporting_items, item_label) << ". ";
+    }
+    if (!clause.supporting_users.empty()) {
+      out << "Clients with similar purchase history (e.g. "
+          << JoinLabels(clause.supporting_users, user_label)
+          << ") also bought " << dataset.ItemLabel(explanation.item) << ".";
+    } else if (clause.supporting_items.empty()) {
+      out << "(cluster evidence below display threshold)";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+void WriteEntityArray(JsonWriter* w, const std::vector<uint32_t>& ids,
+                      const std::function<std::string(uint32_t)>& label) {
+  w->BeginArray();
+  for (uint32_t id : ids) {
+    w->BeginObject();
+    w->Key("id");
+    w->UInt(id);
+    w->Key("label");
+    w->String(label(id));
+    w->EndObject();
+  }
+  w->EndArray();
+}
+
+}  // namespace
+
+std::string ExplanationToJson(const Explanation& explanation,
+                              const Dataset& dataset) {
+  auto user_label = [&dataset](uint32_t u) { return dataset.UserLabel(u); };
+  auto item_label = [&dataset](uint32_t i) { return dataset.ItemLabel(i); };
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("user");
+  w.UInt(explanation.user);
+  w.Key("user_label");
+  w.String(dataset.UserLabel(explanation.user));
+  w.Key("item");
+  w.UInt(explanation.item);
+  w.Key("item_label");
+  w.String(dataset.ItemLabel(explanation.item));
+  w.Key("confidence");
+  w.Double(explanation.confidence);
+  w.Key("clauses");
+  w.BeginArray();
+  for (const auto& clause : explanation.clauses) {
+    w.BeginObject();
+    w.Key("cluster");
+    w.UInt(clause.cluster_index);
+    w.Key("contribution");
+    w.Double(clause.contribution);
+    w.Key("supporting_items");
+    WriteEntityArray(&w, clause.supporting_items, item_label);
+    w.Key("supporting_users");
+    WriteEntityArray(&w, clause.supporting_users, user_label);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace ocular

@@ -1,0 +1,77 @@
+#ifndef OCULAR_CORE_EXPLAIN_H_
+#define OCULAR_CORE_EXPLAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/coclusters.h"
+#include "core/ocular_model.h"
+#include "data/dataset.h"
+
+namespace ocular {
+
+/// One piece of supporting evidence for a recommendation: a co-cluster that
+/// contributes to P[r_ui = 1] (Section IV-C).
+struct ExplanationClause {
+  uint32_t cluster_index = 0;
+  /// [f_u]_c [f_i]_c — this cluster's share of the affinity.
+  double contribution = 0.0;
+  /// Items of this co-cluster the user already has (evidence of the user's
+  /// membership), strongest first, capped at `max_evidence`.
+  std::vector<uint32_t> supporting_items;
+  /// Peer users of this co-cluster that have the recommended item
+  /// ("clients with similar purchase history also bought ..."), strongest
+  /// first, capped.
+  std::vector<uint32_t> supporting_users;
+};
+
+/// A fully-explained recommendation.
+struct Explanation {
+  uint32_t user = 0;
+  uint32_t item = 0;
+  /// P[r_ui = 1] under the fitted model — the "confidence" of Fig. 3/10.
+  double confidence = 0.0;
+  std::vector<ExplanationClause> clauses;
+};
+
+/// Explanation-generation knobs.
+struct ExplainOptions {
+  /// Ignore clusters contributing less than this fraction of the total
+  /// affinity (noise suppression in the rationale).
+  double min_contribution_fraction = 0.05;
+  /// Cap on peers / supporting items named per clause.
+  uint32_t max_evidence = 5;
+  CoClusterOptions cocluster_options;
+};
+
+/// Builds the structured explanation for recommending `item` to `user`.
+/// `interactions` is the training matrix (to find what the user/peers
+/// actually bought). Fails with InvalidArgument on out-of-range ids.
+Result<Explanation> ExplainRecommendation(const OcularModel& model,
+                                          const CsrMatrix& interactions,
+                                          uint32_t user, uint32_t item,
+                                          const ExplainOptions& options = {});
+
+/// Renders the explanation as the B2B rationale text of Figures 3/10, using
+/// the dataset's labels, e.g.:
+///
+///   Item 4 is recommended to Client 6 with confidence 0.83 because:
+///    - Client 6 has purchased Item 1, Item 2, Item 3. Clients with similar
+///      purchase history (e.g. Client 4, Client 5) also bought Item 4.
+std::string RenderExplanationText(const Explanation& explanation,
+                                  const Dataset& dataset);
+
+/// Serializes the explanation as JSON for programmatic consumers (the
+/// deployment UI of Figure 10 renders from a payload like this):
+///   {"user":..,"user_label":..,"item":..,"item_label":..,
+///    "confidence":..,"clauses":[{"cluster":..,"contribution":..,
+///    "supporting_items":[{"id":..,"label":..},...],
+///    "supporting_users":[...]},...]}
+std::string ExplanationToJson(const Explanation& explanation,
+                              const Dataset& dataset);
+
+}  // namespace ocular
+
+#endif  // OCULAR_CORE_EXPLAIN_H_

@@ -1,0 +1,84 @@
+#include "core/fold_in.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ocular {
+
+Result<std::vector<double>> FoldInUser(const OcularModel& model,
+                                       const OcularConfig& config,
+                                       std::span<const uint32_t> history,
+                                       const FoldInOptions& options) {
+  OCULAR_RETURN_IF_ERROR(config.Validate());
+  if (config.TotalDims() != model.k()) {
+    return Status::InvalidArgument("config dimensions do not match model");
+  }
+  for (size_t n = 0; n < history.size(); ++n) {
+    if (history[n] >= model.num_items()) {
+      return Status::InvalidArgument("history item out of range: " +
+                                     std::to_string(history[n]));
+    }
+    if (n > 0 && history[n] <= history[n - 1]) {
+      return Status::InvalidArgument("history must be strictly ascending");
+    }
+  }
+  std::vector<double> f(model.k(), 0.0);
+  if (history.empty()) return f;
+
+  // Start from the mean of the purchased items' factors — a feasible,
+  // informed initial point.
+  const DenseMatrix& items = model.item_factors();
+  for (uint32_t i : history) {
+    auto row = items.Row(i);
+    for (uint32_t c = 0; c < model.k(); ++c) {
+      f[c] += row[c] / static_cast<double>(history.size());
+    }
+  }
+
+  // Bias extension: the user-side coordinate k+1 is pinned at 1 (see
+  // OcularConfig::use_biases).
+  const int user_frozen =
+      config.use_biases ? static_cast<int>(config.k) + 1 : -1;
+  if (config.use_biases) f[config.k + 1] = 1.0;
+
+  const std::vector<double> item_sums = items.ColumnSums();
+  std::vector<double> complement(item_sums.begin(), item_sums.end());
+  for (uint32_t i : history) {
+    auto row = items.Row(i);
+    for (uint32_t c = 0; c < model.k(); ++c) complement[c] -= row[c];
+  }
+
+  double prev = internal::BlockObjective(f, history, items, complement,
+                                         config.lambda, 1.0, {});
+  for (uint32_t step = 0; step < options.max_steps; ++step) {
+    internal::ProjectedGradientStep(f, history, items, item_sums,
+                                    config.lambda, 1.0, {}, config,
+                                    user_frozen);
+    const double q = internal::BlockObjective(f, history, items, complement,
+                                              config.lambda, 1.0, {});
+    const double rel = (prev - q) / std::max(std::abs(prev), 1e-12);
+    if (rel < options.tolerance) break;
+    prev = q;
+  }
+  return f;
+}
+
+double ScoreFoldedUser(const OcularModel& model,
+                       std::span<const double> user_factor, uint32_t item) {
+  return -std::expm1(-vec::Dot(user_factor, model.item_factors().Row(item)));
+}
+
+Result<std::vector<ScoredItem>> RecommendForHistory(
+    const OcularModel& model, const OcularConfig& config,
+    std::span<const uint32_t> history, uint32_t m,
+    const FoldInOptions& options) {
+  OCULAR_ASSIGN_OR_RETURN(std::vector<double> f,
+                          FoldInUser(model, config, history, options));
+  std::vector<double> scores(model.num_items());
+  for (uint32_t i = 0; i < model.num_items(); ++i) {
+    scores[i] = ScoreFoldedUser(model, f, i);
+  }
+  return TopM(scores, m, history);
+}
+
+}  // namespace ocular

@@ -1,0 +1,52 @@
+#ifndef OCULAR_CORE_FOLD_IN_H_
+#define OCULAR_CORE_FOLD_IN_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "core/ocular_trainer.h"
+#include "eval/recommender.h"
+
+namespace ocular {
+
+/// Fold-in inference: compute the affiliation vector of a NEW user from
+/// their purchase history, holding the fitted item factors fixed.
+///
+/// This is the production-serving counterpart of training (in the paper's
+/// B2B deployment a new client's history must be scorable without
+/// retraining the whole model): the user block subproblem of Section IV-B
+/// is solved for one row, by iterating the same projected-gradient step
+/// the trainer uses until the block objective converges. With lambda > 0
+/// the subproblem is strongly convex, so this converges to its unique
+/// minimizer.
+struct FoldInOptions {
+  /// Projected-gradient iterations cap for the single-row solve.
+  uint32_t max_steps = 200;
+  /// Stop when the block objective's relative decrease falls below this.
+  double tolerance = 1e-8;
+};
+
+/// Computes f_u (length model.k()) for a user whose positive items are
+/// `history` (ascending item ids). Items outside [0, num_items) are
+/// rejected. An empty history yields the all-zeros vector (every score 0).
+Result<std::vector<double>> FoldInUser(const OcularModel& model,
+                                       const OcularConfig& config,
+                                       std::span<const uint32_t> history,
+                                       const FoldInOptions& options = {});
+
+/// P[r_ui = 1] for a folded-in user vector.
+double ScoreFoldedUser(const OcularModel& model,
+                       std::span<const double> user_factor, uint32_t item);
+
+/// Top-M recommendations for a purchase history: folds the user in, then
+/// ranks all items not in `history`.
+Result<std::vector<ScoredItem>> RecommendForHistory(
+    const OcularModel& model, const OcularConfig& config,
+    std::span<const uint32_t> history, uint32_t m,
+    const FoldInOptions& options = {});
+
+}  // namespace ocular
+
+#endif  // OCULAR_CORE_FOLD_IN_H_

@@ -1,0 +1,73 @@
+#include "core/incremental.h"
+
+#include <cmath>
+
+namespace ocular {
+
+namespace {
+
+/// Copies `src` into the top rows of a (rows x src.cols()) matrix and
+/// fills the remainder with the cold-start distribution.
+DenseMatrix GrowRows(const DenseMatrix& src, uint32_t rows, double scale,
+                     Rng* rng) {
+  DenseMatrix out(rows, src.cols());
+  for (uint32_t r = 0; r < src.rows(); ++r) {
+    auto from = src.Row(r);
+    auto to = out.Row(r);
+    std::copy(from.begin(), from.end(), to.begin());
+  }
+  for (uint32_t r = src.rows(); r < rows; ++r) {
+    for (auto& v : out.Row(r)) v = rng->Uniform(0.0, scale);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<OcularModel> ExpandModel(const OcularModel& model, uint32_t num_users,
+                                uint32_t num_items,
+                                const ExpandOptions& options) {
+  if (num_users < model.num_users() || num_items < model.num_items()) {
+    return Status::InvalidArgument(
+        "ExpandModel cannot shrink: retrain from scratch instead");
+  }
+  if (model.k() == 0) {
+    return Status::InvalidArgument("model has no factor dimensions");
+  }
+  Rng rng(options.seed);
+  const double scale =
+      options.init_scale / std::sqrt(static_cast<double>(model.k()));
+  DenseMatrix fu = GrowRows(model.user_factors(), num_users, scale, &rng);
+  DenseMatrix fi = GrowRows(model.item_factors(), num_items, scale, &rng);
+  return OcularModel(std::move(fu), std::move(fi));
+}
+
+Result<OcularFitResult> UpdateModel(const OcularModel& model,
+                                    const CsrMatrix& interactions,
+                                    const OcularConfig& config,
+                                    const ExpandOptions& options) {
+  OCULAR_RETURN_IF_ERROR(config.Validate());
+  if (config.TotalDims() != model.k()) {
+    return Status::InvalidArgument(
+        "config dimensions do not match the model being updated");
+  }
+  OCULAR_ASSIGN_OR_RETURN(
+      OcularModel grown,
+      ExpandModel(model, interactions.num_rows(), interactions.num_cols(),
+                  options));
+  // Bias extension: new rows must keep the pinned coordinate at exactly 1.
+  if (config.use_biases) {
+    DenseMatrix& fu = *grown.mutable_user_factors();
+    for (uint32_t u = model.num_users(); u < fu.rows(); ++u) {
+      fu.At(u, config.k + 1) = 1.0;
+    }
+    DenseMatrix& fi = *grown.mutable_item_factors();
+    for (uint32_t i = model.num_items(); i < fi.rows(); ++i) {
+      fi.At(i, config.k) = 1.0;
+    }
+  }
+  OcularTrainer trainer(config);
+  return trainer.FitFrom(interactions, std::move(grown));
+}
+
+}  // namespace ocular

@@ -1,0 +1,139 @@
+#include "core/model_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace ocular {
+
+namespace {
+
+constexpr char kMagic[] = "ocular-model v1";
+
+Status WriteMatrix(std::ofstream& out, const char* label,
+                   const DenseMatrix& m) {
+  out << label << " " << m.rows() << "\n";
+  char buf[32];
+  for (uint32_t r = 0; r < m.rows(); ++r) {
+    auto row = m.Row(r);
+    for (uint32_t c = 0; c < m.cols(); ++c) {
+      std::snprintf(buf, sizeof(buf), "%.17g", row[c]);
+      if (c > 0) out << ' ';
+      out << buf;
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write failure");
+  return Status::OK();
+}
+
+Result<DenseMatrix> ReadMatrix(std::ifstream& in, const char* label,
+                               uint32_t k) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::ParseError("unexpected EOF before matrix header");
+  }
+  auto fields = SplitAny(line, " \t");
+  if (fields.size() != 2 || fields[0] != label) {
+    return Status::ParseError("expected '" + std::string(label) +
+                              " <rows>', got '" + line + "'");
+  }
+  OCULAR_ASSIGN_OR_RETURN(int64_t rows, ParseInt64(fields[1]));
+  if (rows < 0) return Status::ParseError("negative row count");
+  DenseMatrix m(static_cast<uint32_t>(rows), k);
+  for (int64_t r = 0; r < rows; ++r) {
+    if (!std::getline(in, line)) {
+      return Status::ParseError("unexpected EOF in matrix body");
+    }
+    auto values = SplitAny(line, " \t");
+    if (values.size() != k) {
+      return Status::ParseError("row " + std::to_string(r) + " has " +
+                                std::to_string(values.size()) +
+                                " entries, expected " + std::to_string(k));
+    }
+    for (uint32_t c = 0; c < k; ++c) {
+      OCULAR_ASSIGN_OR_RETURN(double v, ParseDouble(values[c]));
+      if (v < 0.0) {
+        return Status::ParseError("negative factor entry at row " +
+                                  std::to_string(r));
+      }
+      m.At(static_cast<uint32_t>(r), c) = v;
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+Status SaveModel(const OcularModel& model, const OcularConfig& config,
+                 const std::string& path) {
+  OCULAR_RETURN_IF_ERROR(model.Validate());
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  if (model.k() != config.TotalDims()) {
+    return Status::InvalidArgument(
+        "model dimensions do not match the config being saved (did you "
+        "forget use_biases?)");
+  }
+  out << kMagic << "\n";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", config.lambda);
+  out << "k " << config.k << " lambda " << buf << " variant "
+      << (config.variant == OcularVariant::kRelative ? "relative"
+                                                     : "absolute")
+      << " biases " << (config.use_biases ? 1 : 0) << "\n";
+  OCULAR_RETURN_IF_ERROR(WriteMatrix(out, "users", model.user_factors()));
+  OCULAR_RETURN_IF_ERROR(WriteMatrix(out, "items", model.item_factors()));
+  if (!out) return Status::IOError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+Result<LoadedModel> LoadModel(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::string line;
+  if (!std::getline(in, line) || Trim(line) != kMagic) {
+    return Status::ParseError("bad magic; not an ocular model file");
+  }
+  if (!std::getline(in, line)) {
+    return Status::ParseError("missing config line");
+  }
+  auto fields = SplitAny(line, " \t");
+  // Accept both the current 8-field line ("... biases 0|1") and the
+  // pre-bias 6-field format.
+  const bool has_biases_field = fields.size() == 8;
+  if ((fields.size() != 6 && fields.size() != 8) || fields[0] != "k" ||
+      fields[2] != "lambda" || fields[4] != "variant" ||
+      (has_biases_field && fields[6] != "biases")) {
+    return Status::ParseError("malformed config line: '" + line + "'");
+  }
+  LoadedModel out;
+  OCULAR_ASSIGN_OR_RETURN(int64_t k, ParseInt64(fields[1]));
+  if (k <= 0) return Status::ParseError("k must be positive");
+  out.config.k = static_cast<uint32_t>(k);
+  OCULAR_ASSIGN_OR_RETURN(out.config.lambda, ParseDouble(fields[3]));
+  if (fields[5] == "relative") {
+    out.config.variant = OcularVariant::kRelative;
+  } else if (fields[5] == "absolute") {
+    out.config.variant = OcularVariant::kAbsolute;
+  } else {
+    return Status::ParseError("unknown variant '" + std::string(fields[5]) +
+                              "'");
+  }
+  if (has_biases_field) {
+    OCULAR_ASSIGN_OR_RETURN(int64_t biases, ParseInt64(fields[7]));
+    if (biases != 0 && biases != 1) {
+      return Status::ParseError("biases flag must be 0 or 1");
+    }
+    out.config.use_biases = biases == 1;
+  }
+  const uint32_t dims = out.config.TotalDims();
+  OCULAR_ASSIGN_OR_RETURN(DenseMatrix users, ReadMatrix(in, "users", dims));
+  OCULAR_ASSIGN_OR_RETURN(DenseMatrix items, ReadMatrix(in, "items", dims));
+  out.model = OcularModel(std::move(users), std::move(items));
+  return out;
+}
+
+}  // namespace ocular

@@ -1,0 +1,44 @@
+#ifndef OCULAR_CORE_MODEL_IO_H_
+#define OCULAR_CORE_MODEL_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/ocular_trainer.h"
+
+namespace ocular {
+
+/// On-disk model persistence.
+///
+/// Format: a versioned text file ("ocular-model v1") holding the training
+/// configuration that produced the model plus both factor matrices at full
+/// double precision ("%.17g" round-trips exactly). Text keeps the format
+/// portable across endianness and easy to diff/inspect; factor files are
+/// small (n * K doubles) relative to the training data.
+///
+///   ocular-model v1
+///   k <K> lambda <l> variant <absolute|relative> biases <0|1>
+///   users <n_u>
+///   <dims numbers per line> ...   (dims = K, or K+2 with biases)
+///   items <n_i>
+///   <dims numbers per line> ...
+///
+/// Loaders also accept the older config line without the `biases` field.
+
+/// Writes the model (and the config it was trained with) to `path`.
+Status SaveModel(const OcularModel& model, const OcularConfig& config,
+                 const std::string& path);
+
+/// A loaded model plus its training configuration.
+struct LoadedModel {
+  OcularModel model;
+  OcularConfig config;
+};
+
+/// Reads a model written by SaveModel. Fails with ParseError on any
+/// malformed content and IOError on unreadable files.
+Result<LoadedModel> LoadModel(const std::string& path);
+
+}  // namespace ocular
+
+#endif  // OCULAR_CORE_MODEL_IO_H_

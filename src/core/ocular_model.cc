@@ -1,0 +1,83 @@
+#include "core/ocular_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ocular {
+
+namespace {
+/// Probability floor: keeps log(1 - e^{-x}) finite when an affinity
+/// underflows to 0 (a positive example the model currently assigns ~zero
+/// probability).
+constexpr double kProbFloor = 1e-12;
+}  // namespace
+
+OcularModel::OcularModel(DenseMatrix user_factors, DenseMatrix item_factors)
+    : user_factors_(std::move(user_factors)),
+      item_factors_(std::move(item_factors)) {
+  OCULAR_CHECK_EQ(user_factors_.cols(), item_factors_.cols());
+}
+
+double OcularModel::Probability(uint32_t u, uint32_t i) const {
+  return -std::expm1(-Affinity(u, i));
+}
+
+std::vector<double> OcularModel::ClusterContributions(uint32_t u,
+                                                      uint32_t i) const {
+  auto fu = user_factors_.Row(u);
+  auto fi = item_factors_.Row(i);
+  std::vector<double> out(k());
+  for (uint32_t c = 0; c < k(); ++c) out[c] = fu[c] * fi[c];
+  return out;
+}
+
+size_t OcularModel::MemoryBytes() const {
+  return (user_factors_.size() + item_factors_.size()) * sizeof(double);
+}
+
+Status OcularModel::Validate() const {
+  for (const DenseMatrix* m : {&user_factors_, &item_factors_}) {
+    const double* p = m->data();
+    for (size_t idx = 0; idx < m->size(); ++idx) {
+      if (!(p[idx] >= 0.0) || !std::isfinite(p[idx])) {
+        return Status::Internal("factor entry " + std::to_string(idx) +
+                                " is negative or non-finite: " +
+                                std::to_string(p[idx]));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double ObjectiveQ(const OcularModel& model, const CsrMatrix& interactions,
+                  double lambda, const std::vector<double>& user_weights) {
+  const DenseMatrix& fu = model.user_factors();
+  const DenseMatrix& fi = model.item_factors();
+
+  // Positives: -Σ w_u log(1 - e^{-<fu,fi>}), and collect Σ_pos <fu,fi> for
+  // the complement trick.
+  double positives = 0.0;
+  double pos_dots = 0.0;
+  for (uint32_t u = 0; u < interactions.num_rows(); ++u) {
+    const double w = user_weights.empty() ? 1.0 : user_weights[u];
+    auto fu_row = fu.Row(u);
+    for (uint32_t i : interactions.Row(u)) {
+      const double dot = vec::Dot(fu_row, fi.Row(i));
+      pos_dots += dot;
+      const double p = std::max(-std::expm1(-dot), kProbFloor);
+      positives -= w * std::log(p);
+    }
+  }
+  // Unknowns: Σ_{r=0} <fu,fi> = <Σ_u fu, Σ_i fi> - Σ_pos <fu,fi>.
+  const std::vector<double> user_sums = fu.ColumnSums();
+  const std::vector<double> item_sums = fi.ColumnSums();
+  const double all_dots = vec::Dot(user_sums, item_sums);
+  const double unknowns = all_dots - pos_dots;
+
+  const double reg =
+      lambda * (fu.SquaredFrobeniusNorm() + fi.SquaredFrobeniusNorm());
+  return positives + unknowns + reg;
+}
+
+}  // namespace ocular

@@ -1,0 +1,68 @@
+#ifndef OCULAR_CORE_OCULAR_MODEL_H_
+#define OCULAR_CORE_OCULAR_MODEL_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "sparse/csr.h"
+#include "sparse/dense.h"
+
+namespace ocular {
+
+/// The fitted OCuLaR model (Section IV-A): non-negative co-cluster
+/// affiliation vectors f_u (per user) and f_i (per item), of dimension K.
+/// The probability that user u is interested in item i is
+///   P[r_ui = 1] = 1 - exp(-<f_u, f_i>).
+class OcularModel {
+ public:
+  OcularModel() = default;
+  OcularModel(DenseMatrix user_factors, DenseMatrix item_factors);
+
+  uint32_t num_users() const { return user_factors_.rows(); }
+  uint32_t num_items() const { return item_factors_.rows(); }
+  uint32_t k() const { return user_factors_.cols(); }
+
+  const DenseMatrix& user_factors() const { return user_factors_; }
+  const DenseMatrix& item_factors() const { return item_factors_; }
+  DenseMatrix* mutable_user_factors() { return &user_factors_; }
+  DenseMatrix* mutable_item_factors() { return &item_factors_; }
+
+  /// <f_u, f_i>.
+  double Affinity(uint32_t u, uint32_t i) const {
+    return vec::Dot(user_factors_.Row(u), item_factors_.Row(i));
+  }
+
+  /// P[r_ui = 1] = 1 - exp(-<f_u, f_i>), in [0, 1).
+  double Probability(uint32_t u, uint32_t i) const;
+
+  /// Per-cluster contributions [f_u]_c * [f_i]_c (length K); their sum is
+  /// Affinity(u, i). The explanation generator decomposes a recommendation
+  /// along these.
+  std::vector<double> ClusterContributions(uint32_t u, uint32_t i) const;
+
+  /// Model memory footprint in bytes, the O(max(nnz, n_u K, n_i K))
+  /// accounting of Section VI.
+  size_t MemoryBytes() const;
+
+  /// Validates that all factors are non-negative and finite.
+  Status Validate() const;
+
+ private:
+  DenseMatrix user_factors_;  // n_u x K
+  DenseMatrix item_factors_;  // n_i x K
+};
+
+/// The OCuLaR objective Q (eq. 4): negative log-likelihood of the binary
+/// matrix under the model plus l2 regularization, with optional per-user
+/// positive-example weights (R-OCuLaR, Section V). `weights` may be empty
+/// (all ones).
+///
+/// Computed with the complement trick of Section IV-D: the unknowns term
+/// Σ_{(u,i): r=0} <f_u,f_i> equals <Σ_u f_u, Σ_i f_i> − Σ_{(u,i): r=1}
+/// <f_u,f_i>, so the total cost is O(nnz · K + (n_u + n_i) K).
+double ObjectiveQ(const OcularModel& model, const CsrMatrix& interactions,
+                  double lambda, const std::vector<double>& user_weights = {});
+
+}  // namespace ocular
+
+#endif  // OCULAR_CORE_OCULAR_MODEL_H_

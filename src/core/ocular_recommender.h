@@ -1,0 +1,60 @@
+#ifndef OCULAR_CORE_OCULAR_RECOMMENDER_H_
+#define OCULAR_CORE_OCULAR_RECOMMENDER_H_
+
+#include <string>
+
+#include "core/ocular_trainer.h"
+#include "eval/recommender.h"
+
+namespace ocular {
+
+/// Recommender-interface adapter around OcularTrainer + OcularModel.
+/// This is the main user-facing entry point of the library:
+///
+///   OcularConfig config;
+///   config.k = 100; config.lambda = 30.0;
+///   OcularRecommender rec(config);
+///   OCULAR_RETURN_IF_ERROR(rec.Fit(train));
+///   auto top = rec.Recommend(user, 50, train);
+///   auto why = ExplainRecommendation(rec.model(), train, user, top[0].item);
+class OcularRecommender : public Recommender {
+ public:
+  explicit OcularRecommender(OcularConfig config)
+      : trainer_(std::move(config)) {}
+
+  std::string name() const override {
+    return trainer_.config().variant == OcularVariant::kRelative
+               ? "R-OCuLaR"
+               : "OCuLaR";
+  }
+
+  Status Fit(const CsrMatrix& interactions) override {
+    OCULAR_ASSIGN_OR_RETURN(fit_, trainer_.Fit(interactions));
+    fitted_ = true;
+    return Status::OK();
+  }
+
+  double Score(uint32_t u, uint32_t i) const override {
+    return fit_.model.Probability(u, i);
+  }
+
+  uint32_t num_users() const override { return fit_.model.num_users(); }
+  uint32_t num_items() const override { return fit_.model.num_items(); }
+
+  /// The fitted model (co-clusters, explanations). Valid after Fit().
+  const OcularModel& model() const { return fit_.model; }
+  /// Convergence trace of the last Fit().
+  const std::vector<SweepStats>& trace() const { return fit_.trace; }
+  bool converged() const { return fit_.converged; }
+  bool fitted() const { return fitted_; }
+  const OcularConfig& config() const { return trainer_.config(); }
+
+ private:
+  OcularTrainer trainer_;
+  OcularFitResult fit_;
+  bool fitted_ = false;
+};
+
+}  // namespace ocular
+
+#endif  // OCULAR_CORE_OCULAR_RECOMMENDER_H_

@@ -1,0 +1,257 @@
+#include "core/ocular_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace ocular {
+
+namespace {
+/// Floor on affinities inside log/ratio terms; keeps 1/(e^x - 1) finite as
+/// x -> 0 (the gradient then pushes hard, but boundedly, toward explaining
+/// the positive example).
+constexpr double kAffinityFloor = 1e-12;
+constexpr double kProbFloor = 1e-12;
+}  // namespace
+
+Status OcularConfig::Validate() const {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (lambda < 0.0) return Status::InvalidArgument("lambda must be >= 0");
+  if (max_sweeps == 0) {
+    return Status::InvalidArgument("max_sweeps must be positive");
+  }
+  if (armijo_beta <= 0.0 || armijo_beta >= 1.0) {
+    return Status::InvalidArgument("armijo_beta must be in (0,1)");
+  }
+  if (armijo_sigma <= 0.0 || armijo_sigma >= 1.0) {
+    return Status::InvalidArgument("armijo_sigma must be in (0,1)");
+  }
+  if (initial_step <= 0.0) {
+    return Status::InvalidArgument("initial_step must be positive");
+  }
+  if (init_scale <= 0.0) {
+    return Status::InvalidArgument("init_scale must be positive");
+  }
+  if (tolerance < 0.0) {
+    return Status::InvalidArgument("tolerance must be >= 0");
+  }
+  if (block_steps == 0) {
+    return Status::InvalidArgument("block_steps must be positive");
+  }
+  return Status::OK();
+}
+
+namespace internal {
+
+double BlockObjective(std::span<const double> f,
+                      std::span<const uint32_t> neighbors,
+                      const DenseMatrix& other,
+                      std::span<const double> complement_sum, double lambda,
+                      double pos_weight,
+                      std::span<const double> per_neighbor_weights) {
+  double q = 0.0;
+  for (size_t n = 0; n < neighbors.size(); ++n) {
+    const double w =
+        per_neighbor_weights.empty() ? pos_weight : per_neighbor_weights[n];
+    const double dot = vec::Dot(other.Row(neighbors[n]), f);
+    const double p = std::max(-std::expm1(-dot), kProbFloor);
+    q -= w * std::log(p);
+  }
+  q += vec::Dot(f, complement_sum);
+  q += lambda * vec::SquaredNorm(f);
+  return q;
+}
+
+int ProjectedGradientStep(std::span<double> f,
+                          std::span<const uint32_t> neighbors,
+                          const DenseMatrix& other,
+                          std::span<const double> other_sums, double lambda,
+                          double pos_weight,
+                          std::span<const double> per_neighbor_weights,
+                          const OcularConfig& config, int frozen_coord) {
+  const size_t k = f.size();
+  // Σ_{r=0} f_n = Σ_all f_n − Σ_pos f_n  (the Section IV-D trick).
+  std::vector<double> complement(other_sums.begin(), other_sums.end());
+  for (uint32_t n : neighbors) {
+    auto row = other.Row(n);
+    for (size_t c = 0; c < k; ++c) complement[c] -= row[c];
+  }
+
+  // Gradient (eq. 6): complement + 2λf − Σ_pos w_n f_n / (e^{<f_n,f>} − 1).
+  std::vector<double> grad(complement.begin(), complement.end());
+  for (size_t c = 0; c < k; ++c) grad[c] += 2.0 * lambda * f[c];
+  for (size_t n = 0; n < neighbors.size(); ++n) {
+    const double w =
+        per_neighbor_weights.empty() ? pos_weight : per_neighbor_weights[n];
+    auto row = other.Row(neighbors[n]);
+    const double dot = std::max(vec::Dot(row, f), kAffinityFloor);
+    const double coef = w / std::expm1(dot);
+    for (size_t c = 0; c < k; ++c) grad[c] -= coef * row[c];
+  }
+  // A frozen coordinate (bias extension) never moves; masking its gradient
+  // keeps the Armijo line search exact for the remaining coordinates.
+  if (frozen_coord >= 0 && static_cast<size_t>(frozen_coord) < k) {
+    grad[static_cast<size_t>(frozen_coord)] = 0.0;
+  }
+
+  return ArmijoStep(f, grad, neighbors, other, complement, lambda,
+                    pos_weight, per_neighbor_weights, config);
+}
+
+int ArmijoStep(std::span<double> f, std::span<const double> grad,
+               std::span<const uint32_t> neighbors, const DenseMatrix& other,
+               std::span<const double> complement_sum, double lambda,
+               double pos_weight,
+               std::span<const double> per_neighbor_weights,
+               const OcularConfig& config) {
+  const size_t k = f.size();
+  const double q0 = BlockObjective(f, neighbors, other, complement_sum,
+                                   lambda, pos_weight, per_neighbor_weights);
+  std::vector<double> trial(k);
+  double alpha = config.initial_step;
+  for (uint32_t t = 0; t <= config.max_backtracks; ++t) {
+    for (size_t c = 0; c < k; ++c) {
+      trial[c] = std::max(0.0, f[c] - alpha * grad[c]);
+    }
+    const double q1 =
+        BlockObjective(trial, neighbors, other, complement_sum, lambda,
+                       pos_weight, per_neighbor_weights);
+    double descent = 0.0;  // <grad, trial - f>
+    for (size_t c = 0; c < k; ++c) descent += grad[c] * (trial[c] - f[c]);
+    if (q1 - q0 <= config.armijo_sigma * descent) {
+      std::copy(trial.begin(), trial.end(), f.begin());
+      return static_cast<int>(t);
+    }
+    alpha *= config.armijo_beta;
+  }
+  return -1;  // line search failed; keep f unchanged
+}
+
+}  // namespace internal
+
+std::vector<double> OcularTrainer::UserWeights(
+    const CsrMatrix& interactions) const {
+  std::vector<double> w(interactions.num_rows(), 1.0);
+  if (config_.variant != OcularVariant::kRelative) return w;
+  const double n_items = interactions.num_cols();
+  for (uint32_t u = 0; u < interactions.num_rows(); ++u) {
+    const double pos = interactions.RowDegree(u);
+    // w_u = |{i: r_ui = 0}| / |{i: r_ui = 1}|. Users with no positives
+    // contribute no positive terms; leave their (unused) weight at 1.
+    if (pos > 0.0) w[u] = (n_items - pos) / pos;
+  }
+  return w;
+}
+
+Result<OcularFitResult> OcularTrainer::Fit(
+    const CsrMatrix& interactions) const {
+  OCULAR_RETURN_IF_ERROR(config_.Validate());
+  Rng rng(config_.seed);
+  const double scale =
+      config_.init_scale / std::sqrt(static_cast<double>(config_.k));
+  const uint32_t dims = config_.TotalDims();
+  DenseMatrix fu(interactions.num_rows(), dims);
+  DenseMatrix fi(interactions.num_cols(), dims);
+  fu.FillUniform(&rng, 0.0, scale);
+  fi.FillUniform(&rng, 0.0, scale);
+  if (config_.use_biases) {
+    // Dim k: user bias (item side pinned at 1). Dim k+1: item bias (user
+    // side pinned at 1). Free bias coordinates start small.
+    for (uint32_t u = 0; u < fu.rows(); ++u) {
+      fu.At(u, config_.k) = rng.Uniform(0.0, 0.1);
+      fu.At(u, config_.k + 1) = 1.0;
+    }
+    for (uint32_t i = 0; i < fi.rows(); ++i) {
+      fi.At(i, config_.k) = 1.0;
+      fi.At(i, config_.k + 1) = rng.Uniform(0.0, 0.1);
+    }
+  }
+  return FitFrom(interactions, OcularModel(std::move(fu), std::move(fi)));
+}
+
+Result<OcularFitResult> OcularTrainer::FitFrom(const CsrMatrix& interactions,
+                                               OcularModel initial) const {
+  OCULAR_RETURN_IF_ERROR(config_.Validate());
+  if (interactions.nnz() == 0) {
+    return Status::InvalidArgument("interaction matrix has no positives");
+  }
+  if (initial.num_users() != interactions.num_rows() ||
+      initial.num_items() != interactions.num_cols() ||
+      initial.k() != config_.TotalDims()) {
+    return Status::InvalidArgument("initial model shape mismatch");
+  }
+  // Coordinate pinned at 1 during item updates / user updates (bias
+  // extension); -1 disables freezing.
+  const int item_frozen = config_.use_biases ? static_cast<int>(config_.k)
+                                             : -1;
+  const int user_frozen =
+      config_.use_biases ? static_cast<int>(config_.k) + 1 : -1;
+
+  OcularFitResult out;
+  out.model = std::move(initial);
+  DenseMatrix& fu = *out.model.mutable_user_factors();
+  DenseMatrix& fi = *out.model.mutable_item_factors();
+
+  const CsrMatrix transposed = interactions.Transpose();
+  const std::vector<double> weights = UserWeights(interactions);
+  const bool relative = config_.variant == OcularVariant::kRelative;
+
+  Stopwatch watch;
+  double prev_q = config_.track_objective
+                      ? ObjectiveQ(out.model, interactions, config_.lambda,
+                                   relative ? weights : std::vector<double>{})
+                      : 0.0;
+
+  std::vector<double> neighbor_weights;  // reused buffer (R-OCuLaR items)
+  for (uint32_t sweep = 0; sweep < config_.max_sweeps; ++sweep) {
+    // ---- Item phase: update every f_i with f_u fixed. ----
+    const std::vector<double> user_sums = fu.ColumnSums();
+    for (uint32_t i = 0; i < interactions.num_cols(); ++i) {
+      auto users = transposed.Row(i);
+      std::span<const double> wspan;
+      if (relative) {
+        neighbor_weights.resize(users.size());
+        for (size_t n = 0; n < users.size(); ++n) {
+          neighbor_weights[n] = weights[users[n]];
+        }
+        wspan = neighbor_weights;
+      }
+      for (uint32_t step = 0; step < config_.block_steps; ++step) {
+        internal::ProjectedGradientStep(fi.Row(i), users, fu, user_sums,
+                                        config_.lambda, 1.0, wspan, config_,
+                                        item_frozen);
+      }
+    }
+
+    // ---- User phase: update every f_u with f_i fixed. ----
+    const std::vector<double> item_sums = fi.ColumnSums();
+    for (uint32_t u = 0; u < interactions.num_rows(); ++u) {
+      const double w = relative ? weights[u] : 1.0;
+      for (uint32_t step = 0; step < config_.block_steps; ++step) {
+        internal::ProjectedGradientStep(fu.Row(u), interactions.Row(u), fi,
+                                        item_sums, config_.lambda, w, {},
+                                        config_, user_frozen);
+      }
+    }
+
+    out.sweeps_run = sweep + 1;
+    if (config_.track_objective) {
+      const double q =
+          ObjectiveQ(out.model, interactions, config_.lambda,
+                     relative ? weights : std::vector<double>{});
+      out.trace.push_back(SweepStats{sweep, q, watch.ElapsedSeconds()});
+      // "Convergence is declared if Q stops decreasing."
+      const double rel_drop = (prev_q - q) / std::max(std::abs(prev_q), 1e-12);
+      if (rel_drop < config_.tolerance) {
+        out.converged = true;
+        break;
+      }
+      prev_q = q;
+    }
+  }
+  return out;
+}
+
+}  // namespace ocular

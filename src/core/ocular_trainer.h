@@ -1,0 +1,175 @@
+#ifndef OCULAR_CORE_OCULAR_TRAINER_H_
+#define OCULAR_CORE_OCULAR_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/ocular_model.h"
+#include "sparse/csr.h"
+
+namespace ocular {
+
+/// Which likelihood the trainer optimizes.
+enum class OcularVariant {
+  /// Absolute preferences — the OCuLaR objective of Section IV-B.
+  kAbsolute,
+  /// Relative preferences — R-OCuLaR (Section V): positive log-likelihood
+  /// terms of user u are weighted by w_u = |{i: r_ui=0}| / |{i: r_ui=1}|.
+  kRelative,
+};
+
+/// Hyper-parameters and knobs of the OCuLaR trainer.
+struct OcularConfig {
+  /// Number of co-clusters K.
+  uint32_t k = 50;
+  /// l2 regularization weight lambda (> 0 makes the block subproblems
+  /// strongly convex; Section IV-B).
+  double lambda = 1.0;
+  OcularVariant variant = OcularVariant::kAbsolute;
+
+  /// Maximum number of full sweeps (one sweep = update all f_i, then all
+  /// f_u, each by `block_steps` projected-gradient steps).
+  uint32_t max_sweeps = 60;
+
+  /// Projected-gradient steps per block per sweep. 1 is the paper's
+  /// choice ("performing only one gradient descent step significantly
+  /// speeds up the algorithm"); larger values approximate solving each
+  /// block subproblem exactly (the classic non-linear Gauss-Seidel
+  /// setting, [Bertsekas Prop. 2.7.1]). The ablation bench compares
+  /// convergence-per-second across values.
+  uint32_t block_steps = 1;
+  /// Convergence: stop when the relative decrease of Q over a sweep falls
+  /// below this ("convergence is declared if Q stops decreasing").
+  double tolerance = 1e-4;
+
+  /// Armijo backtracking line search along the projection arc
+  /// (Bertsekas; Section IV-D): step alpha = initial_step * beta^t with the
+  /// smallest t >= 0 satisfying
+  ///   Q(f+) - Q(f) <= sigma * <grad Q(f), f+ - f>.
+  double armijo_beta = 0.5;
+  double armijo_sigma = 0.1;
+  double initial_step = 1.0;
+  uint32_t max_backtracks = 40;
+
+  /// Factors are initialized iid Uniform(0, init_scale / sqrt(K)).
+  double init_scale = 1.0;
+  uint64_t seed = 1;
+
+  /// Optional user/item bias terms (Section IV-A):
+  ///   P[r_ui = 1] = 1 - exp(-<f_u,f_i> - b_u - b_i).
+  /// Implemented as two extra factor dimensions with the counterpart
+  /// coordinate frozen at 1, so every update path (serial, parallel,
+  /// fold-in) works unchanged. The paper reports biases did not improve
+  /// accuracy on its datasets; the ablation bench quantifies this.
+  bool use_biases = false;
+
+  /// Total factor dimensions including bias dimensions.
+  uint32_t TotalDims() const { return k + (use_biases ? 2 : 0); }
+
+  /// Record Q after every sweep (needed for the Fig. 8 convergence traces;
+  /// adds one O(nnz K) pass per sweep).
+  bool track_objective = true;
+
+  /// Validates ranges; returns InvalidArgument on nonsense.
+  Status Validate() const;
+};
+
+/// Per-sweep progress record.
+struct SweepStats {
+  uint32_t sweep = 0;
+  double objective = 0.0;        // Q after this sweep (if tracked)
+  double seconds_elapsed = 0.0;  // wall clock since training start
+};
+
+/// Training output: the fitted model plus the convergence trace.
+struct OcularFitResult {
+  OcularModel model;
+  std::vector<SweepStats> trace;
+  uint32_t sweeps_run = 0;
+  bool converged = false;
+};
+
+/// Fits the OCuLaR (or R-OCuLaR) model to a binary interaction matrix by
+/// cyclic block coordinate descent with single projected-gradient-step
+/// block updates (Section IV-B, IV-D). Cost per sweep: O(nnz·K + (n_u+n_i)·K).
+///
+/// The trainer owns the Σ_u f_u / Σ_i f_i precomputation trick: the
+/// unknowns part of every block gradient is formed from column sums minus
+/// the positive entries' factors, never by touching the zero cells.
+class OcularTrainer {
+ public:
+  explicit OcularTrainer(OcularConfig config) : config_(std::move(config)) {}
+
+  const OcularConfig& config() const { return config_; }
+
+  /// Trains from scratch on `interactions`.
+  Result<OcularFitResult> Fit(const CsrMatrix& interactions) const;
+
+  /// Trains starting from an existing model (warm start). The model shape
+  /// must match `interactions` and config().k.
+  Result<OcularFitResult> FitFrom(const CsrMatrix& interactions,
+                                  OcularModel initial) const;
+
+  /// Computes the R-OCuLaR per-user weights w_u for `interactions`
+  /// (kAbsolute returns all-ones).
+  std::vector<double> UserWeights(const CsrMatrix& interactions) const;
+
+ private:
+  OcularConfig config_;
+};
+
+namespace internal {
+
+/// One projected-gradient update of a single factor row, shared by the
+/// serial trainer and the parallel executor. Updates `f` in place.
+///
+/// `neighbors`   — positive counterparts of this row (users of an item, or
+///                 items of a user);
+/// `other`       — the opposite factor matrix;
+/// `other_sums`  — column sums of `other` (Σ f over the opposite side);
+/// `pos_weight`  — weight multiplying every positive log-likelihood term
+///                 (w_u for user rows under R-OCuLaR, 1 otherwise). For an
+///                 ITEM row under R-OCuLaR, pass `per_neighbor_weights`
+///                 instead (weights differ per positive example).
+/// `frozen_coord`— coordinate of `f` held fixed during the step (-1 for
+///                 none); used by the bias extension where the counterpart
+///                 bias coordinate is pinned at 1.
+/// Returns the number of backtracking steps taken (for diagnostics), or -1
+/// if the line search failed and the row was left unchanged.
+int ProjectedGradientStep(std::span<double> f,
+                          std::span<const uint32_t> neighbors,
+                          const DenseMatrix& other,
+                          std::span<const double> other_sums, double lambda,
+                          double pos_weight,
+                          std::span<const double> per_neighbor_weights,
+                          const OcularConfig& config,
+                          int frozen_coord = -1);
+
+/// The block objective Q(f) of eq. (5), up to terms constant in f:
+///   -Σ_n w_n log(1-e^{-<f_n, f>}) + <f, Σ_{r=0} f_n> + lambda ||f||².
+double BlockObjective(std::span<const double> f,
+                      std::span<const uint32_t> neighbors,
+                      const DenseMatrix& other,
+                      std::span<const double> complement_sum, double lambda,
+                      double pos_weight,
+                      std::span<const double> per_neighbor_weights);
+
+/// The Armijo backtracking line search along the projection arc, given a
+/// PRECOMPUTED gradient (shared by ProjectedGradientStep and the
+/// kernel-style trainer, whose gradients come from the per-positive
+/// decomposition of Section VI). Updates `f` in place on success; returns
+/// backtrack count or -1 on failure (f unchanged).
+int ArmijoStep(std::span<double> f, std::span<const double> grad,
+               std::span<const uint32_t> neighbors, const DenseMatrix& other,
+               std::span<const double> complement_sum, double lambda,
+               double pos_weight,
+               std::span<const double> per_neighbor_weights,
+               const OcularConfig& config);
+
+}  // namespace internal
+
+}  // namespace ocular
+
+#endif  // OCULAR_CORE_OCULAR_TRAINER_H_

@@ -1,0 +1,42 @@
+#include "data/dataset.h"
+
+#include "common/strings.h"
+
+namespace ocular {
+
+std::string Dataset::UserLabel(uint32_t u) const {
+  if (u < user_labels_.size()) return user_labels_[u];
+  return "user " + std::to_string(u);
+}
+
+std::string Dataset::ItemLabel(uint32_t i) const {
+  if (i < item_labels_.size()) return item_labels_[i];
+  return "item " + std::to_string(i);
+}
+
+std::string Dataset::Summary() const {
+  std::string out = name_.empty() ? std::string("<unnamed>") : name_;
+  out += ": " + FormatCount(num_users()) + " users x " +
+         FormatCount(num_items()) + " items, " +
+         FormatCount(num_interactions()) + " positives (density " +
+         FormatDouble(interactions_.Density() * 100.0, 3) + "%)";
+  return out;
+}
+
+Status Dataset::Validate() const {
+  if (!user_labels_.empty() && user_labels_.size() != num_users()) {
+    return Status::InvalidArgument("user label count mismatch: " +
+                                   std::to_string(user_labels_.size()) +
+                                   " labels vs " +
+                                   std::to_string(num_users()) + " users");
+  }
+  if (!item_labels_.empty() && item_labels_.size() != num_items()) {
+    return Status::InvalidArgument("item label count mismatch: " +
+                                   std::to_string(item_labels_.size()) +
+                                   " labels vs " +
+                                   std::to_string(num_items()) + " items");
+  }
+  return Status::OK();
+}
+
+}  // namespace ocular

@@ -1,0 +1,232 @@
+#include "data/loaders.h"
+
+#include <fstream>
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "sparse/coo.h"
+
+namespace ocular {
+
+namespace {
+
+/// Remaps arbitrary ids to dense [0, n) ids in first-seen order.
+class IdMap {
+ public:
+  uint32_t Get(int64_t raw) {
+    auto [it, inserted] = map_.try_emplace(raw, next_);
+    if (inserted) ++next_;
+    return it->second;
+  }
+  uint32_t size() const { return next_; }
+
+ private:
+  std::unordered_map<int64_t, uint32_t> map_;
+  uint32_t next_ = 0;
+};
+
+struct RawTriple {
+  int64_t user;
+  int64_t item;
+  double rating;
+};
+
+Result<Dataset> BuildFromTriples(const std::string& name,
+                                 const std::vector<RawTriple>& triples,
+                                 double threshold, bool compact_ids) {
+  CooBuilder coo;
+  coo.Reserve(triples.size());
+  IdMap users, items;
+  for (const auto& t : triples) {
+    if (t.rating < threshold) continue;
+    uint32_t u, i;
+    if (compact_ids) {
+      u = users.Get(t.user);
+      i = items.Get(t.item);
+    } else {
+      if (t.user < 0 || t.item < 0) {
+        return Status::ParseError("negative id with compact_ids=false");
+      }
+      u = static_cast<uint32_t>(t.user);
+      i = static_cast<uint32_t>(t.item);
+    }
+    coo.Add(u, i);
+  }
+  OCULAR_ASSIGN_OR_RETURN(auto entries, coo.Finalize());
+  Dataset ds(name, CsrMatrix::FromCoo(entries));
+  return ds;
+}
+
+}  // namespace
+
+Result<Dataset> LoadMovieLens100K(const std::string& path,
+                                  const LoaderOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::vector<RawTriple> triples;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view sv = Trim(line);
+    if (sv.empty()) continue;
+    auto fields = SplitAny(sv, "\t ");
+    if (fields.size() < 3) {
+      return Status::ParseError(path + ":" + std::to_string(lineno) +
+                                ": expected >=3 fields");
+    }
+    OCULAR_ASSIGN_OR_RETURN(int64_t u, ParseInt64(fields[0]));
+    OCULAR_ASSIGN_OR_RETURN(int64_t i, ParseInt64(fields[1]));
+    OCULAR_ASSIGN_OR_RETURN(double r, ParseDouble(fields[2]));
+    triples.push_back({u, i, r});
+  }
+  return BuildFromTriples("movielens-100k", triples,
+                          options.positive_threshold, options.compact_ids);
+}
+
+Result<Dataset> LoadMovieLens1M(const std::string& path,
+                                const LoaderOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::vector<RawTriple> triples;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view sv = Trim(line);
+    if (sv.empty()) continue;
+    auto fields = SplitSeparator(sv, "::");
+    if (fields.size() < 3) {
+      return Status::ParseError(path + ":" + std::to_string(lineno) +
+                                ": expected user::item::rating");
+    }
+    OCULAR_ASSIGN_OR_RETURN(int64_t u, ParseInt64(fields[0]));
+    OCULAR_ASSIGN_OR_RETURN(int64_t i, ParseInt64(fields[1]));
+    OCULAR_ASSIGN_OR_RETURN(double r, ParseDouble(fields[2]));
+    triples.push_back({u, i, r});
+  }
+  return BuildFromTriples("movielens-1m", triples, options.positive_threshold,
+                          options.compact_ids);
+}
+
+Result<Dataset> LoadNetflix(const std::vector<std::string>& paths,
+                            const LoaderOptions& options) {
+  std::vector<RawTriple> triples;
+  for (const auto& path : paths) {
+    std::ifstream in(path);
+    if (!in) return Status::IOError("cannot open '" + path + "'");
+    std::string line;
+    int64_t movie = -1;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      std::string_view sv = Trim(line);
+      if (sv.empty()) continue;
+      if (sv.back() == ':') {
+        OCULAR_ASSIGN_OR_RETURN(movie,
+                                ParseInt64(sv.substr(0, sv.size() - 1)));
+        continue;
+      }
+      if (movie < 0) {
+        return Status::ParseError(path + ":" + std::to_string(lineno) +
+                                  ": rating line before movie header");
+      }
+      auto fields = Split(sv, ',');
+      if (fields.size() < 2) {
+        return Status::ParseError(path + ":" + std::to_string(lineno) +
+                                  ": expected user,rating[,date]");
+      }
+      OCULAR_ASSIGN_OR_RETURN(int64_t u, ParseInt64(fields[0]));
+      OCULAR_ASSIGN_OR_RETURN(double r, ParseDouble(fields[1]));
+      triples.push_back({u, movie, r});
+    }
+  }
+  return BuildFromTriples("netflix", triples, options.positive_threshold,
+                          options.compact_ids);
+}
+
+Result<Dataset> LoadCsv(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::string line;
+  size_t lineno = 0;
+
+  if (options.line_per_user) {
+    // CiteULike users.dat style: line u holds the items of user u. The first
+    // token of each line is a count in the original format; we accept both
+    // "count item item ..." and plain "item item ..." by treating a first
+    // token equal to the remaining token count as a count.
+    CooBuilder coo;
+    uint32_t user = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      std::string_view sv = Trim(line);
+      if (!sv.empty() && options.comment_char != '\0' &&
+          sv.front() == options.comment_char) {
+        continue;
+      }
+      auto fields = SplitAny(sv, " \t,");
+      size_t start = 0;
+      if (fields.size() >= 2) {
+        auto head = ParseInt64(fields[0]);
+        if (head.ok() && static_cast<size_t>(head.value()) ==
+                             fields.size() - 1) {
+          start = 1;  // leading count token
+        }
+      }
+      for (size_t f = start; f < fields.size(); ++f) {
+        OCULAR_ASSIGN_OR_RETURN(int64_t item, ParseInt64(fields[f]));
+        if (item < 0) return Status::ParseError("negative item id");
+        coo.Add(user, static_cast<uint32_t>(item));
+      }
+      ++user;  // empty lines still advance the user index
+    }
+    OCULAR_ASSIGN_OR_RETURN(auto entries, coo.Finalize(user, 0));
+    return Dataset("csv:" + path, CsrMatrix::FromCoo(entries));
+  }
+
+  std::vector<RawTriple> triples;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view sv = Trim(line);
+    if (sv.empty()) continue;
+    if (options.comment_char != '\0' && sv.front() == options.comment_char) {
+      continue;
+    }
+    auto fields = options.delimiter == ' ' ? SplitAny(sv, " \t")
+                                           : Split(sv, options.delimiter);
+    if (fields.size() < 2) {
+      return Status::ParseError(path + ":" + std::to_string(lineno) +
+                                ": expected at least user, item");
+    }
+    OCULAR_ASSIGN_OR_RETURN(int64_t u, ParseInt64(fields[0]));
+    OCULAR_ASSIGN_OR_RETURN(int64_t i, ParseInt64(fields[1]));
+    double r = options.positive_threshold;  // default: row is a positive
+    if (options.rating_column >= 0) {
+      if (static_cast<size_t>(options.rating_column) >= fields.size()) {
+        return Status::ParseError(path + ":" + std::to_string(lineno) +
+                                  ": rating column out of range");
+      }
+      OCULAR_ASSIGN_OR_RETURN(r, ParseDouble(fields[options.rating_column]));
+    }
+    triples.push_back({u, i, r});
+  }
+  return BuildFromTriples("csv:" + path, triples, options.positive_threshold,
+                          options.compact_ids);
+}
+
+Status SaveCsv(const Dataset& dataset, const std::string& path,
+               char delimiter) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  const CsrMatrix& m = dataset.interactions();
+  for (uint32_t u = 0; u < m.num_rows(); ++u) {
+    for (uint32_t i : m.Row(u)) {
+      out << u << delimiter << i << '\n';
+    }
+  }
+  if (!out) return Status::IOError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace ocular

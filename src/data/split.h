@@ -1,0 +1,46 @@
+#ifndef OCULAR_DATA_SPLIT_H_
+#define OCULAR_DATA_SPLIT_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "sparse/csr.h"
+
+namespace ocular {
+
+/// A train/test partition of the positive entries of an interaction matrix.
+/// Both halves keep the full (num_users x num_items) shape so factor indices
+/// line up.
+struct TrainTestSplit {
+  CsrMatrix train;
+  CsrMatrix test;
+};
+
+/// Randomly assigns each positive entry to train with probability
+/// `train_fraction` (the paper's 75/25 protocol, Section VII-B.2).
+/// Users whose positives all land in one side simply have an empty row in
+/// the other; the evaluator skips users with no test positives.
+Result<TrainTestSplit> SplitInteractions(const CsrMatrix& interactions,
+                                         double train_fraction, Rng* rng);
+
+/// Leave-k-out: for each user with more than `k` positives, move exactly
+/// `k` uniformly chosen positives to test. Users with <= k positives stay
+/// entirely in train.
+Result<TrainTestSplit> LeaveKOut(const CsrMatrix& interactions, uint32_t k,
+                                 Rng* rng);
+
+/// K disjoint folds over the positive entries, for cross-validation.
+/// Fold f's test set is fold f; its train set is everything else.
+Result<std::vector<TrainTestSplit>> KFoldSplits(const CsrMatrix& interactions,
+                                                uint32_t num_folds, Rng* rng);
+
+/// Uniformly subsamples `fraction` of the positive entries (used by the
+/// Fig. 7 scalability experiment: "increasing fractions of the Netflix
+/// dataset, chosen uniformly").
+Result<CsrMatrix> SampleFraction(const CsrMatrix& interactions,
+                                 double fraction, Rng* rng);
+
+}  // namespace ocular
+
+#endif  // OCULAR_DATA_SPLIT_H_

@@ -1,0 +1,80 @@
+#include "data/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace ocular {
+
+DegreeSummary SummarizeDegrees(const std::vector<uint32_t>& degrees) {
+  DegreeSummary out;
+  if (degrees.empty()) return out;
+  std::vector<uint32_t> sorted = degrees;
+  std::sort(sorted.begin(), sorted.end());
+  out.min = sorted.front();
+  out.max = sorted.back();
+  double total = 0.0;
+  for (uint32_t d : sorted) {
+    total += d;
+    if (d == 0) ++out.zeros;
+  }
+  const size_t n = sorted.size();
+  out.mean = total / static_cast<double>(n);
+  out.median = (n % 2 == 1)
+                   ? sorted[n / 2]
+                   : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  out.p90 = sorted[static_cast<size_t>(0.9 * (n - 1))];
+  // Gini via the sorted-index identity:
+  //   G = (2 Σ_i i·x_(i) / (n Σ x)) − (n + 1) / n,  i = 1..n.
+  if (total > 0) {
+    double weighted = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      weighted += static_cast<double>(i + 1) * sorted[i];
+    }
+    out.gini = 2.0 * weighted / (static_cast<double>(n) * total) -
+               (static_cast<double>(n) + 1.0) / static_cast<double>(n);
+  }
+  return out;
+}
+
+DatasetStats ComputeDatasetStats(const CsrMatrix& interactions) {
+  DatasetStats out;
+  out.num_users = interactions.num_rows();
+  out.num_items = interactions.num_cols();
+  out.num_positives = interactions.nnz();
+  out.density = interactions.Density();
+  std::vector<uint32_t> user_degrees(interactions.num_rows());
+  for (uint32_t u = 0; u < interactions.num_rows(); ++u) {
+    user_degrees[u] = interactions.RowDegree(u);
+  }
+  out.user_degrees = SummarizeDegrees(user_degrees);
+  out.item_degrees = SummarizeDegrees(interactions.ColumnDegrees());
+  return out;
+}
+
+namespace {
+
+void AppendSummary(std::ostringstream* out, const char* label,
+                   const DegreeSummary& s) {
+  *out << "  " << label << ": min " << s.min << ", median "
+       << FormatDouble(s.median, 1) << ", mean " << FormatDouble(s.mean, 1)
+       << ", p90 " << FormatDouble(s.p90, 1) << ", max " << s.max
+       << ", gini " << FormatDouble(s.gini, 3) << ", zeros " << s.zeros
+       << "\n";
+}
+
+}  // namespace
+
+std::string RenderDatasetStats(const DatasetStats& stats) {
+  std::ostringstream out;
+  out << "users " << FormatCount(stats.num_users) << ", items "
+      << FormatCount(stats.num_items) << ", positives "
+      << FormatCount(stats.num_positives) << " (density "
+      << FormatDouble(stats.density * 100.0, 3) << "%)\n";
+  AppendSummary(&out, "user degrees", stats.user_degrees);
+  AppendSummary(&out, "item degrees", stats.item_degrees);
+  return out.str();
+}
+
+}  // namespace ocular

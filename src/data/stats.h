@@ -1,0 +1,48 @@
+#ifndef OCULAR_DATA_STATS_H_
+#define OCULAR_DATA_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.h"
+
+namespace ocular {
+
+/// Five-number-plus summary of a degree distribution.
+struct DegreeSummary {
+  uint32_t min = 0;
+  uint32_t max = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  /// Gini coefficient of the degrees — 0 = uniform, ->1 = concentrated
+  /// (popularity skew).
+  double gini = 0.0;
+  /// Entities with degree zero (users with no purchases / items never
+  /// bought).
+  uint32_t zeros = 0;
+};
+
+/// Summarizes a degree vector.
+DegreeSummary SummarizeDegrees(const std::vector<uint32_t>& degrees);
+
+/// Dataset-level statistics, the Section VII-A style dataset description.
+struct DatasetStats {
+  uint32_t num_users = 0;
+  uint32_t num_items = 0;
+  size_t num_positives = 0;
+  double density = 0.0;
+  DegreeSummary user_degrees;
+  DegreeSummary item_degrees;
+};
+
+/// Computes the stats of an interaction matrix.
+DatasetStats ComputeDatasetStats(const CsrMatrix& interactions);
+
+/// Renders the stats as a readable multi-line report.
+std::string RenderDatasetStats(const DatasetStats& stats);
+
+}  // namespace ocular
+
+#endif  // OCULAR_DATA_STATS_H_

@@ -1,0 +1,71 @@
+#include "eval/cross_validation.h"
+
+#include <cmath>
+
+#include "common/timer.h"
+#include "eval/metrics.h"
+
+namespace ocular {
+
+Result<FoldMetrics> CrossValidate(const RecommenderFactory& factory,
+                                  const GridPoint& point,
+                                  const CsrMatrix& interactions,
+                                  uint32_t num_folds, uint32_t m, Rng* rng) {
+  if (!factory) return Status::InvalidArgument("null factory");
+  OCULAR_ASSIGN_OR_RETURN(auto folds,
+                          KFoldSplits(interactions, num_folds, rng));
+  FoldMetrics out;
+  for (const auto& fold : folds) {
+    std::unique_ptr<Recommender> rec = factory(point);
+    if (rec == nullptr) return Status::Internal("factory returned null");
+    OCULAR_RETURN_IF_ERROR(rec->Fit(fold.train));
+    OCULAR_ASSIGN_OR_RETURN(
+        MetricsAtM metrics, EvaluateRankingAtM(*rec, fold.train, fold.test, m));
+    out.recalls.push_back(metrics.recall);
+    out.maps.push_back(metrics.map);
+  }
+  for (size_t f = 0; f < out.recalls.size(); ++f) {
+    out.mean_recall += out.recalls[f];
+    out.mean_map += out.maps[f];
+  }
+  out.mean_recall /= static_cast<double>(out.recalls.size());
+  out.mean_map /= static_cast<double>(out.maps.size());
+  double var = 0.0;
+  for (double r : out.recalls) {
+    var += (r - out.mean_recall) * (r - out.mean_recall);
+  }
+  out.stddev_recall =
+      std::sqrt(var / static_cast<double>(out.recalls.size()));
+  return out;
+}
+
+Result<GridSearchResult> CrossValidatedGridSearch(
+    const RecommenderFactory& factory, const std::vector<uint32_t>& ks,
+    const std::vector<double>& lambdas, const CsrMatrix& interactions,
+    uint32_t num_folds, uint32_t m, Rng* rng) {
+  if (ks.empty() || lambdas.empty()) {
+    return Status::InvalidArgument("empty grid");
+  }
+  GridSearchResult result;
+  result.cells.reserve(ks.size() * lambdas.size());
+  for (double lambda : lambdas) {
+    for (uint32_t k : ks) {
+      GridPoint point{k, lambda};
+      Stopwatch watch;
+      OCULAR_ASSIGN_OR_RETURN(
+          FoldMetrics fm,
+          CrossValidate(factory, point, interactions, num_folds, m, rng));
+      result.cells.push_back(GridCell{point, fm.mean_recall, fm.mean_map,
+                                      watch.ElapsedSeconds()});
+    }
+  }
+  result.best_index = 0;
+  for (size_t i = 1; i < result.cells.size(); ++i) {
+    if (result.cells[i].recall > result.cells[result.best_index].recall) {
+      result.best_index = i;
+    }
+  }
+  return result;
+}
+
+}  // namespace ocular

@@ -1,0 +1,41 @@
+#ifndef OCULAR_EVAL_CROSS_VALIDATION_H_
+#define OCULAR_EVAL_CROSS_VALIDATION_H_
+
+#include "common/rng.h"
+#include "data/split.h"
+#include "eval/grid_search.h"
+
+namespace ocular {
+
+/// K-fold cross-validated hyper-parameter selection — the procedure the
+/// paper prescribes for choosing K and lambda (Section IV-B: "K and λ can
+/// be determined from the data via cross-validation").
+///
+/// For each (K, lambda) grid point, trains on each fold's training part
+/// and evaluates recall@m / MAP@m on the held-out part; the cell metrics
+/// are fold averages. Returns the same GridSearchResult shape as the
+/// single-split GridSearch so heatmap rendering and best-cell selection
+/// are shared.
+Result<GridSearchResult> CrossValidatedGridSearch(
+    const RecommenderFactory& factory, const std::vector<uint32_t>& ks,
+    const std::vector<double>& lambdas, const CsrMatrix& interactions,
+    uint32_t num_folds, uint32_t m, Rng* rng);
+
+/// Per-fold metrics of a single configuration (for variance reporting).
+struct FoldMetrics {
+  std::vector<double> recalls;  // one per fold
+  std::vector<double> maps;
+  double mean_recall = 0.0;
+  double mean_map = 0.0;
+  double stddev_recall = 0.0;
+};
+
+/// Evaluates one factory configuration across folds.
+Result<FoldMetrics> CrossValidate(const RecommenderFactory& factory,
+                                  const GridPoint& point,
+                                  const CsrMatrix& interactions,
+                                  uint32_t num_folds, uint32_t m, Rng* rng);
+
+}  // namespace ocular
+
+#endif  // OCULAR_EVAL_CROSS_VALIDATION_H_

@@ -1,0 +1,101 @@
+#include "eval/grid_search.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/strings.h"
+#include "common/timer.h"
+
+namespace ocular {
+
+Result<GridSearchResult> GridSearch(const RecommenderFactory& factory,
+                                    const std::vector<uint32_t>& ks,
+                                    const std::vector<double>& lambdas,
+                                    const CsrMatrix& train,
+                                    const CsrMatrix& validation, uint32_t m) {
+  if (ks.empty() || lambdas.empty()) {
+    return Status::InvalidArgument("empty grid");
+  }
+  if (!factory) return Status::InvalidArgument("null factory");
+  GridSearchResult result;
+  result.cells.reserve(ks.size() * lambdas.size());
+  for (double lambda : lambdas) {
+    for (uint32_t k : ks) {
+      GridPoint point{k, lambda};
+      std::unique_ptr<Recommender> rec = factory(point);
+      if (rec == nullptr) {
+        return Status::Internal("factory returned null recommender");
+      }
+      Stopwatch watch;
+      OCULAR_RETURN_IF_ERROR(rec->Fit(train));
+      const double train_seconds = watch.ElapsedSeconds();
+      OCULAR_ASSIGN_OR_RETURN(MetricsAtM metrics,
+                              EvaluateRankingAtM(*rec, train, validation, m));
+      result.cells.push_back(
+          GridCell{point, metrics.recall, metrics.map, train_seconds});
+    }
+  }
+  result.best_index = 0;
+  for (size_t i = 1; i < result.cells.size(); ++i) {
+    if (result.cells[i].recall > result.cells[result.best_index].recall) {
+      result.best_index = i;
+    }
+  }
+  return result;
+}
+
+std::string RenderGridHeatmap(const GridSearchResult& result) {
+  // Collect axes in encounter order.
+  std::vector<uint32_t> ks;
+  std::vector<double> lambdas;
+  for (const auto& cell : result.cells) {
+    if (std::find(ks.begin(), ks.end(), cell.point.k) == ks.end()) {
+      ks.push_back(cell.point.k);
+    }
+    if (std::find(lambdas.begin(), lambdas.end(), cell.point.lambda) ==
+        lambdas.end()) {
+      lambdas.push_back(cell.point.lambda);
+    }
+  }
+  double lo = 1.0, hi = 0.0;
+  for (const auto& cell : result.cells) {
+    lo = std::min(lo, cell.recall);
+    hi = std::max(hi, cell.recall);
+  }
+  auto find_cell = [&](uint32_t k, double lambda) -> const GridCell* {
+    for (const auto& cell : result.cells) {
+      if (cell.point.k == k && cell.point.lambda == lambda) return &cell;
+    }
+    return nullptr;
+  };
+
+  std::ostringstream out;
+  out << "recall@M heatmap (rows = lambda, cols = K); '9' = hottest\n";
+  out << "lambda\\K  ";
+  for (uint32_t k : ks) out << k << "\t";
+  out << "\n";
+  for (double lambda : lambdas) {
+    out << FormatDouble(lambda, 1) << "\t  ";
+    for (uint32_t k : ks) {
+      const GridCell* cell = find_cell(k, lambda);
+      if (cell == nullptr) {
+        out << ".\t";
+        continue;
+      }
+      int glyph = 0;
+      if (hi > lo) {
+        glyph = static_cast<int>(9.0 * (cell->recall - lo) / (hi - lo) + 0.5);
+      }
+      out << glyph << " " << FormatDouble(cell->recall, 3) << "\t";
+    }
+    out << "\n";
+  }
+  const GridCell& best = result.best();
+  out << "best: K=" << best.point.k
+      << " lambda=" << FormatDouble(best.point.lambda, 2)
+      << " recall=" << FormatDouble(best.recall, 4) << "\n";
+  return out.str();
+}
+
+}  // namespace ocular

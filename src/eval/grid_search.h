@@ -1,0 +1,57 @@
+#ifndef OCULAR_EVAL_GRID_SEARCH_H_
+#define OCULAR_EVAL_GRID_SEARCH_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "eval/metrics.h"
+#include "eval/recommender.h"
+
+namespace ocular {
+
+/// One hyper-parameter point of the (K, lambda) grid.
+struct GridPoint {
+  uint32_t k = 0;
+  double lambda = 0.0;
+};
+
+/// Result of evaluating one grid point.
+struct GridCell {
+  GridPoint point;
+  double recall = 0.0;
+  double map = 0.0;
+  double train_seconds = 0.0;
+};
+
+/// Builds a fresh recommender for a grid point (e.g. an OcularRecommender
+/// with that K and lambda).
+using RecommenderFactory =
+    std::function<std::unique_ptr<Recommender>(const GridPoint&)>;
+
+/// Cross-validated grid search over (K, lambda), the hyper-parameter
+/// procedure of Sections IV-B and VII-C / Figure 9. Trains one model per
+/// grid point on `train`, evaluates recall@m / MAP@m on `validation`, and
+/// returns all cells plus the argmax-by-recall index.
+struct GridSearchResult {
+  std::vector<GridCell> cells;
+  size_t best_index = 0;  // argmax recall
+
+  const GridCell& best() const { return cells[best_index]; }
+};
+
+Result<GridSearchResult> GridSearch(const RecommenderFactory& factory,
+                                    const std::vector<uint32_t>& ks,
+                                    const std::vector<double>& lambdas,
+                                    const CsrMatrix& train,
+                                    const CsrMatrix& validation, uint32_t m);
+
+/// Renders the grid as a text heatmap (rows = lambda, cols = K), the
+/// Figure 9 artifact. Values are recall@m scaled to [0,9] glyphs plus the
+/// raw numbers.
+std::string RenderGridHeatmap(const GridSearchResult& result);
+
+}  // namespace ocular
+
+#endif  // OCULAR_EVAL_GRID_SEARCH_H_

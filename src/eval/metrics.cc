@@ -1,0 +1,193 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ocular {
+
+namespace {
+
+bool IsRelevant(std::span<const uint32_t> relevant_sorted, uint32_t item) {
+  return std::binary_search(relevant_sorted.begin(), relevant_sorted.end(),
+                            item);
+}
+
+}  // namespace
+
+double RecallAtM(std::span<const ScoredItem> ranked, uint32_t m,
+                 std::span<const uint32_t> relevant_sorted) {
+  if (relevant_sorted.empty()) return 0.0;
+  const size_t top = std::min<size_t>(m, ranked.size());
+  size_t hits = 0;
+  for (size_t r = 0; r < top; ++r) {
+    if (IsRelevant(relevant_sorted, ranked[r].item)) ++hits;
+  }
+  return static_cast<double>(hits) /
+         static_cast<double>(relevant_sorted.size());
+}
+
+double PrecisionAtM(std::span<const ScoredItem> ranked, uint32_t m,
+                    std::span<const uint32_t> relevant_sorted) {
+  if (m == 0) return 0.0;
+  const size_t top = std::min<size_t>(m, ranked.size());
+  size_t hits = 0;
+  for (size_t r = 0; r < top; ++r) {
+    if (IsRelevant(relevant_sorted, ranked[r].item)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(m);
+}
+
+double AveragePrecisionAtM(std::span<const ScoredItem> ranked, uint32_t m,
+                           std::span<const uint32_t> relevant_sorted) {
+  if (relevant_sorted.empty() || m == 0) return 0.0;
+  const size_t top = std::min<size_t>(m, ranked.size());
+  size_t hits = 0;
+  double ap = 0.0;
+  for (size_t r = 0; r < top; ++r) {
+    if (IsRelevant(relevant_sorted, ranked[r].item)) {
+      ++hits;
+      // Prec(r+1) at a position that holds a relevant item.
+      ap += static_cast<double>(hits) / static_cast<double>(r + 1);
+    }
+  }
+  const double denom = static_cast<double>(
+      std::min<size_t>(relevant_sorted.size(), m));
+  return ap / denom;
+}
+
+double NdcgAtM(std::span<const ScoredItem> ranked, uint32_t m,
+               std::span<const uint32_t> relevant_sorted) {
+  if (relevant_sorted.empty() || m == 0) return 0.0;
+  const size_t top = std::min<size_t>(m, ranked.size());
+  double dcg = 0.0;
+  for (size_t r = 0; r < top; ++r) {
+    if (IsRelevant(relevant_sorted, ranked[r].item)) {
+      dcg += 1.0 / std::log2(static_cast<double>(r) + 2.0);
+    }
+  }
+  const size_t ideal = std::min<size_t>(relevant_sorted.size(), m);
+  double idcg = 0.0;
+  for (size_t r = 0; r < ideal; ++r) {
+    idcg += 1.0 / std::log2(static_cast<double>(r) + 2.0);
+  }
+  return idcg > 0.0 ? dcg / idcg : 0.0;
+}
+
+double HitRateAtM(std::span<const ScoredItem> ranked, uint32_t m,
+                  std::span<const uint32_t> relevant_sorted) {
+  const size_t top = std::min<size_t>(m, ranked.size());
+  for (size_t r = 0; r < top; ++r) {
+    if (IsRelevant(relevant_sorted, ranked[r].item)) return 1.0;
+  }
+  return 0.0;
+}
+
+double ReciprocalRankAtM(std::span<const ScoredItem> ranked, uint32_t m,
+                         std::span<const uint32_t> relevant_sorted) {
+  const size_t top = std::min<size_t>(m, ranked.size());
+  for (size_t r = 0; r < top; ++r) {
+    if (IsRelevant(relevant_sorted, ranked[r].item)) {
+      return 1.0 / static_cast<double>(r + 1);
+    }
+  }
+  return 0.0;
+}
+
+Result<double> SampledAuc(const Recommender& rec, const CsrMatrix& train,
+                          const CsrMatrix& test,
+                          uint32_t samples_per_positive, Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  if (samples_per_positive == 0) {
+    return Status::InvalidArgument("samples_per_positive must be positive");
+  }
+  if (train.num_rows() != test.num_rows() ||
+      train.num_cols() != test.num_cols()) {
+    return Status::InvalidArgument("train/test shape mismatch");
+  }
+  double score = 0.0;
+  uint64_t trials = 0;
+  for (uint32_t u = 0; u < test.num_rows(); ++u) {
+    // Users whose knowns cover the catalog admit no negative samples.
+    if (train.RowDegree(u) + test.RowDegree(u) >= train.num_cols()) {
+      continue;
+    }
+    for (uint32_t i : test.Row(u)) {
+      const double si = rec.Score(u, i);
+      for (uint32_t s = 0; s < samples_per_positive; ++s) {
+        uint32_t j;
+        do {
+          j = static_cast<uint32_t>(rng->UniformInt(train.num_cols()));
+        } while (train.HasEntry(u, j) || test.HasEntry(u, j));
+        const double sj = rec.Score(u, j);
+        if (si > sj) {
+          score += 1.0;
+        } else if (si == sj) {
+          score += 0.5;
+        }
+        ++trials;
+      }
+    }
+  }
+  if (trials == 0) {
+    return Status::FailedPrecondition("no test positives to evaluate");
+  }
+  return score / static_cast<double>(trials);
+}
+
+Result<std::vector<MetricsAtM>> EvaluateRanking(
+    const Recommender& rec, const CsrMatrix& train, const CsrMatrix& test,
+    const std::vector<uint32_t>& cutoffs) {
+  if (cutoffs.empty()) return Status::InvalidArgument("cutoffs empty");
+  if (!std::is_sorted(cutoffs.begin(), cutoffs.end())) {
+    return Status::InvalidArgument("cutoffs must be ascending");
+  }
+  if (cutoffs.front() == 0) {
+    return Status::InvalidArgument("cutoffs must be positive");
+  }
+  if (train.num_rows() != test.num_rows() ||
+      train.num_cols() != test.num_cols()) {
+    return Status::InvalidArgument("train/test shape mismatch");
+  }
+  const uint32_t max_m = cutoffs.back();
+
+  std::vector<MetricsAtM> out(cutoffs.size());
+  for (size_t c = 0; c < cutoffs.size(); ++c) out[c].m = cutoffs[c];
+
+  for (uint32_t u = 0; u < test.num_rows(); ++u) {
+    auto relevant = test.Row(u);
+    if (relevant.empty()) continue;  // user has no test positives
+    auto ranked = rec.Recommend(u, max_m, train);
+    for (size_t c = 0; c < cutoffs.size(); ++c) {
+      const uint32_t m = cutoffs[c];
+      out[c].recall += RecallAtM(ranked, m, relevant);
+      out[c].map += AveragePrecisionAtM(ranked, m, relevant);
+      out[c].precision += PrecisionAtM(ranked, m, relevant);
+      out[c].ndcg += NdcgAtM(ranked, m, relevant);
+      out[c].hit_rate += HitRateAtM(ranked, m, relevant);
+      out[c].mrr += ReciprocalRankAtM(ranked, m, relevant);
+      ++out[c].num_users;
+    }
+  }
+  for (auto& row : out) {
+    if (row.num_users > 0) {
+      const double n = row.num_users;
+      row.recall /= n;
+      row.map /= n;
+      row.precision /= n;
+      row.ndcg /= n;
+      row.hit_rate /= n;
+      row.mrr /= n;
+    }
+  }
+  return out;
+}
+
+Result<MetricsAtM> EvaluateRankingAtM(const Recommender& rec,
+                                      const CsrMatrix& train,
+                                      const CsrMatrix& test, uint32_t m) {
+  OCULAR_ASSIGN_OR_RETURN(auto rows,
+                          EvaluateRanking(rec, train, test, {m}));
+  return rows.front();
+}
+
+}  // namespace ocular

@@ -1,0 +1,79 @@
+#ifndef OCULAR_EVAL_METRICS_H_
+#define OCULAR_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "eval/recommender.h"
+
+namespace ocular {
+
+/// recall@M for a single user (Section VII-B.1):
+///   |{test positives} ∩ {top-M recs}| / |{test positives}|.
+/// `relevant_sorted` must be ascending. Returns 0 when there are no
+/// relevant items (callers normally skip such users).
+double RecallAtM(std::span<const ScoredItem> ranked, uint32_t m,
+                 std::span<const uint32_t> relevant_sorted);
+
+/// precision@m: |relevant ∩ top-m| / m.
+double PrecisionAtM(std::span<const ScoredItem> ranked, uint32_t m,
+                    std::span<const uint32_t> relevant_sorted);
+
+/// AP@M for a single user, the paper's definition:
+///   Σ_{m=1..M} Prec(m) · 1{rec_m relevant} / min(|relevant|, M).
+double AveragePrecisionAtM(std::span<const ScoredItem> ranked, uint32_t m,
+                           std::span<const uint32_t> relevant_sorted);
+
+/// NDCG@M with binary gains (extra metric, not in the paper's tables).
+double NdcgAtM(std::span<const ScoredItem> ranked, uint32_t m,
+               std::span<const uint32_t> relevant_sorted);
+
+/// Hit-rate@M: 1 if any relevant item appears in the top-M.
+double HitRateAtM(std::span<const ScoredItem> ranked, uint32_t m,
+                  std::span<const uint32_t> relevant_sorted);
+
+/// Reciprocal rank of the first relevant item within the top-M (0 if
+/// none). The mean over users is MRR@M.
+double ReciprocalRankAtM(std::span<const ScoredItem> ranked, uint32_t m,
+                         std::span<const uint32_t> relevant_sorted);
+
+/// One row of metric averages at a cutoff M.
+struct MetricsAtM {
+  uint32_t m = 0;
+  double recall = 0.0;
+  double map = 0.0;
+  double precision = 0.0;
+  double ndcg = 0.0;
+  double hit_rate = 0.0;
+  double mrr = 0.0;
+  /// Number of users that contributed (>= 1 test positive).
+  uint32_t num_users = 0;
+};
+
+/// Evaluates `rec` against `test`, excluding `train` positives from the
+/// candidate lists, at each cutoff in `cutoffs` (must be non-empty,
+/// ascending). A single top-max(M) ranking per user is reused for all
+/// cutoffs. Users without test positives are skipped, per the paper.
+Result<std::vector<MetricsAtM>> EvaluateRanking(
+    const Recommender& rec, const CsrMatrix& train, const CsrMatrix& test,
+    const std::vector<uint32_t>& cutoffs);
+
+/// Convenience: single cutoff.
+Result<MetricsAtM> EvaluateRankingAtM(const Recommender& rec,
+                                      const CsrMatrix& train,
+                                      const CsrMatrix& test, uint32_t m);
+
+/// Sampled ranking AUC: for each test positive (u, i), draws
+/// `samples_per_positive` items unknown in BOTH train and test and counts
+/// how often Score(u, i) ranks above the unknown (ties count half). An
+/// uninformed model scores 0.5. This is the metric behind the library's
+/// model-recovery tests; the paper's tables use recall/MAP.
+Result<double> SampledAuc(const Recommender& rec, const CsrMatrix& train,
+                          const CsrMatrix& test,
+                          uint32_t samples_per_positive, Rng* rng);
+
+}  // namespace ocular
+
+#endif  // OCULAR_EVAL_METRICS_H_

@@ -1,0 +1,46 @@
+#include "eval/recommender.h"
+
+#include <algorithm>
+
+namespace ocular {
+
+std::vector<ScoredItem> TopM(const std::vector<double>& scores, uint32_t m,
+                             std::span<const uint32_t> exclude_sorted) {
+  std::vector<ScoredItem> heap;  // min-heap of the current best m
+  heap.reserve(m + 1);
+  auto worse = [](const ScoredItem& a, const ScoredItem& b) {
+    // Comparator for a min-heap where the *worst* kept item is on top.
+    // a is "greater" (better) than b if it has a higher score, or an equal
+    // score and a lower index.
+    if (a.score != b.score) return a.score > b.score;
+    return a.item < b.item;
+  };
+  size_t ex = 0;
+  for (uint32_t i = 0; i < scores.size(); ++i) {
+    while (ex < exclude_sorted.size() && exclude_sorted[ex] < i) ++ex;
+    if (ex < exclude_sorted.size() && exclude_sorted[ex] == i) continue;
+    ScoredItem cand{i, scores[i]};
+    if (heap.size() < m) {
+      heap.push_back(cand);
+      std::push_heap(heap.begin(), heap.end(), worse);
+    } else if (!heap.empty() && worse(cand, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), worse);
+      heap.back() = cand;
+      std::push_heap(heap.begin(), heap.end(), worse);
+    }
+  }
+  // sort_heap with a "better-than" comparator yields best-first order.
+  std::sort_heap(heap.begin(), heap.end(), worse);
+  return heap;
+}
+
+std::vector<ScoredItem> Recommender::Recommend(uint32_t u, uint32_t m,
+                                               const CsrMatrix& exclude) const {
+  std::vector<double> scores(num_items());
+  for (uint32_t i = 0; i < scores.size(); ++i) scores[i] = Score(u, i);
+  std::span<const uint32_t> ex;
+  if (u < exclude.num_rows()) ex = exclude.Row(u);
+  return TopM(scores, m, ex);
+}
+
+}  // namespace ocular

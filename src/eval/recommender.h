@@ -1,0 +1,63 @@
+#ifndef OCULAR_EVAL_RECOMMENDER_H_
+#define OCULAR_EVAL_RECOMMENDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sparse/csr.h"
+
+namespace ocular {
+
+/// An item with a relevance score, as returned by Recommend().
+struct ScoredItem {
+  uint32_t item = 0;
+  double score = 0.0;
+
+  friend bool operator==(const ScoredItem& a, const ScoredItem& b) {
+    return a.item == b.item && a.score == b.score;
+  }
+};
+
+/// Abstract one-class recommender. All algorithms in the library (OCuLaR,
+/// R-OCuLaR, wALS, BPR, user/item kNN, popularity) implement this
+/// interface, which is what the evaluation harness and the benchmark
+/// drivers consume.
+class Recommender {
+ public:
+  virtual ~Recommender() = default;
+
+  /// Short display name for report tables ("OCuLaR", "wALS", ...).
+  virtual std::string name() const = 0;
+
+  /// Trains on a binary interaction matrix (rows = users, cols = items).
+  virtual Status Fit(const CsrMatrix& interactions) = 0;
+
+  /// Relevance score of item `i` for user `u`; higher means more relevant.
+  /// Only valid after a successful Fit(). Scores need not be probabilities;
+  /// only their per-user ordering matters to the evaluator.
+  virtual double Score(uint32_t u, uint32_t i) const = 0;
+
+  /// Top-`m` items for `u`, highest score first, excluding the stored
+  /// entries of `exclude` (pass the training matrix so only unknowns are
+  /// recommended, per Section IV-C). The default implementation scores all
+  /// items; subclasses may override with something faster.
+  virtual std::vector<ScoredItem> Recommend(uint32_t u, uint32_t m,
+                                            const CsrMatrix& exclude) const;
+
+  /// Number of items the recommender was fitted on.
+  virtual uint32_t num_items() const = 0;
+  /// Number of users the recommender was fitted on.
+  virtual uint32_t num_users() const = 0;
+};
+
+/// Selects the top-`m` entries of `scores` (index, score), excluding the
+/// indices present in `exclude_sorted` (ascending). Deterministic
+/// tie-break: lower index wins, matching a stable full sort.
+std::vector<ScoredItem> TopM(const std::vector<double>& scores, uint32_t m,
+                             std::span<const uint32_t> exclude_sorted);
+
+}  // namespace ocular
+
+#endif  // OCULAR_EVAL_RECOMMENDER_H_

@@ -1,0 +1,109 @@
+#include "graph/bigclam.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ocular {
+
+namespace {
+constexpr double kAffinityFloor = 1e-12;
+constexpr double kProbFloor = 1e-12;
+
+double LogLikelihood(const Graph& graph, const DenseMatrix& f) {
+  // Σ_edges log(1 − e^{−<fu,fv>}) − Σ_non-edges <fu,fv>, with the
+  // complement trick: Σ_{all pairs} <fu,fv> = |Σ_v f_v|² − Σ_v |f_v|²
+  // (over ordered pairs, halved) minus the edge part.
+  double edge_term = 0.0;
+  double edge_dots = 0.0;
+  for (uint32_t v = 0; v < graph.num_nodes(); ++v) {
+    auto fv = f.Row(v);
+    for (uint32_t w : graph.Neighbors(v)) {
+      if (w <= v) continue;  // each undirected edge once
+      const double dot = vec::Dot(fv, f.Row(w));
+      edge_dots += dot;
+      edge_term += std::log(std::max(-std::expm1(-dot), kProbFloor));
+    }
+  }
+  const std::vector<double> sums = f.ColumnSums();
+  double sum_sq = 0.0;
+  for (double s : sums) sum_sq += s * s;
+  double self_sq = 0.0;
+  for (uint32_t v = 0; v < f.rows(); ++v) {
+    self_sq += vec::SquaredNorm(f.Row(v));
+  }
+  const double all_pairs = 0.5 * (sum_sq - self_sq);
+  const double non_edge_dots = all_pairs - edge_dots;
+  return edge_term - non_edge_dots;
+}
+
+}  // namespace
+
+Result<BigClamResult> RunBigClam(const Graph& graph,
+                                 const BigClamConfig& config) {
+  if (config.k == 0) return Status::InvalidArgument("k must be positive");
+  if (config.learning_rate <= 0.0) {
+    return Status::InvalidArgument("learning_rate must be positive");
+  }
+  const uint32_t n = graph.num_nodes();
+  if (n == 0) return Status::InvalidArgument("empty graph");
+
+  Rng rng(config.seed);
+  BigClamResult out;
+  out.factors = DenseMatrix(n, config.k);
+  out.factors.FillUniform(&rng, 0.0,
+                          1.0 / std::sqrt(static_cast<double>(config.k)));
+  DenseMatrix& f = out.factors;
+
+  std::vector<double> grad(config.k);
+  double prev_ll = LogLikelihood(graph, f);
+  for (uint32_t it = 0; it < config.max_iterations; ++it) {
+    std::vector<double> sums = f.ColumnSums();  // Σ_v f_v
+    for (uint32_t v = 0; v < n; ++v) {
+      auto fv = f.Row(v);
+      // Gradient of LL w.r.t. f_v:
+      //   Σ_{w∈N(v)} f_w / (e^{<fv,fw>} − 1)  −  Σ_{w∉N(v), w≠v} f_w.
+      for (uint32_t c = 0; c < config.k; ++c) {
+        grad[c] = -(sums[c] - fv[c]);
+      }
+      for (uint32_t w : graph.Neighbors(v)) {
+        auto fw = f.Row(w);
+        const double dot = std::max(vec::Dot(fv, fw), kAffinityFloor);
+        const double coef = 1.0 / std::expm1(dot) + 1.0;  // ratio + re-add
+        for (uint32_t c = 0; c < config.k; ++c) grad[c] += coef * fw[c];
+      }
+      // In-place row update; keep Σ_v f_v consistent incrementally
+      // (BIGCLAM's sequential update semantics).
+      for (uint32_t c = 0; c < config.k; ++c) {
+        const double old = fv[c];
+        fv[c] = std::max(0.0, old + config.learning_rate * grad[c]);
+        sums[c] += fv[c] - old;
+      }
+    }
+    const double ll = LogLikelihood(graph, f);
+    out.log_likelihood = ll;
+    const double rel =
+        std::abs(ll - prev_ll) / std::max(std::abs(prev_ll), 1e-12);
+    if (rel < config.tolerance) break;
+    prev_ll = ll;
+  }
+
+  // Membership threshold.
+  double delta = config.membership_threshold;
+  if (delta <= 0.0) {
+    const double nn = static_cast<double>(n);
+    const double eps =
+        std::min(0.999, 2.0 * static_cast<double>(graph.num_edges()) /
+                            std::max(1.0, nn * (nn - 1.0)));
+    delta = std::sqrt(-std::log(1.0 - eps));
+  }
+  out.threshold = delta;
+  out.communities.assign(config.k, {});
+  for (uint32_t v = 0; v < n; ++v) {
+    for (uint32_t c = 0; c < config.k; ++c) {
+      if (f.At(v, c) > delta) out.communities[c].push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace ocular

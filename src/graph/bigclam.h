@@ -1,0 +1,47 @@
+#ifndef OCULAR_GRAPH_BIGCLAM_H_
+#define OCULAR_GRAPH_BIGCLAM_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "sparse/dense.h"
+
+namespace ocular {
+
+/// BIGCLAM options (Yang & Leskovec, WSDM 2013).
+struct BigClamConfig {
+  /// Number of communities.
+  uint32_t k = 4;
+  uint32_t max_iterations = 100;
+  double learning_rate = 0.05;
+  /// Stop when the relative log-likelihood improvement falls below this.
+  double tolerance = 1e-5;
+  uint64_t seed = 1;
+  /// Membership threshold δ; <= 0 selects the Yang–Leskovec default
+  /// δ = sqrt(-log(1 - ε)) with ε = 2|E| / (N(N−1)).
+  double membership_threshold = 0.0;
+};
+
+/// BIGCLAM output: non-negative node-community affiliations.
+struct BigClamResult {
+  DenseMatrix factors;  // num_nodes x K
+  /// communities[c] = nodes whose affiliation with c exceeds the threshold.
+  std::vector<std::vector<uint32_t>> communities;
+  double log_likelihood = 0.0;
+  double threshold = 0.0;
+};
+
+/// Cluster Affiliation Model for Big Networks: maximizes
+///   Σ_{(u,v)∈E} log(1 − e^{−<F_u,F_v>}) − Σ_{(u,v)∉E} <F_u,F_v>
+/// over non-negative F by projected gradient ascent with the Σ F row-sum
+/// trick. This is the *unregularized, unipartite* ancestor of OCuLaR
+/// (Section II): the paper's Figure 2 shows it failing to recover the
+/// overlapping co-cluster structure of the bipartite toy example.
+Result<BigClamResult> RunBigClam(const Graph& graph,
+                                 const BigClamConfig& config);
+
+}  // namespace ocular
+
+#endif  // OCULAR_GRAPH_BIGCLAM_H_

@@ -1,0 +1,60 @@
+#ifndef OCULAR_GRAPH_GRAPH_H_
+#define OCULAR_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "sparse/csr.h"
+
+namespace ocular {
+
+/// Undirected graph in adjacency-list form (unit edge weights).
+///
+/// The one-class interaction matrix is viewed as a bipartite graph:
+/// node u ∈ [0, n_u) is user u; node n_u + i is item i; every positive
+/// r_ui = 1 is an edge (Section II, "Community detection"). Community
+/// detection baselines (Modularity / BIGCLAM, Figure 2) run on this view.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds the bipartite user-item graph of an interaction matrix.
+  static Graph FromBipartite(const CsrMatrix& interactions);
+
+  /// Builds from an explicit undirected edge list over `num_nodes` nodes.
+  /// Self-loops are dropped; duplicate edges collapsed.
+  static Result<Graph> FromEdges(
+      uint32_t num_nodes,
+      const std::vector<std::pair<uint32_t, uint32_t>>& edges);
+
+  uint32_t num_nodes() const { return adjacency_.num_rows(); }
+  /// Number of undirected edges.
+  size_t num_edges() const { return adjacency_.nnz() / 2; }
+
+  std::span<const uint32_t> Neighbors(uint32_t v) const {
+    return adjacency_.Row(v);
+  }
+  uint32_t Degree(uint32_t v) const { return adjacency_.RowDegree(v); }
+  bool HasEdge(uint32_t a, uint32_t b) const {
+    return adjacency_.HasEntry(a, b);
+  }
+
+  /// For a bipartite graph built by FromBipartite: number of user nodes
+  /// (items start at this offset).
+  uint32_t bipartite_offset() const { return bipartite_offset_; }
+
+ private:
+  CsrMatrix adjacency_;  // symmetric pattern
+  uint32_t bipartite_offset_ = 0;
+};
+
+/// Newman modularity of a node->community assignment (unit weights):
+///   Q = Σ_c [ e_c / m − (d_c / 2m)² ]
+/// where e_c = intra-community edges, d_c = total degree of c, m = |E|.
+double Modularity(const Graph& graph, const std::vector<uint32_t>& community);
+
+}  // namespace ocular
+
+#endif  // OCULAR_GRAPH_GRAPH_H_

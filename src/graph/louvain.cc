@@ -1,0 +1,173 @@
+#include "graph/louvain.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+namespace ocular {
+
+namespace {
+
+/// Weighted undirected graph used for the aggregated levels.
+struct WeightedGraph {
+  // adj[v] = (neighbor, weight); self-loops allowed (weight counted once
+  // in the list, twice toward the node's weighted degree).
+  std::vector<std::vector<std::pair<uint32_t, double>>> adj;
+  double two_m = 0.0;  // Σ_v weighted degree = 2m
+
+  uint32_t size() const { return static_cast<uint32_t>(adj.size()); }
+
+  double WeightedDegree(uint32_t v) const {
+    double d = 0.0;
+    for (const auto& [w, wt] : adj[v]) d += (w == v) ? 2.0 * wt : wt;
+    return d;
+  }
+};
+
+WeightedGraph FromGraph(const Graph& g) {
+  WeightedGraph wg;
+  wg.adj.resize(g.num_nodes());
+  for (uint32_t v = 0; v < g.num_nodes(); ++v) {
+    for (uint32_t w : g.Neighbors(v)) {
+      wg.adj[v].emplace_back(w, 1.0);
+    }
+  }
+  wg.two_m = 0.0;
+  for (uint32_t v = 0; v < wg.size(); ++v) wg.two_m += wg.WeightedDegree(v);
+  return wg;
+}
+
+/// One Louvain level: greedy local moves until no gain. Returns the
+/// node->community map (renumbered to be dense) and whether anything moved.
+bool LocalMoves(const WeightedGraph& g, const LouvainConfig& config, Rng* rng,
+                std::vector<uint32_t>* community) {
+  const uint32_t n = g.size();
+  community->resize(n);
+  std::iota(community->begin(), community->end(), 0u);
+
+  std::vector<double> degree(n);
+  for (uint32_t v = 0; v < n; ++v) degree[v] = g.WeightedDegree(v);
+  // sum_tot[c] = total weighted degree of community c.
+  std::vector<double> sum_tot = degree;
+
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  rng->Shuffle(&order);
+
+  bool any_move = false;
+  for (uint32_t pass = 0; pass < config.max_passes; ++pass) {
+    uint32_t moves = 0;
+    for (uint32_t v : order) {
+      const uint32_t old_c = (*community)[v];
+      // Weight from v to each neighboring community.
+      std::unordered_map<uint32_t, double> to_comm;
+      double self_loops = 0.0;
+      for (const auto& [w, wt] : g.adj[v]) {
+        if (w == v) {
+          self_loops += wt;
+          continue;
+        }
+        to_comm[(*community)[w]] += wt;
+      }
+      // Remove v from its community.
+      sum_tot[old_c] -= degree[v];
+      // Best destination by modularity gain:
+      //   ΔQ ∝ k_{v,in}(c) − sum_tot(c) · k_v / 2m.
+      uint32_t best_c = old_c;
+      double best_gain = to_comm.count(old_c)
+                             ? to_comm[old_c] -
+                                   sum_tot[old_c] * degree[v] / g.two_m
+                             : -sum_tot[old_c] * degree[v] / g.two_m;
+      for (const auto& [c, k_in] : to_comm) {
+        if (c == old_c) continue;
+        const double gain = k_in - sum_tot[c] * degree[v] / g.two_m;
+        if (gain > best_gain + config.min_gain) {
+          best_gain = gain;
+          best_c = c;
+        }
+      }
+      (*community)[v] = best_c;
+      sum_tot[best_c] += degree[v];
+      if (best_c != old_c) {
+        ++moves;
+        any_move = true;
+      }
+    }
+    if (moves == 0) break;
+  }
+
+  // Renumber communities densely.
+  std::unordered_map<uint32_t, uint32_t> renumber;
+  for (auto& c : *community) {
+    auto [it, inserted] =
+        renumber.try_emplace(c, static_cast<uint32_t>(renumber.size()));
+    c = it->second;
+  }
+  return any_move;
+}
+
+/// Collapses communities into super-nodes.
+WeightedGraph Aggregate(const WeightedGraph& g,
+                        const std::vector<uint32_t>& community) {
+  uint32_t num_comms = 0;
+  for (uint32_t c : community) num_comms = std::max(num_comms, c + 1);
+  WeightedGraph out;
+  out.adj.resize(num_comms);
+  std::vector<std::unordered_map<uint32_t, double>> acc(num_comms);
+  for (uint32_t v = 0; v < g.size(); ++v) {
+    const uint32_t cv = community[v];
+    for (const auto& [w, wt] : g.adj[v]) {
+      const uint32_t cw = community[w];
+      if (v == w) {
+        acc[cv][cv] += wt;  // existing self-loop
+      } else if (cv == cw) {
+        // Intra-community edge appears from both endpoints; halve into a
+        // self-loop weight.
+        acc[cv][cv] += wt * 0.5;
+      } else {
+        acc[cv][cw] += wt;
+      }
+    }
+  }
+  for (uint32_t c = 0; c < num_comms; ++c) {
+    out.adj[c].assign(acc[c].begin(), acc[c].end());
+    std::sort(out.adj[c].begin(), out.adj[c].end());
+  }
+  out.two_m = g.two_m;
+  return out;
+}
+
+}  // namespace
+
+LouvainResult DetectCommunitiesLouvain(const Graph& graph,
+                                       const LouvainConfig& config) {
+  LouvainResult result;
+  const uint32_t n = graph.num_nodes();
+  result.community.resize(n);
+  std::iota(result.community.begin(), result.community.end(), 0u);
+  if (graph.num_edges() == 0) {
+    result.num_communities = n;
+    result.modularity = 0.0;
+    return result;
+  }
+
+  Rng rng(config.seed);
+  WeightedGraph level = FromGraph(graph);
+  for (uint32_t lvl = 0; lvl < config.max_levels; ++lvl) {
+    std::vector<uint32_t> community;
+    const bool moved = LocalMoves(level, config, &rng, &community);
+    // Compose with the running assignment.
+    for (auto& c : result.community) c = community[c];
+    if (!moved) break;
+    level = Aggregate(level, community);
+    if (level.size() == 1) break;
+  }
+
+  uint32_t num_comms = 0;
+  for (uint32_t c : result.community) num_comms = std::max(num_comms, c + 1);
+  result.num_communities = num_comms;
+  result.modularity = ::ocular::Modularity(graph, result.community);
+  return result;
+}
+
+}  // namespace ocular

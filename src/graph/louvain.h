@@ -1,0 +1,40 @@
+#ifndef OCULAR_GRAPH_LOUVAIN_H_
+#define OCULAR_GRAPH_LOUVAIN_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace ocular {
+
+/// Options for the Louvain modularity optimizer.
+struct LouvainConfig {
+  /// Maximum local-move passes per level.
+  uint32_t max_passes = 20;
+  /// Maximum aggregation levels.
+  uint32_t max_levels = 10;
+  /// Stop a level when a full pass improves modularity less than this.
+  double min_gain = 1e-7;
+  uint64_t seed = 1;
+};
+
+/// Result of a modularity-based community detection run.
+struct LouvainResult {
+  /// community[v] in [0, num_communities), over the original nodes.
+  std::vector<uint32_t> community;
+  uint32_t num_communities = 0;
+  double modularity = 0.0;
+};
+
+/// Greedy modularity optimization (Louvain method; Blondel et al.), the
+/// standard *non-overlapping* community detector — stands in for the
+/// "Modularity" comparator of Figure 2. Automatically discovers the number
+/// of communities, but each node gets exactly one — which is exactly why it
+/// cannot represent the overlapping structure of Figure 1.
+LouvainResult DetectCommunitiesLouvain(const Graph& graph,
+                                       const LouvainConfig& config = {});
+
+}  // namespace ocular
+
+#endif  // OCULAR_GRAPH_LOUVAIN_H_

@@ -1,0 +1,105 @@
+#include "parallel/kernel_trainer.h"
+
+#include <cmath>
+
+#include "common/timer.h"
+#include "parallel/gradient_kernel.h"
+
+namespace ocular {
+
+Result<OcularFitResult> KernelOcularTrainer::Fit(
+    const CsrMatrix& interactions) {
+  OCULAR_RETURN_IF_ERROR(config_.Validate());
+  Rng rng(config_.seed);
+  const double scale =
+      config_.init_scale / std::sqrt(static_cast<double>(config_.k));
+  DenseMatrix fu(interactions.num_rows(), config_.k);
+  DenseMatrix fi(interactions.num_cols(), config_.k);
+  fu.FillUniform(&rng, 0.0, scale);
+  fi.FillUniform(&rng, 0.0, scale);
+  return FitFrom(interactions, OcularModel(std::move(fu), std::move(fi)));
+}
+
+void KernelOcularTrainer::Phase(const CsrMatrix& pattern,
+                                const DenseMatrix& fixed,
+                                DenseMatrix* target) {
+  // Kernels 1+2: per-positive gradient accumulation (Section VI-A).
+  DenseMatrix gradients;
+  ComputeItemGradientsKernel(pattern, fixed, *target, config_.lambda, &pool_,
+                             &gradients);
+
+  // Kernel 3: row-wise Armijo update with the precomputed gradients. The
+  // complement Σ_{r=0} f_n needed by the line-search objective is formed
+  // from the fixed side's column sums.
+  const std::vector<double> sums = fixed.ColumnSums();
+  pool_.ParallelForChunked(
+      0, target->rows(),
+      [&](size_t lo, size_t hi) {
+        std::vector<double> complement(config_.k);
+        for (size_t row = lo; row < hi; ++row) {
+          const uint32_t r = static_cast<uint32_t>(row);
+          auto neighbors = pattern.Row(r);
+          for (uint32_t c = 0; c < config_.k; ++c) complement[c] = sums[c];
+          for (uint32_t n : neighbors) {
+            auto other_row = fixed.Row(n);
+            for (uint32_t c = 0; c < config_.k; ++c) {
+              complement[c] -= other_row[c];
+            }
+          }
+          internal::ArmijoStep(target->Row(r), gradients.Row(r), neighbors,
+                               fixed, complement, config_.lambda, 1.0, {},
+                               config_);
+        }
+      },
+      /*grain=*/8);
+}
+
+Result<OcularFitResult> KernelOcularTrainer::FitFrom(
+    const CsrMatrix& interactions, OcularModel initial) {
+  OCULAR_RETURN_IF_ERROR(config_.Validate());
+  if (config_.variant != OcularVariant::kAbsolute) {
+    return Status::InvalidArgument(
+        "KernelOcularTrainer supports the absolute variant only");
+  }
+  if (config_.use_biases) {
+    return Status::InvalidArgument(
+        "KernelOcularTrainer does not support the bias extension");
+  }
+  if (interactions.nnz() == 0) {
+    return Status::InvalidArgument("interaction matrix has no positives");
+  }
+  if (initial.num_users() != interactions.num_rows() ||
+      initial.num_items() != interactions.num_cols() ||
+      initial.k() != config_.k) {
+    return Status::InvalidArgument("initial model shape mismatch");
+  }
+
+  OcularFitResult out;
+  out.model = std::move(initial);
+  DenseMatrix& fu = *out.model.mutable_user_factors();
+  DenseMatrix& fi = *out.model.mutable_item_factors();
+  const CsrMatrix transposed = interactions.Transpose();
+
+  Stopwatch watch;
+  double prev_q = config_.track_objective
+                      ? ObjectiveQ(out.model, interactions, config_.lambda)
+                      : 0.0;
+  for (uint32_t sweep = 0; sweep < config_.max_sweeps; ++sweep) {
+    Phase(transposed, fu, &fi);    // item phase
+    Phase(interactions, fi, &fu);  // user phase
+    out.sweeps_run = sweep + 1;
+    if (config_.track_objective) {
+      const double q = ObjectiveQ(out.model, interactions, config_.lambda);
+      out.trace.push_back(SweepStats{sweep, q, watch.ElapsedSeconds()});
+      const double rel_drop = (prev_q - q) / std::max(std::abs(prev_q), 1e-12);
+      if (rel_drop < config_.tolerance) {
+        out.converged = true;
+        break;
+      }
+      prev_q = q;
+    }
+  }
+  return out;
+}
+
+}  // namespace ocular

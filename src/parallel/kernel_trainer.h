@@ -1,0 +1,55 @@
+#ifndef OCULAR_PARALLEL_KERNEL_TRAINER_H_
+#define OCULAR_PARALLEL_KERNEL_TRAINER_H_
+
+#include "common/thread_pool.h"
+#include "core/ocular_trainer.h"
+
+namespace ocular {
+
+/// Kernel-structured OCuLaR trainer — the closest CPU analogue of the
+/// paper's GPU implementation (Section VI-A).
+///
+/// Where ParallelOcularTrainer partitions factor ROWS across workers (each
+/// row recomputing its own gradient), this trainer mirrors the CUDA
+/// execution plan kernel by kernel:
+///
+///   1. gradient-init kernel:  grad_i = C + 2λ f_i for all items
+///   2. per-positive kernel:   one task per positive rating computes
+///                             <f_u, f_i> and atomically accumulates
+///                             −α(<f_u,f_i>)·f_u into grad_i (eq. 11)
+///   3. update kernel:         per-row Armijo projection-arc step using
+///                             the precomputed gradient
+///
+/// and symmetrically for the user phase. Because the atomic accumulation
+/// reorders floating-point sums, results match the serial trainer only to
+/// ~1e-9 relative (verified in tests), unlike ParallelOcularTrainer's
+/// bit-exact equality.
+///
+/// Restrictions: absolute variant only (the per-positive kernel carries no
+/// per-neighbor weights) and no bias extension. Both return
+/// InvalidArgument.
+class KernelOcularTrainer {
+ public:
+  KernelOcularTrainer(OcularConfig config, size_t num_threads = 0)
+      : config_(std::move(config)), pool_(num_threads) {}
+
+  const OcularConfig& config() const { return config_; }
+  size_t num_threads() const { return pool_.num_threads(); }
+
+  Result<OcularFitResult> Fit(const CsrMatrix& interactions);
+  Result<OcularFitResult> FitFrom(const CsrMatrix& interactions,
+                                  OcularModel initial);
+
+ private:
+  /// One phase: computes gradients for all rows of `target` by the
+  /// per-positive kernel, then applies the Armijo update row-wise.
+  void Phase(const CsrMatrix& pattern, const DenseMatrix& fixed,
+             DenseMatrix* target);
+
+  OcularConfig config_;
+  ThreadPool pool_;
+};
+
+}  // namespace ocular
+
+#endif  // OCULAR_PARALLEL_KERNEL_TRAINER_H_

@@ -1,0 +1,122 @@
+#include "parallel/parallel_trainer.h"
+
+#include <cmath>
+
+#include "common/timer.h"
+
+namespace ocular {
+
+Result<OcularFitResult> ParallelOcularTrainer::Fit(
+    const CsrMatrix& interactions) {
+  OCULAR_RETURN_IF_ERROR(config_.Validate());
+  Rng rng(config_.seed);
+  const double scale =
+      config_.init_scale / std::sqrt(static_cast<double>(config_.k));
+  const uint32_t dims = config_.TotalDims();
+  DenseMatrix fu(interactions.num_rows(), dims);
+  DenseMatrix fi(interactions.num_cols(), dims);
+  fu.FillUniform(&rng, 0.0, scale);
+  fi.FillUniform(&rng, 0.0, scale);
+  if (config_.use_biases) {
+    // Same bias layout as the serial trainer (see OcularTrainer::Fit).
+    for (uint32_t u = 0; u < fu.rows(); ++u) {
+      fu.At(u, config_.k) = rng.Uniform(0.0, 0.1);
+      fu.At(u, config_.k + 1) = 1.0;
+    }
+    for (uint32_t i = 0; i < fi.rows(); ++i) {
+      fi.At(i, config_.k) = 1.0;
+      fi.At(i, config_.k + 1) = rng.Uniform(0.0, 0.1);
+    }
+  }
+  return FitFrom(interactions, OcularModel(std::move(fu), std::move(fi)));
+}
+
+Result<OcularFitResult> ParallelOcularTrainer::FitFrom(
+    const CsrMatrix& interactions, OcularModel initial) {
+  OCULAR_RETURN_IF_ERROR(config_.Validate());
+  if (interactions.nnz() == 0) {
+    return Status::InvalidArgument("interaction matrix has no positives");
+  }
+  if (initial.num_users() != interactions.num_rows() ||
+      initial.num_items() != interactions.num_cols() ||
+      initial.k() != config_.TotalDims()) {
+    return Status::InvalidArgument("initial model shape mismatch");
+  }
+  const int item_frozen = config_.use_biases ? static_cast<int>(config_.k)
+                                             : -1;
+  const int user_frozen =
+      config_.use_biases ? static_cast<int>(config_.k) + 1 : -1;
+
+  OcularFitResult out;
+  out.model = std::move(initial);
+  DenseMatrix& fu = *out.model.mutable_user_factors();
+  DenseMatrix& fi = *out.model.mutable_item_factors();
+
+  const CsrMatrix transposed = interactions.Transpose();
+  OcularTrainer serial(config_);  // for UserWeights / shared config
+  const std::vector<double> weights = serial.UserWeights(interactions);
+  const bool relative = config_.variant == OcularVariant::kRelative;
+
+  Stopwatch watch;
+  double prev_q = config_.track_objective
+                      ? ObjectiveQ(out.model, interactions, config_.lambda,
+                                   relative ? weights : std::vector<double>{})
+                      : 0.0;
+
+  for (uint32_t sweep = 0; sweep < config_.max_sweeps; ++sweep) {
+    // ---- Item phase (rows partitioned across workers). ----
+    const std::vector<double> user_sums = fu.ColumnSums();
+    pool_.ParallelForChunked(
+        0, interactions.num_cols(),
+        [&](size_t lo, size_t hi) {
+          std::vector<double> neighbor_weights;
+          for (size_t i = lo; i < hi; ++i) {
+            auto users = transposed.Row(static_cast<uint32_t>(i));
+            std::span<const double> wspan;
+            if (relative) {
+              neighbor_weights.resize(users.size());
+              for (size_t n = 0; n < users.size(); ++n) {
+                neighbor_weights[n] = weights[users[n]];
+              }
+              wspan = neighbor_weights;
+            }
+            internal::ProjectedGradientStep(
+                fi.Row(static_cast<uint32_t>(i)), users, fu, user_sums,
+                config_.lambda, 1.0, wspan, config_, item_frozen);
+          }
+        },
+        /*grain=*/8);
+
+    // ---- User phase. ----
+    const std::vector<double> item_sums = fi.ColumnSums();
+    pool_.ParallelForChunked(
+        0, interactions.num_rows(),
+        [&](size_t lo, size_t hi) {
+          for (size_t u = lo; u < hi; ++u) {
+            const double w = relative ? weights[u] : 1.0;
+            internal::ProjectedGradientStep(
+                fu.Row(static_cast<uint32_t>(u)),
+                interactions.Row(static_cast<uint32_t>(u)), fi, item_sums,
+                config_.lambda, w, {}, config_, user_frozen);
+          }
+        },
+        /*grain=*/8);
+
+    out.sweeps_run = sweep + 1;
+    if (config_.track_objective) {
+      const double q =
+          ObjectiveQ(out.model, interactions, config_.lambda,
+                     relative ? weights : std::vector<double>{});
+      out.trace.push_back(SweepStats{sweep, q, watch.ElapsedSeconds()});
+      const double rel_drop = (prev_q - q) / std::max(std::abs(prev_q), 1e-12);
+      if (rel_drop < config_.tolerance) {
+        out.converged = true;
+        break;
+      }
+      prev_q = q;
+    }
+  }
+  return out;
+}
+
+}  // namespace ocular

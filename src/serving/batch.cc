@@ -1,0 +1,49 @@
+#include "serving/batch.h"
+
+#include <atomic>
+
+namespace ocular {
+
+Result<BatchRecommendations> RecommendForAllUsers(const Recommender& rec,
+                                                  const CsrMatrix& train,
+                                                  const BatchOptions& options,
+                                                  ThreadPool* pool) {
+  if (options.m == 0) return Status::InvalidArgument("m must be positive");
+  if (train.num_rows() != rec.num_users() ||
+      train.num_cols() != rec.num_items()) {
+    return Status::InvalidArgument(
+        "training matrix shape does not match the recommender");
+  }
+  BatchRecommendations out;
+  out.recommendations.resize(rec.num_users());
+
+  auto process = [&](size_t u32) {
+    const uint32_t u = static_cast<uint32_t>(u32);
+    if (options.skip_cold_users && train.RowDegree(u) == 0) return;
+    auto ranked = rec.Recommend(u, options.m, train);
+    if (options.min_score > 0.0) {
+      size_t keep = 0;
+      while (keep < ranked.size() && ranked[keep].score >= options.min_score) {
+        ++keep;
+      }
+      ranked.resize(keep);
+    }
+    out.recommendations[u] = std::move(ranked);
+  };
+
+  if (pool != nullptr) {
+    pool->ParallelFor(0, rec.num_users(), process, /*grain=*/4);
+  } else {
+    for (uint32_t u = 0; u < rec.num_users(); ++u) process(u);
+  }
+
+  for (const auto& list : out.recommendations) {
+    if (!list.empty()) {
+      ++out.users_scored;
+      out.total_items += list.size();
+    }
+  }
+  return out;
+}
+
+}  // namespace ocular

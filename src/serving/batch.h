@@ -1,0 +1,48 @@
+#ifndef OCULAR_SERVING_BATCH_H_
+#define OCULAR_SERVING_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "eval/recommender.h"
+
+namespace ocular {
+
+/// Options for batch recommendation generation.
+struct BatchOptions {
+  /// Recommendations per user.
+  uint32_t m = 50;
+  /// Drop recommendations below this score (after ranking). The B2B
+  /// deployment only surfaces opportunities a seller would act on.
+  double min_score = 0.0;
+  /// Skip users with no training history (their scores are
+  /// uninformative for personalized models).
+  bool skip_cold_users = true;
+};
+
+/// The precomputed top-M lists for every user — the artifact the paper's
+/// deployment serves to sales teams (Section VIII): recommendations are
+/// generated offline in bulk, then reviewed per client.
+struct BatchRecommendations {
+  /// recommendations[u] = ranked ScoredItems for user u (possibly empty).
+  std::vector<std::vector<ScoredItem>> recommendations;
+  /// Users with at least one surviving recommendation.
+  uint32_t users_scored = 0;
+  /// Total recommendations across users.
+  size_t total_items = 0;
+};
+
+/// Produces top-M lists for all users of `rec`, excluding each user's
+/// training positives, partitioned across `pool`'s workers (each user's
+/// ranking is independent — the same data-parallel shape as the training
+/// phases). `rec` must already be fitted. Pass pool = nullptr for serial.
+Result<BatchRecommendations> RecommendForAllUsers(const Recommender& rec,
+                                                  const CsrMatrix& train,
+                                                  const BatchOptions& options,
+                                                  ThreadPool* pool = nullptr);
+
+}  // namespace ocular
+
+#endif  // OCULAR_SERVING_BATCH_H_

@@ -1,0 +1,79 @@
+#include "serving/render.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ocular {
+
+namespace {
+
+char CellGlyph(const CsrMatrix& interactions, const OcularModel* model,
+               uint32_t u, uint32_t i, double highlight) {
+  if (interactions.HasEntry(u, i)) return '#';
+  if (model != nullptr && model->Probability(u, i) >= highlight) return 'o';
+  return '.';
+}
+
+}  // namespace
+
+std::string RenderInteractionMatrix(const CsrMatrix& interactions,
+                                    const OcularModel* model,
+                                    const RenderOptions& options) {
+  const uint32_t rows =
+      std::min(interactions.num_rows(), options.max_users);
+  const uint32_t cols =
+      std::min(interactions.num_cols(), options.max_items);
+  std::ostringstream out;
+  out << "     ";
+  for (uint32_t i = 0; i < cols; ++i) out << (i % 10);
+  if (cols < interactions.num_cols()) out << " ...";
+  out << "\n";
+  for (uint32_t u = 0; u < rows; ++u) {
+    char row_id[16];
+    std::snprintf(row_id, sizeof(row_id), "%4u ", u);
+    out << row_id;
+    for (uint32_t i = 0; i < cols; ++i) {
+      out << CellGlyph(interactions, model, u, i,
+                       options.highlight_threshold);
+    }
+    out << "\n";
+  }
+  if (rows < interactions.num_rows()) out << "  ...\n";
+  out << "('#' positive, 'o' predicted recommendation, '.' unknown)\n";
+  return out.str();
+}
+
+std::string RenderCoClusterBlock(const CoCluster& cluster,
+                                 const CsrMatrix& interactions,
+                                 const RenderOptions& options) {
+  std::ostringstream out;
+  out << "co-cluster " << cluster.index << " (" << cluster.users.size()
+      << " users x " << cluster.items.size() << " items)\n";
+  const size_t rows =
+      std::min<size_t>(cluster.users.size(), options.max_users);
+  const size_t cols =
+      std::min<size_t>(cluster.items.size(), options.max_items);
+  // Header: item ids, vertical-ish (last two digits).
+  out << "        ";
+  for (size_t c = 0; c < cols; ++c) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "%3u", cluster.items[c] % 1000);
+    out << buf;
+  }
+  if (cols < cluster.items.size()) out << " ...";
+  out << "\n";
+  for (size_t r = 0; r < rows; ++r) {
+    const uint32_t u = cluster.users[r];
+    char row_id[16];
+    std::snprintf(row_id, sizeof(row_id), "%7u ", u);
+    out << row_id;
+    for (size_t c = 0; c < cols; ++c) {
+      out << (interactions.HasEntry(u, cluster.items[c]) ? "  #" : "  .");
+    }
+    out << "\n";
+  }
+  if (rows < cluster.users.size()) out << "    ...\n";
+  return out.str();
+}
+
+}  // namespace ocular

@@ -1,0 +1,41 @@
+#ifndef OCULAR_SERVING_RENDER_H_
+#define OCULAR_SERVING_RENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/coclusters.h"
+#include "core/ocular_model.h"
+#include "sparse/csr.h"
+
+namespace ocular {
+
+/// Options for the ASCII matrix renderer.
+struct RenderOptions {
+  /// Maximum users (rows) / items (columns) rendered; larger matrices are
+  /// truncated with an ellipsis marker.
+  uint32_t max_users = 40;
+  uint32_t max_items = 60;
+  /// Probability above which an unknown cell is drawn as a predicted
+  /// recommendation.
+  double highlight_threshold = 0.5;
+};
+
+/// Renders the interaction matrix in the style of the paper's Figure 1:
+/// '#' = positive example, 'o' = unknown cell the model scores above the
+/// highlight threshold (a recommendation hole inside a co-cluster),
+/// '.' = unknown. Pass nullptr for `model` to draw the raw matrix only.
+std::string RenderInteractionMatrix(const CsrMatrix& interactions,
+                                    const OcularModel* model,
+                                    const RenderOptions& options = {});
+
+/// Renders one co-cluster as the block submatrix it spans, with member
+/// ids on the axes — the visual evidence a seller sees next to the
+/// rationale text.
+std::string RenderCoClusterBlock(const CoCluster& cluster,
+                                 const CsrMatrix& interactions,
+                                 const RenderOptions& options = {});
+
+}  // namespace ocular
+
+#endif  // OCULAR_SERVING_RENDER_H_

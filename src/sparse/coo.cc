@@ -1,0 +1,59 @@
+#include "sparse/coo.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ocular {
+
+void CooBuilder::Reserve(size_t nnz) {
+  rows_.reserve(nnz);
+  cols_.reserve(nnz);
+}
+
+void CooBuilder::Add(uint32_t row, uint32_t col) {
+  rows_.push_back(row);
+  cols_.push_back(col);
+  if (row >= num_rows_) num_rows_ = row + 1;
+  if (col >= num_cols_) num_cols_ = col + 1;
+}
+
+Result<CooBuilder::Entries> CooBuilder::Finalize(uint32_t num_rows,
+                                                 uint32_t num_cols) {
+  if (num_rows == 0) num_rows = num_rows_;
+  if (num_cols == 0) num_cols = num_cols_;
+  if (num_rows < num_rows_ || num_cols < num_cols_) {
+    return Status::InvalidArgument(
+        "explicit shape smaller than recorded indices");
+  }
+
+  // Sort index pairs by (row, col) via an argsort to keep the two parallel
+  // arrays in sync.
+  std::vector<uint32_t> order(rows_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+    if (rows_[a] != rows_[b]) return rows_[a] < rows_[b];
+    return cols_[a] < cols_[b];
+  });
+
+  Entries out;
+  out.num_rows = num_rows;
+  out.num_cols = num_cols;
+  out.rows.reserve(rows_.size());
+  out.cols.reserve(cols_.size());
+  for (uint32_t idx : order) {
+    const uint32_t r = rows_[idx];
+    const uint32_t c = cols_[idx];
+    if (!out.rows.empty() && out.rows.back() == r && out.cols.back() == c) {
+      continue;  // duplicate
+    }
+    out.rows.push_back(r);
+    out.cols.push_back(c);
+  }
+  rows_.clear();
+  cols_.clear();
+  num_rows_ = 0;
+  num_cols_ = 0;
+  return out;
+}
+
+}  // namespace ocular

@@ -1,0 +1,54 @@
+#ifndef OCULAR_SPARSE_COO_H_
+#define OCULAR_SPARSE_COO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ocular {
+
+/// Coordinate-format builder for binary sparse matrices.
+///
+/// The one-class CF setting only has positive entries (r_ui = 1), so the
+/// matrix is *pattern-only*: an entry is present or absent, no values are
+/// stored. Duplicate (row, col) pairs are collapsed by Finalize().
+class CooBuilder {
+ public:
+  CooBuilder() = default;
+
+  /// Pre-sizes internal buffers for `nnz` entries.
+  void Reserve(size_t nnz);
+
+  /// Records entry (row, col). Grows the implied shape as needed.
+  void Add(uint32_t row, uint32_t col);
+
+  /// Number of (possibly duplicated) recorded entries.
+  size_t size() const { return rows_.size(); }
+
+  /// Current implied shape (max index + 1). A larger explicit shape may be
+  /// requested at Finalize time.
+  uint32_t num_rows() const { return num_rows_; }
+  uint32_t num_cols() const { return num_cols_; }
+
+  /// Sorts by (row, col), removes duplicates, and returns the entry arrays.
+  /// The builder is left empty. If explicit dimensions are given they must
+  /// cover all recorded indices.
+  struct Entries {
+    uint32_t num_rows = 0;
+    uint32_t num_cols = 0;
+    std::vector<uint32_t> rows;
+    std::vector<uint32_t> cols;
+  };
+  Result<Entries> Finalize(uint32_t num_rows = 0, uint32_t num_cols = 0);
+
+ private:
+  std::vector<uint32_t> rows_;
+  std::vector<uint32_t> cols_;
+  uint32_t num_rows_ = 0;
+  uint32_t num_cols_ = 0;
+};
+
+}  // namespace ocular
+
+#endif  // OCULAR_SPARSE_COO_H_

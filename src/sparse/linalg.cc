@@ -1,0 +1,87 @@
+#include "sparse/linalg.h"
+
+#include <cmath>
+
+namespace ocular {
+
+Status CholeskySolveInPlace(std::vector<double>* a, uint32_t k,
+                            std::span<const double> b,
+                            std::vector<double>* x) {
+  if (a == nullptr || x == nullptr) {
+    return Status::InvalidArgument("null output");
+  }
+  if (a->size() != static_cast<size_t>(k) * k || b.size() != k) {
+    return Status::InvalidArgument("shape mismatch in CholeskySolveInPlace");
+  }
+  std::vector<double>& m = *a;
+  // In-place lower-triangular Cholesky: A = L L^T.
+  for (uint32_t j = 0; j < k; ++j) {
+    double diag = m[static_cast<size_t>(j) * k + j];
+    for (uint32_t p = 0; p < j; ++p) {
+      const double ljp = m[static_cast<size_t>(j) * k + p];
+      diag -= ljp * ljp;
+    }
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::FailedPrecondition("matrix not positive definite");
+    }
+    const double ljj = std::sqrt(diag);
+    m[static_cast<size_t>(j) * k + j] = ljj;
+    for (uint32_t i = j + 1; i < k; ++i) {
+      double v = m[static_cast<size_t>(i) * k + j];
+      for (uint32_t p = 0; p < j; ++p) {
+        v -= m[static_cast<size_t>(i) * k + p] *
+             m[static_cast<size_t>(j) * k + p];
+      }
+      m[static_cast<size_t>(i) * k + j] = v / ljj;
+    }
+  }
+  // Forward substitution: L y = b.
+  std::vector<double> y(k);
+  for (uint32_t i = 0; i < k; ++i) {
+    double v = b[i];
+    for (uint32_t p = 0; p < i; ++p) {
+      v -= m[static_cast<size_t>(i) * k + p] * y[p];
+    }
+    y[i] = v / m[static_cast<size_t>(i) * k + i];
+  }
+  // Back substitution: L^T x = y.
+  x->assign(k, 0.0);
+  for (uint32_t ii = k; ii > 0; --ii) {
+    const uint32_t i = ii - 1;
+    double v = y[i];
+    for (uint32_t p = i + 1; p < k; ++p) {
+      v -= m[static_cast<size_t>(p) * k + i] * (*x)[p];
+    }
+    (*x)[i] = v / m[static_cast<size_t>(i) * k + i];
+  }
+  return Status::OK();
+}
+
+std::vector<double> GramMatrix(const DenseMatrix& f) {
+  const uint32_t k = f.cols();
+  std::vector<double> g(static_cast<size_t>(k) * k, 0.0);
+  for (uint32_t r = 0; r < f.rows(); ++r) {
+    auto row = f.Row(r);
+    for (uint32_t i = 0; i < k; ++i) {
+      const double vi = row[i];
+      if (vi == 0.0) continue;
+      for (uint32_t j = 0; j < k; ++j) {
+        g[static_cast<size_t>(i) * k + j] += vi * row[j];
+      }
+    }
+  }
+  return g;
+}
+
+void AddOuterProduct(std::vector<double>* a, uint32_t k, double alpha,
+                     std::span<const double> v) {
+  for (uint32_t i = 0; i < k; ++i) {
+    const double vi = alpha * v[i];
+    if (vi == 0.0) continue;
+    for (uint32_t j = 0; j < k; ++j) {
+      (*a)[static_cast<size_t>(i) * k + j] += vi * v[j];
+    }
+  }
+}
+
+}  // namespace ocular

@@ -1,0 +1,35 @@
+#ifndef OCULAR_SPARSE_LINALG_H_
+#define OCULAR_SPARSE_LINALG_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "sparse/dense.h"
+
+namespace ocular {
+
+/// Solves A x = b for symmetric positive-definite A (k x k, row-major,
+/// only the full matrix is read) via Cholesky factorization. A is
+/// destroyed (overwritten with the factor). Returns InvalidArgument on
+/// shape mismatch and FailedPrecondition if A is not positive definite.
+///
+/// This is the K x K solve at the heart of the wALS baseline (Pan et al.):
+/// with K <= a few hundred a dense Cholesky is the right tool.
+Status CholeskySolveInPlace(std::vector<double>* a, uint32_t k,
+                            std::span<const double> b,
+                            std::vector<double>* x);
+
+/// Computes the Gram matrix G = F^T F (k x k, row-major) of a factor
+/// matrix F (n x k). O(n k^2). Used by wALS ("precompute F^T F once per
+/// phase" trick).
+std::vector<double> GramMatrix(const DenseMatrix& f);
+
+/// Rank-one update: a += alpha * v v^T for row-major k x k `a`.
+void AddOuterProduct(std::vector<double>* a, uint32_t k, double alpha,
+                     std::span<const double> v);
+
+}  // namespace ocular
+
+#endif  // OCULAR_SPARSE_LINALG_H_

@@ -1,0 +1,261 @@
+// Unit tests for src/baselines: wALS, BPR, user/item kNN, popularity.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/bpr.h"
+#include "baselines/knn.h"
+#include "baselines/wals.h"
+#include "common/rng.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+
+namespace ocular {
+namespace {
+
+/// Small planted dataset shared across baseline quality checks.
+PlantedCoClusterData SmallPlanted(uint64_t seed) {
+  PlantedCoClusterConfig cfg;
+  cfg.num_users = 120;
+  cfg.num_items = 80;
+  cfg.num_clusters = 4;
+  cfg.user_membership_prob = 0.25;
+  cfg.item_membership_prob = 0.25;
+  Rng rng(seed);
+  return GeneratePlantedCoClusters(cfg, &rng).value();
+}
+
+/// AUC of a recommender's scores on held-out positives vs random unknowns.
+double HoldoutAuc(const Recommender& rec, const CsrMatrix& train,
+                  const CsrMatrix& test, uint64_t seed) {
+  Rng rng(seed);
+  int wins = 0, trials = 0;
+  for (auto [u, i] : test.ToPairs()) {
+    for (int rep = 0; rep < 3; ++rep) {
+      uint32_t j;
+      do {
+        j = static_cast<uint32_t>(rng.UniformInt(train.num_cols()));
+      } while (train.HasEntry(u, j) || test.HasEntry(u, j));
+      const double si = rec.Score(u, i);
+      const double sj = rec.Score(u, j);
+      if (si > sj) ++wins;
+      ++trials;
+    }
+  }
+  return trials > 0 ? static_cast<double>(wins) / trials : 0.0;
+}
+
+// ------------------------------------------------------------------ wALS
+
+TEST(WalsConfigTest, Validation) {
+  WalsConfig c;
+  EXPECT_TRUE(c.Validate().ok());
+  c.k = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = WalsConfig{};
+  c.b = 1.5;
+  EXPECT_FALSE(c.Validate().ok());
+  c = WalsConfig{};
+  c.lambda = -1;
+  EXPECT_FALSE(c.Validate().ok());
+  c = WalsConfig{};
+  c.iterations = 0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(WalsTest, FitsAndScoresPositivesAboveUnknowns) {
+  auto data = SmallPlanted(1);
+  Rng rng(2);
+  auto split = SplitInteractions(data.dataset.interactions(), 0.75, &rng)
+                   .value();
+  WalsConfig cfg;
+  cfg.k = 8;
+  cfg.iterations = 10;
+  WalsRecommender wals(cfg);
+  ASSERT_TRUE(wals.Fit(split.train).ok());
+  EXPECT_EQ(wals.name(), "wALS");
+  const double auc = HoldoutAuc(wals, split.train, split.test, 3);
+  EXPECT_GT(auc, 0.75) << "wALS should rank held-out positives high";
+}
+
+TEST(WalsTest, RejectsEmptyMatrix) {
+  WalsConfig cfg;
+  WalsRecommender wals(cfg);
+  CsrMatrix empty = CsrMatrix::FromPairs({}, 4, 4).value();
+  EXPECT_TRUE(wals.Fit(empty).IsInvalidArgument());
+}
+
+TEST(WalsTest, ReconstructsRankOnePattern) {
+  // Block of users 0-9 all bought items 0-9; wALS should score in-block
+  // unknowns higher than out-of-block cells.
+  CooBuilder coo;
+  for (uint32_t u = 0; u < 10; ++u) {
+    for (uint32_t i = 0; i < 10; ++i) {
+      if ((u + i) % 7 != 0) coo.Add(u, i);  // leave some holes
+    }
+  }
+  coo.Add(15, 15);  // lone unrelated user
+  CsrMatrix r = CsrMatrix::FromCoo(coo.Finalize(20, 20).value());
+  WalsConfig cfg;
+  cfg.k = 3;
+  cfg.iterations = 15;
+  WalsRecommender wals(cfg);
+  ASSERT_TRUE(wals.Fit(r).ok());
+  // Hole (0,7): u+i=7 -> unknown but inside the block.
+  EXPECT_GT(wals.Score(0, 7), wals.Score(0, 15));
+}
+
+// ------------------------------------------------------------------- BPR
+
+TEST(BprConfigTest, Validation) {
+  BprConfig c;
+  EXPECT_TRUE(c.Validate().ok());
+  c.k = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = BprConfig{};
+  c.learning_rate = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = BprConfig{};
+  c.epochs = 0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(BprTest, LearnsRankingOnPlantedData) {
+  auto data = SmallPlanted(4);
+  Rng rng(5);
+  auto split = SplitInteractions(data.dataset.interactions(), 0.75, &rng)
+                   .value();
+  BprConfig cfg;
+  cfg.k = 8;
+  cfg.epochs = 25;
+  BprRecommender bpr(cfg);
+  ASSERT_TRUE(bpr.Fit(split.train).ok());
+  EXPECT_EQ(bpr.name(), "BPR");
+  const double auc = HoldoutAuc(bpr, split.train, split.test, 6);
+  EXPECT_GT(auc, 0.7) << "BPR AUC should beat random by a wide margin";
+}
+
+TEST(BprTest, RejectsDegenerateInputs) {
+  BprConfig cfg;
+  BprRecommender bpr(cfg);
+  CsrMatrix empty = CsrMatrix::FromPairs({}, 4, 4).value();
+  EXPECT_TRUE(bpr.Fit(empty).IsInvalidArgument());
+  // Single item: no (positive, unknown) pair exists.
+  CsrMatrix one = CsrMatrix::FromPairs({{0, 0}}, 2, 1).value();
+  EXPECT_TRUE(bpr.Fit(one).IsInvalidArgument());
+  // All items positive for every user: no unknowns to sample.
+  CsrMatrix full =
+      CsrMatrix::FromPairs({{0, 0}, {0, 1}, {1, 0}, {1, 1}}, 2, 2).value();
+  EXPECT_TRUE(bpr.Fit(full).IsInvalidArgument());
+}
+
+// ------------------------------------------------------------------- kNN
+
+CsrMatrix KnnToy() {
+  // Users 0,1 like items {0,1,2}; users 2,3 like items {3,4}.
+  // User 0 is missing item 2; user 2 is missing item 4.
+  return CsrMatrix::FromPairs({{0, 0}, {0, 1},
+                               {1, 0}, {1, 1}, {1, 2},
+                               {2, 3},
+                               {3, 3}, {3, 4}},
+                              4, 5)
+      .value();
+}
+
+TEST(UserKnnTest, NeighborsAndScores) {
+  KnnConfig cfg;
+  cfg.num_neighbors = 2;
+  UserKnnRecommender knn(cfg);
+  ASSERT_TRUE(knn.Fit(KnnToy()).ok());
+  EXPECT_EQ(knn.name(), "user-based");
+  // User 0's nearest neighbor is user 1 (cosine 2/sqrt(2*3)).
+  ASSERT_FALSE(knn.Neighbors(0).empty());
+  EXPECT_EQ(knn.Neighbors(0)[0].item, 1u);
+  EXPECT_NEAR(knn.Neighbors(0)[0].score, 2.0 / std::sqrt(6.0), 1e-12);
+  // Item 2 (bought by neighbor 1) scores above item 3 (different block).
+  EXPECT_GT(knn.Score(0, 2), knn.Score(0, 3));
+  // Recommend matches Score-based ranking and excludes seen items.
+  auto top = knn.Recommend(0, 2, KnnToy());
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].item, 2u);
+}
+
+TEST(ItemKnnTest, NeighborsAndScores) {
+  KnnConfig cfg;
+  cfg.num_neighbors = 3;
+  ItemKnnRecommender knn(cfg);
+  ASSERT_TRUE(knn.Fit(KnnToy()).ok());
+  EXPECT_EQ(knn.name(), "item-based");
+  // Items 0 and 1 are co-bought by users {0,1}: cosine 1 -> top neighbor.
+  ASSERT_FALSE(knn.Neighbors(0).empty());
+  EXPECT_EQ(knn.Neighbors(0)[0].item, 1u);
+  // For user 2 (has item 3), item 4 should beat item 0.
+  EXPECT_GT(knn.Score(2, 4), knn.Score(2, 0));
+}
+
+TEST(KnnTest, RejectsZeroNeighbors) {
+  KnnConfig cfg;
+  cfg.num_neighbors = 0;
+  UserKnnRecommender uknn(cfg);
+  EXPECT_TRUE(uknn.Fit(KnnToy()).IsInvalidArgument());
+  ItemKnnRecommender iknn(cfg);
+  EXPECT_TRUE(iknn.Fit(KnnToy()).IsInvalidArgument());
+}
+
+TEST(KnnTest, UserWithNoHistoryGetsNoNeighbors) {
+  CsrMatrix r = CsrMatrix::FromPairs({{0, 0}, {1, 0}}, 3, 2).value();
+  KnnConfig cfg;
+  UserKnnRecommender knn(cfg);
+  ASSERT_TRUE(knn.Fit(r).ok());
+  EXPECT_TRUE(knn.Neighbors(2).empty());
+  EXPECT_DOUBLE_EQ(knn.Score(2, 1), 0.0);
+}
+
+// ------------------------------------------------------------ popularity
+
+TEST(PopularityTest, ScoresByColumnDegree) {
+  CsrMatrix r =
+      CsrMatrix::FromPairs({{0, 1}, {1, 1}, {2, 1}, {0, 0}}, 3, 3).value();
+  PopularityRecommender pop;
+  ASSERT_TRUE(pop.Fit(r).ok());
+  EXPECT_EQ(pop.name(), "popularity");
+  EXPECT_DOUBLE_EQ(pop.Score(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(pop.Score(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(pop.Score(0, 2), 0.0);
+  EXPECT_EQ(pop.num_items(), 3u);
+}
+
+// ----------------------------------------- personalization beats popularity
+
+TEST(BaselineQualityTest, PersonalizedModelsBeatPopularityOnPlantedData) {
+  auto data = SmallPlanted(7);
+  Rng rng(8);
+  auto split = SplitInteractions(data.dataset.interactions(), 0.75, &rng)
+                   .value();
+  PopularityRecommender pop;
+  ASSERT_TRUE(pop.Fit(split.train).ok());
+  const double pop_recall =
+      EvaluateRankingAtM(pop, split.train, split.test, 20).value().recall;
+
+  WalsConfig wcfg;
+  wcfg.k = 8;
+  wcfg.iterations = 10;
+  WalsRecommender wals(wcfg);
+  ASSERT_TRUE(wals.Fit(split.train).ok());
+  const double wals_recall =
+      EvaluateRankingAtM(wals, split.train, split.test, 20).value().recall;
+  EXPECT_GT(wals_recall, pop_recall);
+
+  KnnConfig kcfg;
+  kcfg.num_neighbors = 20;
+  UserKnnRecommender uknn(kcfg);
+  ASSERT_TRUE(uknn.Fit(split.train).ok());
+  const double knn_recall =
+      EvaluateRankingAtM(uknn, split.train, split.test, 20).value().recall;
+  EXPECT_GT(knn_recall, pop_recall);
+}
+
+}  // namespace
+}  // namespace ocular

@@ -1,0 +1,131 @@
+// End-to-end subprocess tests of the `ocular` CLI binary: synth -> stats
+// -> train -> recommend/explain -> evaluate, plus error paths. The binary
+// path is injected by CMake as OCULAR_CLI_PATH.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace ocular {
+namespace {
+
+#ifndef OCULAR_CLI_PATH
+#define OCULAR_CLI_PATH "ocular"
+#endif
+
+/// Runs the CLI with `args`, capturing combined stdout+stderr and the
+/// exit code.
+struct CliResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CliResult RunCli(const std::string& args) {
+  const std::string cmd = std::string(OCULAR_CLI_PATH) + " " + args + " 2>&1";
+  CliResult result;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 512> buf;
+  while (fgets(buf.data(), buf.size(), pipe) != nullptr) {
+    result.output += buf.data();
+  }
+  const int rc = pclose(pipe);
+  result.exit_code = WEXITSTATUS(rc);
+  return result;
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(CliTest, NoArgsPrintsUsage) {
+  auto r = RunCli("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage: ocular"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  auto r = RunCli("frobnicate");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, FullPipeline) {
+  const std::string data = TempPath("cli_data.tsv");
+  const std::string model = TempPath("cli_model.txt");
+
+  auto synth = RunCli("synth --dataset=b2b --scale=0.005 --output=" + data);
+  ASSERT_EQ(synth.exit_code, 0) << synth.output;
+  EXPECT_NE(synth.output.find("wrote"), std::string::npos);
+
+  auto stats = RunCli("stats --input=" + data);
+  ASSERT_EQ(stats.exit_code, 0) << stats.output;
+  EXPECT_NE(stats.output.find("user degrees"), std::string::npos);
+
+  auto train = RunCli("train --input=" + data + " --model=" + model +
+                      " --k=6 --lambda=0.5 --sweeps=25");
+  ASSERT_EQ(train.exit_code, 0) << train.output;
+  EXPECT_NE(train.output.find("trained OCuLaR"), std::string::npos);
+
+  auto rec = RunCli("recommend --model=" + model + " --input=" + data +
+                    " --user=0 --m=3");
+  ASSERT_EQ(rec.exit_code, 0) << rec.output;
+  EXPECT_NE(rec.output.find("item"), std::string::npos);
+
+  auto rec_json = RunCli("recommend --model=" + model + " --input=" + data +
+                         " --history=0,1 --m=2 --json");
+  ASSERT_EQ(rec_json.exit_code, 0) << rec_json.output;
+  EXPECT_EQ(rec_json.output.front(), '[');
+
+  auto expl = RunCli("explain --model=" + model + " --input=" + data +
+                     " --user=0 --item=1 --json");
+  ASSERT_EQ(expl.exit_code, 0) << expl.output;
+  EXPECT_NE(expl.output.find("\"confidence\""), std::string::npos);
+
+  auto eval = RunCli("evaluate --input=" + data +
+                     " --k=6 --lambda=0.5 --sweeps=25 --m=20");
+  ASSERT_EQ(eval.exit_code, 0) << eval.output;
+  EXPECT_NE(eval.output.find("recall@20"), std::string::npos);
+  EXPECT_NE(eval.output.find("AUC"), std::string::npos);
+
+  std::remove(data.c_str());
+  std::remove(model.c_str());
+}
+
+TEST(CliTest, TrainRelativeVariantAndBiases) {
+  const std::string data = TempPath("cli_data2.tsv");
+  const std::string model = TempPath("cli_model2.txt");
+  ASSERT_EQ(
+      RunCli("synth --dataset=movielens --scale=0.004 --output=" + data)
+          .exit_code,
+      0);
+  auto train = RunCli("train --input=" + data + " --model=" + model +
+                      " --k=4 --lambda=5 --variant=relative --biases "
+                      "--sweeps=20");
+  ASSERT_EQ(train.exit_code, 0) << train.output;
+  EXPECT_NE(train.output.find("R-OCuLaR"), std::string::npos);
+  // Reload the bias model through the serving path (regression: the
+  // biases flag must round-trip through the model file).
+  auto rec = RunCli("recommend --model=" + model + " --input=" + data +
+                    " --user=0 --m=2");
+  EXPECT_EQ(rec.exit_code, 0) << rec.output;
+  std::remove(data.c_str());
+  std::remove(model.c_str());
+}
+
+TEST(CliTest, ErrorPathsAreClean) {
+  EXPECT_NE(RunCli("stats --input=/nonexistent/file").exit_code, 0);
+  EXPECT_NE(RunCli("train --input=/nonexistent/file --model=/tmp/x")
+                .exit_code,
+            0);
+  EXPECT_NE(RunCli("synth --dataset=bogus --output=/tmp/x.tsv").exit_code,
+            0);
+  EXPECT_NE(RunCli("recommend --model=/nonexistent --input=/nonexistent")
+                .exit_code,
+            0);
+}
+
+}  // namespace
+}  // namespace ocular

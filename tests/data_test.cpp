@@ -1,0 +1,423 @@
+// Unit tests for src/data: dataset, loaders (with failure injection),
+// splitters, synthetic generators.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/loaders.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+
+namespace ocular {
+namespace {
+
+/// Writes `content` to a unique temp file; removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& content) {
+    static int counter = 0;
+    path_ = ::testing::TempDir() + "/ocular_data_test_" +
+            std::to_string(counter++) + ".txt";
+    std::ofstream out(path_);
+    out << content;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// --------------------------------------------------------------- Dataset
+
+TEST(DatasetTest, LabelsAndSummary) {
+  CsrMatrix m = CsrMatrix::FromPairs({{0, 1}, {1, 0}}, 2, 2).value();
+  Dataset ds("demo", m);
+  EXPECT_EQ(ds.UserLabel(0), "user 0");
+  EXPECT_EQ(ds.ItemLabel(1), "item 1");
+  ds.set_user_labels({"Alice", "Bob"});
+  ds.set_item_labels({"Hammer", "Nails"});
+  EXPECT_EQ(ds.UserLabel(1), "Bob");
+  EXPECT_EQ(ds.ItemLabel(0), "Hammer");
+  EXPECT_TRUE(ds.Validate().ok());
+  EXPECT_NE(ds.Summary().find("demo"), std::string::npos);
+  EXPECT_NE(ds.Summary().find("2 users"), std::string::npos);
+}
+
+TEST(DatasetTest, ValidateRejectsLabelMismatch) {
+  CsrMatrix m = CsrMatrix::FromPairs({{0, 1}}, 2, 2).value();
+  Dataset ds("bad", m);
+  ds.set_user_labels({"only-one"});
+  EXPECT_TRUE(ds.Validate().IsInvalidArgument());
+}
+
+// --------------------------------------------------------------- Loaders
+
+TEST(LoadersTest, MovieLens100KThresholdAndCompaction) {
+  TempFile f(
+      "10\t100\t5\t881250949\n"
+      "10\t200\t2\t881250950\n"   // below threshold -> dropped
+      "20\t100\t3\t881250951\n"
+      "20\t300\t4\t881250952\n");
+  auto ds = LoadMovieLens100K(f.path()).value();
+  EXPECT_EQ(ds.num_users(), 2u);   // ids 10, 20 compacted
+  EXPECT_EQ(ds.num_items(), 2u);   // items 100, 300 (200 dropped entirely)
+  EXPECT_EQ(ds.num_interactions(), 3u);
+}
+
+TEST(LoadersTest, MovieLens1MFormat) {
+  TempFile f(
+      "1::1193::5::978300760\n"
+      "1::661::3::978302109\n"
+      "2::1193::1::978298413\n");
+  auto ds = LoadMovieLens1M(f.path()).value();
+  EXPECT_EQ(ds.num_users(), 1u);  // user 2's only rating is below threshold
+  EXPECT_EQ(ds.num_interactions(), 2u);
+}
+
+TEST(LoadersTest, NetflixPerMovieFormat) {
+  TempFile f(
+      "1:\n"
+      "6,3,2005-09-06\n"
+      "7,5,2005-05-13\n"
+      "8,2,2005-10-19\n"
+      "2:\n"
+      "6,4,2005-09-06\n");
+  auto ds = LoadNetflix({f.path()}).value();
+  EXPECT_EQ(ds.num_interactions(), 3u);  // user 8 dropped (rating 2)
+  EXPECT_EQ(ds.num_users(), 2u);
+  EXPECT_EQ(ds.num_items(), 2u);
+}
+
+TEST(LoadersTest, NetflixRejectsRatingBeforeHeader) {
+  TempFile f("6,3,2005-09-06\n");
+  EXPECT_TRUE(LoadNetflix({f.path()}).status().IsParseError());
+}
+
+TEST(LoadersTest, CsvPairsWithComments) {
+  TempFile f(
+      "# comment line\n"
+      "0 5\n"
+      "1 5\n"
+      "1 6\n");
+  CsvOptions opts;
+  opts.compact_ids = false;
+  auto ds = LoadCsv(f.path(), opts).value();
+  EXPECT_EQ(ds.num_users(), 2u);
+  EXPECT_EQ(ds.num_items(), 7u);  // raw ids preserved
+  EXPECT_EQ(ds.num_interactions(), 3u);
+  EXPECT_TRUE(ds.interactions().HasEntry(1, 6));
+}
+
+TEST(LoadersTest, CsvLinePerUserCiteULikeStyle) {
+  // First token = item count (CiteULike users.dat convention).
+  TempFile f(
+      "2 13 17\n"
+      "1 5\n"
+      "3 1 2 3\n");
+  CsvOptions opts;
+  opts.line_per_user = true;
+  auto ds = LoadCsv(f.path(), opts).value();
+  EXPECT_EQ(ds.num_users(), 3u);
+  EXPECT_EQ(ds.num_interactions(), 6u);
+  EXPECT_TRUE(ds.interactions().HasEntry(0, 13));
+  EXPECT_TRUE(ds.interactions().HasEntry(2, 3));
+}
+
+TEST(LoadersTest, CsvWithRatingColumn) {
+  TempFile f(
+      "0,10,4.0\n"
+      "0,11,2.0\n"
+      "1,10,3.0\n");
+  CsvOptions opts;
+  opts.delimiter = ',';
+  opts.rating_column = 2;
+  auto ds = LoadCsv(f.path(), opts).value();
+  EXPECT_EQ(ds.num_interactions(), 2u);  // 2.0 dropped
+}
+
+TEST(LoadersTest, MissingFileIsIOError) {
+  EXPECT_TRUE(LoadMovieLens100K("/nonexistent/file").status().IsIOError());
+  EXPECT_TRUE(LoadCsv("/nonexistent/file").status().IsIOError());
+}
+
+TEST(LoadersTest, MalformedLinesAreParseErrors) {
+  TempFile bad_fields("1\t2\n");  // too few fields for ml-100k
+  EXPECT_TRUE(LoadMovieLens100K(bad_fields.path()).status().IsParseError());
+  TempFile bad_int("a\tb\t3\t0\n");
+  EXPECT_TRUE(LoadMovieLens100K(bad_int.path()).status().IsParseError());
+  TempFile bad_rating("1\t2\tx\t0\n");
+  EXPECT_TRUE(LoadMovieLens100K(bad_rating.path()).status().IsParseError());
+}
+
+TEST(LoadersTest, GarbageBytesAreParseErrorsNotCrashes) {
+  // Binary junk, partial lines, embedded NULs: every loader must return a
+  // clean ParseError (or succeed on the benign prefix), never crash.
+  std::string junk;
+  Rng rng(97);
+  for (int b = 0; b < 512; ++b) {
+    junk.push_back(static_cast<char>(rng.UniformInt(uint64_t{256})));
+  }
+  TempFile f(junk);
+  auto ml = LoadMovieLens100K(f.path());
+  EXPECT_TRUE(!ml.ok() || ml->num_interactions() == 0);
+  auto ml1m = LoadMovieLens1M(f.path());
+  EXPECT_TRUE(!ml1m.ok() || ml1m->num_interactions() == 0);
+  auto nf = LoadNetflix({f.path()});
+  EXPECT_TRUE(!nf.ok() || nf->num_interactions() == 0);
+  auto csv = LoadCsv(f.path());
+  EXPECT_TRUE(!csv.ok() || csv->num_interactions() == 0);
+  CsvOptions lpu;
+  lpu.line_per_user = true;
+  auto cul = LoadCsv(f.path(), lpu);
+  EXPECT_TRUE(!cul.ok() || cul->num_interactions() == 0);
+}
+
+TEST(LoadersTest, SaveCsvRoundTrips) {
+  CsrMatrix m =
+      CsrMatrix::FromPairs({{0, 1}, {0, 3}, {2, 0}}, 3, 4).value();
+  Dataset ds("rt", m);
+  const std::string path = ::testing::TempDir() + "/ocular_roundtrip.tsv";
+  ASSERT_TRUE(SaveCsv(ds, path).ok());
+  CsvOptions opts;
+  opts.delimiter = '\t';
+  opts.compact_ids = false;
+  auto loaded = LoadCsv(path, opts).value();
+  EXPECT_EQ(loaded.num_interactions(), 3u);
+  EXPECT_TRUE(loaded.interactions().HasEntry(2, 0));
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------- Splits
+
+CsrMatrix RandomMatrix(uint32_t rows, uint32_t cols, int nnz, uint64_t seed) {
+  Rng rng(seed);
+  CooBuilder coo;
+  for (int e = 0; e < nnz; ++e) {
+    coo.Add(static_cast<uint32_t>(rng.UniformInt(uint64_t{rows})),
+            static_cast<uint32_t>(rng.UniformInt(uint64_t{cols})));
+  }
+  return CsrMatrix::FromCoo(coo.Finalize(rows, cols).value());
+}
+
+TEST(SplitTest, PartitionIsDisjointAndComplete) {
+  CsrMatrix m = RandomMatrix(50, 40, 800, 1);
+  Rng rng(2);
+  auto split = SplitInteractions(m, 0.75, &rng).value();
+  EXPECT_EQ(split.train.num_rows(), m.num_rows());
+  EXPECT_EQ(split.test.num_cols(), m.num_cols());
+  EXPECT_EQ(split.train.nnz() + split.test.nnz(), m.nnz());
+  for (auto [u, i] : split.test.ToPairs()) {
+    EXPECT_TRUE(m.HasEntry(u, i));
+    EXPECT_FALSE(split.train.HasEntry(u, i));
+  }
+  // ~75% in train (binomial, generous tolerance).
+  const double frac =
+      static_cast<double>(split.train.nnz()) / static_cast<double>(m.nnz());
+  EXPECT_NEAR(frac, 0.75, 0.08);
+}
+
+TEST(SplitTest, ExtremeFractions) {
+  CsrMatrix m = RandomMatrix(20, 20, 100, 3);
+  Rng rng(4);
+  auto all_train = SplitInteractions(m, 1.0, &rng).value();
+  EXPECT_EQ(all_train.train.nnz(), m.nnz());
+  EXPECT_EQ(all_train.test.nnz(), 0u);
+  auto all_test = SplitInteractions(m, 0.0, &rng).value();
+  EXPECT_EQ(all_test.test.nnz(), m.nnz());
+}
+
+TEST(SplitTest, InvalidArguments) {
+  CsrMatrix m = RandomMatrix(5, 5, 10, 5);
+  Rng rng(6);
+  EXPECT_TRUE(SplitInteractions(m, 1.5, &rng).status().IsInvalidArgument());
+  EXPECT_TRUE(SplitInteractions(m, -0.1, &rng).status().IsInvalidArgument());
+  EXPECT_TRUE(SplitInteractions(m, 0.5, nullptr).status().IsInvalidArgument());
+}
+
+TEST(SplitTest, LeaveKOutHoldsExactlyK) {
+  CsrMatrix m = RandomMatrix(30, 60, 900, 7);
+  Rng rng(8);
+  auto split = LeaveKOut(m, 2, &rng).value();
+  EXPECT_EQ(split.train.nnz() + split.test.nnz(), m.nnz());
+  for (uint32_t u = 0; u < m.num_rows(); ++u) {
+    if (m.RowDegree(u) > 2) {
+      EXPECT_EQ(split.test.RowDegree(u), 2u) << "user " << u;
+    } else {
+      EXPECT_EQ(split.test.RowDegree(u), 0u) << "user " << u;
+    }
+  }
+}
+
+TEST(SplitTest, KFoldCoversEachEntryExactlyOnce) {
+  CsrMatrix m = RandomMatrix(25, 25, 300, 9);
+  Rng rng(10);
+  auto folds = KFoldSplits(m, 4, &rng).value();
+  ASSERT_EQ(folds.size(), 4u);
+  size_t total_test = 0;
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.train.nnz() + fold.test.nnz(), m.nnz());
+    total_test += fold.test.nnz();
+  }
+  EXPECT_EQ(total_test, m.nnz());  // each entry tests in exactly one fold
+}
+
+TEST(SplitTest, KFoldRejectsBadArgs) {
+  CsrMatrix m = RandomMatrix(5, 5, 10, 11);
+  Rng rng(12);
+  EXPECT_TRUE(KFoldSplits(m, 1, &rng).status().IsInvalidArgument());
+}
+
+TEST(SplitTest, SampleFractionSizes) {
+  CsrMatrix m = RandomMatrix(40, 40, 600, 13);
+  Rng rng(14);
+  auto half = SampleFraction(m, 0.5, &rng).value();
+  EXPECT_NEAR(static_cast<double>(half.nnz()),
+              static_cast<double>(m.nnz()) * 0.5, 1.0);
+  for (auto [u, i] : half.ToPairs()) EXPECT_TRUE(m.HasEntry(u, i));
+  EXPECT_EQ(SampleFraction(m, 1.0, &rng).value().nnz(), m.nnz());
+  EXPECT_EQ(SampleFraction(m, 0.0, &rng).value().nnz(), 0u);
+}
+
+// ------------------------------------------------------------- Synthetic
+
+TEST(SyntheticTest, PlantedShapeAndValidity) {
+  PlantedCoClusterConfig cfg;
+  cfg.num_users = 80;
+  cfg.num_items = 60;
+  cfg.num_clusters = 5;
+  Rng rng(15);
+  auto data = GeneratePlantedCoClusters(cfg, &rng).value();
+  EXPECT_EQ(data.dataset.num_users(), 80u);
+  EXPECT_EQ(data.dataset.num_items(), 60u);
+  EXPECT_GT(data.dataset.num_interactions(), 0u);
+  EXPECT_EQ(data.user_factors.rows(), 80u);
+  EXPECT_EQ(data.user_factors.cols(), 5u);
+  EXPECT_EQ(data.cluster_users.size(), 5u);
+}
+
+TEST(SyntheticTest, TrueProbabilityMatchesFactors) {
+  PlantedCoClusterConfig cfg;
+  cfg.num_users = 10;
+  cfg.num_items = 10;
+  cfg.num_clusters = 2;
+  Rng rng(16);
+  auto data = GeneratePlantedCoClusters(cfg, &rng).value();
+  for (uint32_t u = 0; u < 10; ++u) {
+    for (uint32_t i = 0; i < 10; ++i) {
+      const double p = data.TrueProbability(u, i);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LT(p, 1.0);
+    }
+  }
+}
+
+TEST(SyntheticTest, EdgesConcentrateInsideClusters) {
+  PlantedCoClusterConfig cfg;
+  cfg.num_users = 200;
+  cfg.num_items = 150;
+  cfg.num_clusters = 4;
+  cfg.noise = 0.0;
+  Rng rng(17);
+  auto data = GeneratePlantedCoClusters(cfg, &rng).value();
+  // Without noise every edge must be inside at least one planted cluster,
+  // i.e. its true probability is positive.
+  for (auto [u, i] : data.dataset.interactions().ToPairs()) {
+    EXPECT_GT(data.TrueProbability(u, i), 0.0);
+  }
+}
+
+TEST(SyntheticTest, RejectsBadConfig) {
+  Rng rng(18);
+  PlantedCoClusterConfig cfg;
+  cfg.num_users = 0;
+  EXPECT_TRUE(GeneratePlantedCoClusters(cfg, &rng).status()
+                  .IsInvalidArgument());
+  cfg.num_users = 10;
+  cfg.num_clusters = 0;
+  EXPECT_TRUE(GeneratePlantedCoClusters(cfg, &rng).status()
+                  .IsInvalidArgument());
+  cfg.num_clusters = 2;
+  cfg.strength_min = 2.0;
+  cfg.strength_max = 1.0;
+  EXPECT_TRUE(GeneratePlantedCoClusters(cfg, &rng).status()
+                  .IsInvalidArgument());
+  cfg.strength_min = 1.0;
+  EXPECT_TRUE(GeneratePlantedCoClusters(cfg, nullptr).status()
+                  .IsInvalidArgument());
+}
+
+TEST(SyntheticTest, PaperToyMatchesFigureOne) {
+  Dataset toy = MakePaperToyDataset();
+  EXPECT_EQ(toy.num_users(), 12u);
+  EXPECT_EQ(toy.num_items(), 12u);
+  const CsrMatrix& m = toy.interactions();
+  // User 6 has items 1-3 and 5-9 but NOT 4 (the headline recommendation).
+  for (uint32_t i : {1u, 2u, 3u, 5u, 6u, 7u, 8u, 9u}) {
+    EXPECT_TRUE(m.HasEntry(6, i)) << i;
+  }
+  EXPECT_FALSE(m.HasEntry(6, 4));
+  // Users 4, 5 bought items 1-4.
+  for (uint32_t i : {1u, 2u, 3u, 4u}) {
+    EXPECT_TRUE(m.HasEntry(4, i));
+    EXPECT_TRUE(m.HasEntry(5, i));
+  }
+  // Users 7-9 bought items 4-9.
+  for (uint32_t u : {7u, 8u, 9u}) {
+    for (uint32_t i : {4u, 5u, 6u, 7u, 8u, 9u}) EXPECT_TRUE(m.HasEntry(u, i));
+  }
+  // Rows 3, 10, 11 and columns 0, 10, 11 are empty.
+  EXPECT_EQ(m.RowDegree(3), 0u);
+  EXPECT_EQ(m.RowDegree(10), 0u);
+  EXPECT_EQ(m.RowDegree(11), 0u);
+  auto col_deg = m.ColumnDegrees();
+  EXPECT_EQ(col_deg[0], 0u);
+  EXPECT_EQ(col_deg[10], 0u);
+  EXPECT_EQ(col_deg[11], 0u);
+  EXPECT_TRUE(toy.has_user_labels());
+  EXPECT_EQ(toy.UserLabel(6), "Client 6");
+}
+
+TEST(SyntheticTest, ShapedGeneratorsScale) {
+  Rng rng(19);
+  auto ml = MakeMovieLensLike(0.02, &rng).value();
+  // Users scale linearly; items by sqrt(scale) (see MakeShaped).
+  EXPECT_NEAR(ml.dataset.num_users(), 6040 * 0.02, 2);
+  EXPECT_NEAR(ml.dataset.num_items(), 3706 * std::sqrt(0.02), 2);
+  EXPECT_GT(ml.dataset.num_interactions(), 100u);
+  EXPECT_EQ(ml.dataset.name(), "movielens-like");
+  // Mean positives-per-user tracks the real dataset's ~95 (within noise;
+  // some users are idiosyncratic/empty by design).
+  const double deg = static_cast<double>(ml.dataset.num_interactions()) /
+                     ml.dataset.num_users();
+  EXPECT_GT(deg, 40.0);
+  EXPECT_LT(deg, 200.0);
+
+  auto b2b = MakeB2BLike(0.005, &rng).value();
+  EXPECT_EQ(b2b.dataset.name(), "b2b-like");
+  EXPECT_GT(b2b.dataset.num_interactions(), 0u);
+
+  EXPECT_TRUE(MakeMovieLensLike(0.0, &rng).status().IsInvalidArgument());
+  EXPECT_TRUE(MakeMovieLensLike(1.5, &rng).status().IsInvalidArgument());
+}
+
+TEST(SyntheticTest, GeneratorIsDeterministicGivenSeed) {
+  PlantedCoClusterConfig cfg;
+  cfg.num_users = 50;
+  cfg.num_items = 50;
+  cfg.num_clusters = 3;
+  Rng rng1(42), rng2(42);
+  auto d1 = GeneratePlantedCoClusters(cfg, &rng1).value();
+  auto d2 = GeneratePlantedCoClusters(cfg, &rng2).value();
+  EXPECT_EQ(d1.dataset.interactions(), d2.dataset.interactions());
+}
+
+}  // namespace
+}  // namespace ocular

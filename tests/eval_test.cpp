@@ -1,0 +1,292 @@
+// Unit tests for src/eval: TopM selection, ranking metrics (hand-checked
+// values + properties), the evaluation harness, and grid search plumbing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "common/rng.h"
+#include "eval/grid_search.h"
+#include "eval/metrics.h"
+#include "eval/recommender.h"
+
+namespace ocular {
+namespace {
+
+// ------------------------------------------------------------------ TopM
+
+TEST(TopMTest, SelectsHighestScores) {
+  std::vector<double> scores{0.1, 0.9, 0.5, 0.7};
+  auto top = TopM(scores, 2, {});
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].item, 1u);
+  EXPECT_EQ(top[1].item, 3u);
+}
+
+TEST(TopMTest, ExcludesGivenItems) {
+  std::vector<double> scores{0.1, 0.9, 0.5, 0.7};
+  std::vector<uint32_t> exclude{1, 3};
+  auto top = TopM(scores, 2, exclude);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].item, 2u);
+  EXPECT_EQ(top[1].item, 0u);
+}
+
+TEST(TopMTest, TieBreaksByLowerIndex) {
+  std::vector<double> scores{0.5, 0.5, 0.5};
+  auto top = TopM(scores, 3, {});
+  EXPECT_EQ(top[0].item, 0u);
+  EXPECT_EQ(top[1].item, 1u);
+  EXPECT_EQ(top[2].item, 2u);
+}
+
+TEST(TopMTest, MLargerThanCandidates) {
+  std::vector<double> scores{0.3, 0.1};
+  auto top = TopM(scores, 10, {});
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].item, 0u);
+}
+
+TEST(TopMTest, MatchesFullSortOnRandomInput) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> scores(100);
+    for (auto& s : scores) s = rng.Uniform();
+    std::vector<uint32_t> exclude;
+    for (uint32_t i = 0; i < 100; ++i) {
+      if (rng.Bernoulli(0.2)) exclude.push_back(i);
+    }
+    const uint32_t m = 1 + static_cast<uint32_t>(rng.UniformInt(uint64_t{20}));
+    auto fast = TopM(scores, m, exclude);
+
+    // Brute-force reference.
+    std::vector<ScoredItem> all;
+    for (uint32_t i = 0; i < 100; ++i) {
+      if (!std::binary_search(exclude.begin(), exclude.end(), i)) {
+        all.push_back({i, scores[i]});
+      }
+    }
+    std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+      if (a.score != b.score) return a.score > b.score;
+      return a.item < b.item;
+    });
+    all.resize(std::min<size_t>(m, all.size()));
+    ASSERT_EQ(fast.size(), all.size());
+    for (size_t r = 0; r < all.size(); ++r) {
+      EXPECT_EQ(fast[r].item, all[r].item) << "rank " << r;
+    }
+  }
+}
+
+// --------------------------------------------------------------- Metrics
+
+std::vector<ScoredItem> Ranked(std::initializer_list<uint32_t> items) {
+  std::vector<ScoredItem> out;
+  double score = 1.0;
+  for (uint32_t i : items) out.push_back({i, score -= 0.01});
+  return out;
+}
+
+TEST(MetricsTest, RecallHandChecked) {
+  auto ranked = Ranked({10, 20, 30, 40});
+  std::vector<uint32_t> relevant{20, 40, 99};
+  EXPECT_DOUBLE_EQ(RecallAtM(ranked, 4, relevant), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(RecallAtM(ranked, 1, relevant), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAtM(ranked, 2, relevant), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(RecallAtM(ranked, 4, {}), 0.0);
+}
+
+TEST(MetricsTest, PrecisionHandChecked) {
+  auto ranked = Ranked({10, 20, 30, 40});
+  std::vector<uint32_t> relevant{20, 40};
+  EXPECT_DOUBLE_EQ(PrecisionAtM(ranked, 2, relevant), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtM(ranked, 4, relevant), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtM(ranked, 0, relevant), 0.0);
+}
+
+TEST(MetricsTest, AveragePrecisionHandChecked) {
+  // Ranks: 1 -> relevant, 2 -> not, 3 -> relevant. relevant total = 2.
+  auto ranked = Ranked({5, 6, 7});
+  std::vector<uint32_t> relevant{5, 7};
+  // AP@3 = (1/1 + 2/3) / min(2, 3) = (1 + 0.666..) / 2.
+  EXPECT_NEAR(AveragePrecisionAtM(ranked, 3, relevant), (1.0 + 2.0 / 3.0) / 2,
+              1e-12);
+  // AP@1 = (1/1) / min(2, 1) = 1.
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtM(ranked, 1, relevant), 1.0);
+}
+
+TEST(MetricsTest, ApIsOneForPerfectRanking) {
+  auto ranked = Ranked({1, 2, 3});
+  std::vector<uint32_t> relevant{1, 2, 3};
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtM(ranked, 3, relevant), 1.0);
+  EXPECT_DOUBLE_EQ(NdcgAtM(ranked, 3, relevant), 1.0);
+  EXPECT_DOUBLE_EQ(HitRateAtM(ranked, 3, relevant), 1.0);
+}
+
+TEST(MetricsTest, ZeroWhenNothingRelevantRanked) {
+  auto ranked = Ranked({1, 2, 3});
+  std::vector<uint32_t> relevant{7, 8};
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtM(ranked, 3, relevant), 0.0);
+  EXPECT_DOUBLE_EQ(NdcgAtM(ranked, 3, relevant), 0.0);
+  EXPECT_DOUBLE_EQ(HitRateAtM(ranked, 3, relevant), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAtM(ranked, 3, relevant), 0.0);
+}
+
+TEST(MetricsTest, NdcgPositionDiscounting) {
+  // Hit at rank 1 beats hit at rank 2 for a single relevant item.
+  std::vector<uint32_t> relevant{5};
+  EXPECT_GT(NdcgAtM(Ranked({5, 6}), 2, relevant),
+            NdcgAtM(Ranked({6, 5}), 2, relevant));
+}
+
+// Property: recall is non-decreasing in M; AP, precision in [0,1].
+class MetricMonotonicityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricMonotonicityTest, RecallMonotoneApBounded) {
+  Rng rng(GetParam());
+  std::vector<ScoredItem> ranked;
+  for (uint32_t i = 0; i < 50; ++i) ranked.push_back({i, rng.Uniform()});
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.score > b.score; });
+  std::vector<uint32_t> relevant;
+  for (uint32_t i = 0; i < 50; ++i) {
+    if (rng.Bernoulli(0.25)) relevant.push_back(i);
+  }
+  if (relevant.empty()) relevant.push_back(7);
+  double prev_recall = 0.0;
+  for (uint32_t m = 1; m <= 50; ++m) {
+    const double recall = RecallAtM(ranked, m, relevant);
+    EXPECT_GE(recall, prev_recall);
+    prev_recall = recall;
+    const double ap = AveragePrecisionAtM(ranked, m, relevant);
+    EXPECT_GE(ap, 0.0);
+    EXPECT_LE(ap, 1.0);
+    EXPECT_LE(PrecisionAtM(ranked, m, relevant), 1.0);
+    EXPECT_LE(NdcgAtM(ranked, m, relevant), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(prev_recall, 1.0);  // everything retrieved at M=50
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricMonotonicityTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ------------------------------------------------------ Evaluate harness
+
+/// Oracle recommender that knows the test matrix: scores test positives
+/// highest. Gives recall/MAP == 1 when the harness is correct.
+class OracleRecommender : public Recommender {
+ public:
+  explicit OracleRecommender(const CsrMatrix& test) : test_(test) {}
+  std::string name() const override { return "oracle"; }
+  Status Fit(const CsrMatrix&) override { return Status::OK(); }
+  double Score(uint32_t u, uint32_t i) const override {
+    return test_.HasEntry(u, i) ? 1.0 : 0.0;
+  }
+  uint32_t num_users() const override { return test_.num_rows(); }
+  uint32_t num_items() const override { return test_.num_cols(); }
+
+ private:
+  CsrMatrix test_;
+};
+
+/// Adversarial recommender: scores everything identically (worst case for
+/// tie handling).
+class ConstantRecommender : public Recommender {
+ public:
+  ConstantRecommender(uint32_t nu, uint32_t ni) : nu_(nu), ni_(ni) {}
+  std::string name() const override { return "constant"; }
+  Status Fit(const CsrMatrix&) override { return Status::OK(); }
+  double Score(uint32_t, uint32_t) const override { return 0.5; }
+  uint32_t num_users() const override { return nu_; }
+  uint32_t num_items() const override { return ni_; }
+
+ private:
+  uint32_t nu_, ni_;
+};
+
+TEST(EvaluateRankingTest, OracleGetsPerfectScores) {
+  CsrMatrix train = CsrMatrix::FromPairs({{0, 0}, {1, 1}}, 3, 6).value();
+  CsrMatrix test =
+      CsrMatrix::FromPairs({{0, 2}, {0, 3}, {1, 4}}, 3, 6).value();
+  OracleRecommender oracle(test);
+  auto rows = EvaluateRanking(oracle, train, test, {2, 5}).value();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].recall, 1.0);
+  EXPECT_DOUBLE_EQ(rows[0].map, 1.0);
+  EXPECT_DOUBLE_EQ(rows[1].recall, 1.0);
+  EXPECT_EQ(rows[0].num_users, 2u);  // user 2 has no test positives
+}
+
+TEST(EvaluateRankingTest, TrainPositivesAreExcluded) {
+  // If train positives leaked into the candidate list, the oracle's test
+  // items would be displaced. Put a train positive that the constant
+  // recommender would otherwise rank first.
+  CsrMatrix train = CsrMatrix::FromPairs({{0, 0}, {0, 1}}, 1, 4).value();
+  CsrMatrix test = CsrMatrix::FromPairs({{0, 2}}, 1, 4).value();
+  ConstantRecommender rec(1, 4);
+  // Candidates are items 2, 3 (0 and 1 excluded); with ties broken by
+  // index, top-1 = item 2 = the test positive.
+  auto row = EvaluateRankingAtM(rec, train, test, 1).value();
+  EXPECT_DOUBLE_EQ(row.recall, 1.0);
+}
+
+TEST(EvaluateRankingTest, RejectsBadArguments) {
+  CsrMatrix a = CsrMatrix::FromPairs({{0, 0}}, 2, 2).value();
+  CsrMatrix b = CsrMatrix::FromPairs({{0, 0}}, 3, 2).value();
+  ConstantRecommender rec(2, 2);
+  EXPECT_TRUE(EvaluateRanking(rec, a, b, {5}).status().IsInvalidArgument());
+  EXPECT_TRUE(EvaluateRanking(rec, a, a, {}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      EvaluateRanking(rec, a, a, {5, 2}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      EvaluateRanking(rec, a, a, {0, 5}).status().IsInvalidArgument());
+}
+
+TEST(EvaluateRankingTest, SkipsUsersWithoutTestPositives) {
+  CsrMatrix train = CsrMatrix::FromPairs({{0, 0}, {1, 1}}, 2, 3).value();
+  CsrMatrix test = CsrMatrix::FromPairs({{1, 2}}, 2, 3).value();
+  OracleRecommender oracle(test);
+  auto row = EvaluateRankingAtM(oracle, train, test, 2).value();
+  EXPECT_EQ(row.num_users, 1u);
+  EXPECT_DOUBLE_EQ(row.recall, 1.0);
+}
+
+// ------------------------------------------------------------ GridSearch
+
+TEST(GridSearchTest, FindsBestCellAndRendersHeatmap) {
+  CsrMatrix train = CsrMatrix::FromPairs({{0, 0}, {1, 1}}, 2, 4).value();
+  CsrMatrix test = CsrMatrix::FromPairs({{0, 2}, {1, 3}}, 2, 4).value();
+  // Factory returns the oracle only for (k=2, lambda=1.0), a dud otherwise.
+  auto factory = [&](const GridPoint& p) -> std::unique_ptr<Recommender> {
+    if (p.k == 2 && p.lambda == 1.0) {
+      return std::make_unique<OracleRecommender>(test);
+    }
+    return std::make_unique<ConstantRecommender>(2, 4);
+  };
+  auto result =
+      GridSearch(factory, {1, 2}, {0.0, 1.0}, train, test, 1).value();
+  EXPECT_EQ(result.cells.size(), 4u);
+  EXPECT_EQ(result.best().point.k, 2u);
+  EXPECT_DOUBLE_EQ(result.best().point.lambda, 1.0);
+  EXPECT_DOUBLE_EQ(result.best().recall, 1.0);
+  const std::string heatmap = RenderGridHeatmap(result);
+  EXPECT_NE(heatmap.find("best: K=2"), std::string::npos);
+}
+
+TEST(GridSearchTest, RejectsEmptyGridAndNullFactory) {
+  CsrMatrix m = CsrMatrix::FromPairs({{0, 0}}, 1, 2).value();
+  auto factory = [](const GridPoint&) -> std::unique_ptr<Recommender> {
+    return nullptr;
+  };
+  EXPECT_TRUE(
+      GridSearch(factory, {}, {1.0}, m, m, 5).status().IsInvalidArgument());
+  EXPECT_TRUE(GridSearch(RecommenderFactory{}, {1}, {1.0}, m, m, 5)
+                  .status()
+                  .IsInvalidArgument());
+  // Factory returning null is an Internal error.
+  EXPECT_FALSE(GridSearch(factory, {1}, {1.0}, m, m, 5).ok());
+}
+
+}  // namespace
+}  // namespace ocular

@@ -1,0 +1,232 @@
+// Unit tests for src/graph: bipartite graph view, modularity, Louvain,
+// BIGCLAM.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/synthetic.h"
+#include "graph/bigclam.h"
+#include "graph/graph.h"
+#include "graph/louvain.h"
+
+namespace ocular {
+namespace {
+
+// ----------------------------------------------------------------- Graph
+
+TEST(GraphTest, FromBipartiteShape) {
+  CsrMatrix r = CsrMatrix::FromPairs({{0, 0}, {0, 1}, {1, 1}}, 2, 3).value();
+  Graph g = Graph::FromBipartite(r);
+  EXPECT_EQ(g.num_nodes(), 5u);      // 2 users + 3 items
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.bipartite_offset(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 2));      // user 0 - item 0
+  EXPECT_TRUE(g.HasEdge(3, 0));      // item 1 - user 0 (symmetric)
+  EXPECT_FALSE(g.HasEdge(0, 4));
+  EXPECT_EQ(g.Degree(3), 2u);        // item 1 bought by both users
+}
+
+TEST(GraphTest, FromEdgesValidation) {
+  EXPECT_TRUE(Graph::FromEdges(3, {{0, 5}}).status().IsInvalidArgument());
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 0}, {2, 2}, {2, 3}}).value();
+  EXPECT_EQ(g.num_edges(), 2u);  // duplicate collapsed, self-loop dropped
+}
+
+TEST(ModularityTest, HandComputedTwoTriangles) {
+  // Two triangles joined by one edge; perfect split has known modularity.
+  Graph g = Graph::FromEdges(
+                6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}})
+                .value();
+  std::vector<uint32_t> split{0, 0, 0, 1, 1, 1};
+  // m = 7; community degrees: 7 and 7; intra = 3 each.
+  // Q = 2*(3/7 - (7/14)^2) = 6/7 - 0.5.
+  EXPECT_NEAR(Modularity(g, split), 6.0 / 7.0 - 0.5, 1e-12);
+  // The all-in-one assignment has modularity 0.
+  std::vector<uint32_t> lump(6, 0);
+  EXPECT_NEAR(Modularity(g, lump), 0.0, 1e-12);
+}
+
+// --------------------------------------------------------------- Louvain
+
+TEST(LouvainTest, SeparatesTwoCliques) {
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  for (uint32_t a = 0; a < 5; ++a) {
+    for (uint32_t b = a + 1; b < 5; ++b) {
+      edges.push_back({a, b});          // clique 1: nodes 0-4
+      edges.push_back({a + 5, b + 5});  // clique 2: nodes 5-9
+    }
+  }
+  edges.push_back({0, 5});  // weak bridge
+  Graph g = Graph::FromEdges(10, edges).value();
+  auto result = DetectCommunitiesLouvain(g);
+  EXPECT_EQ(result.num_communities, 2u);
+  // All clique-1 nodes in one community, clique-2 in another.
+  for (uint32_t v = 1; v < 5; ++v) {
+    EXPECT_EQ(result.community[v], result.community[0]);
+  }
+  for (uint32_t v = 6; v < 10; ++v) {
+    EXPECT_EQ(result.community[v], result.community[5]);
+  }
+  EXPECT_NE(result.community[0], result.community[5]);
+  EXPECT_GT(result.modularity, 0.3);
+}
+
+TEST(LouvainTest, EmptyGraphIsAllSingletons) {
+  Graph g = Graph::FromEdges(4, {}).value();
+  auto result = DetectCommunitiesLouvain(g);
+  EXPECT_EQ(result.num_communities, 4u);
+  EXPECT_DOUBLE_EQ(result.modularity, 0.0);
+}
+
+TEST(LouvainTest, AssignsEveryNodeExactlyOneCommunity) {
+  // The structural limitation Figure 2 illustrates: node 6 (user 6 of the
+  // toy example) belongs to two ground-truth co-clusters, but Louvain can
+  // only give it one label.
+  Dataset toy = MakePaperToyDataset();
+  Graph g = Graph::FromBipartite(toy.interactions());
+  auto result = DetectCommunitiesLouvain(g);
+  ASSERT_EQ(result.community.size(), 24u);
+  for (uint32_t c : result.community) {
+    EXPECT_LT(c, result.num_communities);
+  }
+  // Non-overlap by construction: the assignment is a single vector. This
+  // test documents the comparison; the Fig. 2 bench quantifies the damage.
+  EXPECT_GE(result.num_communities, 2u);
+}
+
+// --------------------------------------------------------------- BIGCLAM
+
+TEST(BigClamTest, ValidatesConfig) {
+  Graph g = Graph::FromEdges(3, {{0, 1}}).value();
+  BigClamConfig cfg;
+  cfg.k = 0;
+  EXPECT_TRUE(RunBigClam(g, cfg).status().IsInvalidArgument());
+  cfg = BigClamConfig{};
+  cfg.learning_rate = 0;
+  EXPECT_TRUE(RunBigClam(g, cfg).status().IsInvalidArgument());
+}
+
+TEST(BigClamTest, FactorsStayNonNegative) {
+  Dataset toy = MakePaperToyDataset();
+  Graph g = Graph::FromBipartite(toy.interactions());
+  BigClamConfig cfg;
+  cfg.k = 3;
+  cfg.max_iterations = 50;
+  auto result = RunBigClam(g, cfg).value();
+  for (uint32_t v = 0; v < g.num_nodes(); ++v) {
+    for (uint32_t c = 0; c < cfg.k; ++c) {
+      EXPECT_GE(result.factors.At(v, c), 0.0);
+    }
+  }
+  EXPECT_GT(result.threshold, 0.0);
+  EXPECT_EQ(result.communities.size(), cfg.k);
+}
+
+TEST(BigClamTest, LikelihoodImproves) {
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  for (uint32_t a = 0; a < 6; ++a) {
+    for (uint32_t b = a + 1; b < 6; ++b) {
+      edges.push_back({a, b});
+      edges.push_back({a + 6, b + 6});
+    }
+  }
+  Graph g = Graph::FromEdges(12, edges).value();
+  BigClamConfig cfg;
+  cfg.k = 2;
+  cfg.max_iterations = 2;
+  const double early = RunBigClam(g, cfg).value().log_likelihood;
+  cfg.max_iterations = 60;
+  const double late = RunBigClam(g, cfg).value().log_likelihood;
+  EXPECT_GE(late, early - 1e-9);
+}
+
+TEST(BigClamTest, RecoversTwoCliques) {
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  for (uint32_t a = 0; a < 8; ++a) {
+    for (uint32_t b = a + 1; b < 8; ++b) {
+      edges.push_back({a, b});
+      edges.push_back({a + 8, b + 8});
+    }
+  }
+  Graph g = Graph::FromEdges(16, edges).value();
+  BigClamConfig cfg;
+  cfg.k = 2;
+  cfg.max_iterations = 120;
+  cfg.seed = 3;
+  auto result = RunBigClam(g, cfg).value();
+  // Each clique should be (mostly) captured by a single community.
+  int captured = 0;
+  for (const auto& comm : result.communities) {
+    std::set<uint32_t> s(comm.begin(), comm.end());
+    int in_first = 0, in_second = 0;
+    for (uint32_t v : s) (v < 8 ? in_first : in_second)++;
+    if (in_first >= 6 && in_second <= 1) ++captured;
+    if (in_second >= 6 && in_first <= 1) ++captured;
+  }
+  EXPECT_GE(captured, 1) << "BIGCLAM should isolate at least one clique";
+}
+
+// ---------------------------------------------------- property sweeps
+
+class GraphPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GraphPropertyTest, BipartiteHandshakeAndDegreeIdentities) {
+  Rng rng(GetParam());
+  CooBuilder coo;
+  for (int e = 0; e < 300; ++e) {
+    coo.Add(static_cast<uint32_t>(rng.UniformInt(uint64_t{25})),
+            static_cast<uint32_t>(rng.UniformInt(uint64_t{20})));
+  }
+  CsrMatrix r = CsrMatrix::FromCoo(coo.Finalize(25, 20).value());
+  Graph g = Graph::FromBipartite(r);
+  // Handshake: sum of degrees = 2 |E| = 2 nnz.
+  size_t degree_sum = 0;
+  for (uint32_t v = 0; v < g.num_nodes(); ++v) degree_sum += g.Degree(v);
+  EXPECT_EQ(degree_sum, 2 * r.nnz());
+  EXPECT_EQ(g.num_edges(), r.nnz());
+  // No user-user or item-item edges (bipartiteness).
+  for (uint32_t u = 0; u < 25; ++u) {
+    for (uint32_t w : g.Neighbors(u)) EXPECT_GE(w, 25u);
+  }
+  for (uint32_t v = 25; v < g.num_nodes(); ++v) {
+    for (uint32_t w : g.Neighbors(v)) EXPECT_LT(w, 25u);
+  }
+}
+
+TEST_P(GraphPropertyTest, LouvainBeatsTrivialPartitions) {
+  Rng rng(GetParam() + 500);
+  // Three noisy cliques.
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  for (uint32_t block = 0; block < 3; ++block) {
+    for (uint32_t a = 0; a < 6; ++a) {
+      for (uint32_t b = a + 1; b < 6; ++b) {
+        if (rng.Bernoulli(0.85)) {
+          edges.push_back({block * 6 + a, block * 6 + b});
+        }
+      }
+    }
+  }
+  for (int e = 0; e < 4; ++e) {
+    edges.push_back(
+        {static_cast<uint32_t>(rng.UniformInt(uint64_t{18})),
+         static_cast<uint32_t>(rng.UniformInt(uint64_t{18}))});
+  }
+  Graph g = Graph::FromEdges(18, edges).value();
+  auto result = DetectCommunitiesLouvain(g);
+  // Must beat the all-in-one community (Q = 0) and all-singletons.
+  std::vector<uint32_t> lump(18, 0);
+  std::vector<uint32_t> singletons(18);
+  for (uint32_t v = 0; v < 18; ++v) singletons[v] = v;
+  EXPECT_GT(result.modularity, Modularity(g, lump));
+  EXPECT_GT(result.modularity, Modularity(g, singletons));
+  // Assignment is a valid dense labeling.
+  for (uint32_t c : result.community) EXPECT_LT(c, result.num_communities);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphPropertyTest,
+                         ::testing::Range<uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace ocular

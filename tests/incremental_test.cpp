@@ -1,0 +1,182 @@
+// Tests for incremental model maintenance (ExpandModel / UpdateModel) and
+// a compile/link check of the umbrella header.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ocular/ocular.h"
+
+namespace ocular {
+namespace {
+
+PlantedCoClusterData Planted(uint32_t users, uint32_t items, uint64_t seed) {
+  PlantedCoClusterConfig cfg;
+  cfg.num_users = users;
+  cfg.num_items = items;
+  cfg.num_clusters = 4;
+  cfg.user_membership_prob = 0.25;
+  cfg.item_membership_prob = 0.25;
+  Rng rng(seed);
+  return GeneratePlantedCoClusters(cfg, &rng).value();
+}
+
+TEST(ExpandModelTest, PreservesOldRowsInitializesNew) {
+  Rng rng(1);
+  DenseMatrix fu(3, 2), fi(2, 2);
+  fu.FillUniform(&rng, 0.1, 1.0);
+  fi.FillUniform(&rng, 0.1, 1.0);
+  OcularModel model(fu, fi);
+  auto grown = ExpandModel(model, 5, 4).value();
+  EXPECT_EQ(grown.num_users(), 5u);
+  EXPECT_EQ(grown.num_items(), 4u);
+  for (uint32_t u = 0; u < 3; ++u) {
+    for (uint32_t c = 0; c < 2; ++c) {
+      EXPECT_DOUBLE_EQ(grown.user_factors().At(u, c), fu.At(u, c));
+    }
+  }
+  // New rows are non-negative and not all zero (cold-start init).
+  double new_mass = 0.0;
+  for (uint32_t u = 3; u < 5; ++u) {
+    for (uint32_t c = 0; c < 2; ++c) {
+      EXPECT_GE(grown.user_factors().At(u, c), 0.0);
+      new_mass += grown.user_factors().At(u, c);
+    }
+  }
+  EXPECT_GT(new_mass, 0.0);
+}
+
+TEST(ExpandModelTest, RefusesToShrink) {
+  OcularModel model(DenseMatrix(3, 2, 0.5), DenseMatrix(3, 2, 0.5));
+  EXPECT_TRUE(ExpandModel(model, 2, 3).status().IsInvalidArgument());
+  EXPECT_TRUE(ExpandModel(model, 3, 2).status().IsInvalidArgument());
+}
+
+TEST(UpdateModelTest, WarmStartConvergesFasterThanCold) {
+  // Train on an initial snapshot; append new users + interactions; update
+  // with few sweeps and compare against cold-starting on the new data.
+  auto v1 = Planted(80, 50, 3);
+  OcularConfig cfg;
+  cfg.k = 6;
+  cfg.lambda = 0.5;
+  cfg.max_sweeps = 60;
+  cfg.tolerance = 1e-6;
+  OcularTrainer trainer(cfg);
+  auto fit_v1 = trainer.Fit(v1.dataset.interactions()).value();
+
+  // v2 = v1 plus 10 fresh users who bought items of cluster 0.
+  CooBuilder coo;
+  for (auto [u, i] : v1.dataset.interactions().ToPairs()) coo.Add(u, i);
+  Rng rng(4);
+  for (uint32_t nu = 80; nu < 90; ++nu) {
+    for (uint32_t i : v1.cluster_items[0]) {
+      if (rng.Bernoulli(0.6)) coo.Add(nu, i);
+    }
+  }
+  CsrMatrix v2 = CsrMatrix::FromCoo(coo.Finalize(90, 50).value());
+
+  OcularConfig update_cfg = cfg;
+  update_cfg.max_sweeps = 60;
+  auto warm = UpdateModel(fit_v1.model, v2, update_cfg).value();
+  auto cold = OcularTrainer(update_cfg).Fit(v2).value();
+
+  // Warm start needs far fewer sweeps to declare convergence...
+  EXPECT_LT(warm.sweeps_run, cold.sweeps_run);
+  // ...and lands at a comparable (or better) objective.
+  EXPECT_LE(warm.trace.back().objective,
+            cold.trace.back().objective * 1.02);
+  EXPECT_TRUE(warm.model.Validate().ok());
+}
+
+TEST(UpdateModelTest, NewUsersGetSensibleRecommendations) {
+  auto v1 = Planted(60, 40, 5);
+  OcularConfig cfg;
+  cfg.k = 6;
+  cfg.lambda = 0.5;
+  cfg.max_sweeps = 50;
+  auto fit_v1 = OcularTrainer(cfg).Fit(v1.dataset.interactions()).value();
+
+  // One new user buys half the items of cluster 1.
+  CooBuilder coo;
+  for (auto [u, i] : v1.dataset.interactions().ToPairs()) coo.Add(u, i);
+  const auto& cluster_items = v1.cluster_items[1];
+  ASSERT_GE(cluster_items.size(), 4u);
+  std::vector<uint32_t> bought, held_out;
+  for (size_t n = 0; n < cluster_items.size(); ++n) {
+    (n % 2 == 0 ? bought : held_out).push_back(cluster_items[n]);
+  }
+  for (uint32_t i : bought) coo.Add(60, i);
+  CsrMatrix v2 = CsrMatrix::FromCoo(coo.Finalize(61, 40).value());
+
+  auto updated = UpdateModel(fit_v1.model, v2, cfg).value();
+  // The held-out cluster items should now score high for the new user.
+  double held_sum = 0.0;
+  for (uint32_t i : held_out) held_sum += updated.model.Probability(60, i);
+  const double held_mean = held_sum / static_cast<double>(held_out.size());
+  // Against a random non-cluster baseline.
+  double other_sum = 0.0;
+  int other_n = 0;
+  for (uint32_t i = 0; i < 40; ++i) {
+    bool in_cluster = false;
+    for (uint32_t c : cluster_items) in_cluster |= (c == i);
+    if (!in_cluster) {
+      other_sum += updated.model.Probability(60, i);
+      ++other_n;
+    }
+  }
+  EXPECT_GT(held_mean, 2.0 * (other_sum / other_n));
+}
+
+TEST(UpdateModelTest, ValidatesDimensions) {
+  OcularModel model(DenseMatrix(2, 3, 0.5), DenseMatrix(2, 3, 0.5));
+  OcularConfig cfg;
+  cfg.k = 5;  // mismatch with model.k() == 3
+  CsrMatrix r = CsrMatrix::FromPairs({{0, 0}}, 2, 2).value();
+  EXPECT_TRUE(UpdateModel(model, r, cfg).status().IsInvalidArgument());
+}
+
+TEST(UpdateModelTest, BiasModelKeepsPinnedCoordinates) {
+  auto v1 = Planted(40, 30, 9);
+  OcularConfig cfg;
+  cfg.k = 4;
+  cfg.use_biases = true;
+  cfg.max_sweeps = 20;
+  auto fit = OcularTrainer(cfg).Fit(v1.dataset.interactions()).value();
+
+  CooBuilder coo;
+  for (auto [u, i] : v1.dataset.interactions().ToPairs()) coo.Add(u, i);
+  coo.Add(40, 0);  // one new user, one new purchase
+  CsrMatrix v2 = CsrMatrix::FromCoo(coo.Finalize(41, 30).value());
+  auto updated = UpdateModel(fit.model, v2, cfg).value();
+  for (uint32_t u = 0; u < 41; ++u) {
+    EXPECT_DOUBLE_EQ(updated.model.user_factors().At(u, 5), 1.0);
+  }
+  for (uint32_t i = 0; i < 30; ++i) {
+    EXPECT_DOUBLE_EQ(updated.model.item_factors().At(i, 4), 1.0);
+  }
+}
+
+// Umbrella-header sanity: one flow touching several modules compiled via
+// ocular/ocular.h alone.
+TEST(UmbrellaHeaderTest, EndToEndCompilesAndRuns) {
+  Dataset toy = MakePaperToyDataset();
+  OcularConfig cfg;
+  cfg.k = 3;
+  cfg.lambda = 0.05;
+  cfg.max_sweeps = 80;
+  OcularRecommender rec(cfg);
+  ASSERT_TRUE(rec.Fit(toy.interactions()).ok());
+  auto stats = ComputeDatasetStats(toy.interactions());
+  EXPECT_EQ(stats.num_users, 12u);
+  auto batch = RecommendForAllUsers(rec, toy.interactions(), {}).value();
+  EXPECT_GT(batch.users_scored, 0u);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ok");
+  w.Bool(true);
+  w.EndObject();
+  EXPECT_EQ(w.str(), R"({"ok":true})");
+}
+
+}  // namespace
+}  // namespace ocular

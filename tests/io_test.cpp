@@ -1,0 +1,289 @@
+// Tests for the I/O-adjacent extensions: command-line flag parsing, the
+// JSON writer, model persistence, and dataset statistics.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/flags.h"
+#include "common/json.h"
+#include "common/rng.h"
+#include "core/model_io.h"
+#include "data/stats.h"
+#include "data/synthetic.h"
+
+namespace ocular {
+namespace {
+
+// ----------------------------------------------------------------- Flags
+
+Flags ParseArgs(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags::Parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  Flags f = ParseArgs({"--k=16", "--lambda=0.5", "--name=hello world"});
+  EXPECT_EQ(f.GetInt("k", 0), 16);
+  EXPECT_DOUBLE_EQ(f.GetDouble("lambda", 0), 0.5);
+  EXPECT_EQ(f.GetString("name"), "hello world");
+}
+
+TEST(FlagsTest, SpaceSyntaxAndBareBooleans) {
+  Flags f = ParseArgs({"--k", "8", "--verbose", "--path", "/tmp/x"});
+  EXPECT_EQ(f.GetInt("k", 0), 8);
+  EXPECT_TRUE(f.GetBool("verbose"));
+  EXPECT_EQ(f.GetString("path"), "/tmp/x");
+  EXPECT_FALSE(f.GetBool("absent"));
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  Flags f = ParseArgs({"train", "--k=4", "extra"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "train");
+  EXPECT_EQ(f.positional()[1], "extra");
+}
+
+TEST(FlagsTest, DefaultsAndMalformedValues) {
+  Flags f = ParseArgs({"--k=notanumber"});
+  EXPECT_EQ(f.GetInt("k", 7), 7);  // malformed -> default
+  EXPECT_EQ(f.GetInt("missing", 9), 9);
+  EXPECT_TRUE(f.Has("k"));
+  EXPECT_FALSE(f.Has("missing"));
+}
+
+TEST(FlagsTest, RequireVariants) {
+  Flags f = ParseArgs({"--k=5"});
+  EXPECT_EQ(f.RequireInt("k").value(), 5);
+  EXPECT_TRUE(f.RequireInt("absent").status().IsInvalidArgument());
+  EXPECT_TRUE(f.RequireString("absent").status().IsInvalidArgument());
+}
+
+TEST(FlagsTest, BoolSpellings) {
+  Flags f = ParseArgs({"--a=true", "--b=0", "--c=yes", "--d=false"});
+  EXPECT_TRUE(f.GetBool("a"));
+  EXPECT_FALSE(f.GetBool("b", true));
+  EXPECT_TRUE(f.GetBool("c"));
+  EXPECT_FALSE(f.GetBool("d", true));
+}
+
+TEST(FlagsTest, LaterDuplicateWins) {
+  Flags f = ParseArgs({"--k=1", "--k=2"});
+  EXPECT_EQ(f.GetInt("k", 0), 2);
+}
+
+// ------------------------------------------------------------------ JSON
+
+TEST(JsonWriterTest, NestedDocument) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("user");
+  w.Int(6);
+  w.Key("scores");
+  w.BeginArray();
+  w.Double(0.5);
+  w.Double(1.0);
+  w.EndArray();
+  w.Key("nested");
+  w.BeginObject();
+  w.Key("ok");
+  w.Bool(true);
+  w.EndObject();
+  w.Key("nothing");
+  w.Null();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            R"({"user":6,"scores":[0.5,1],"nested":{"ok":true},"nothing":null})");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter w;
+  w.String("a\"b\\c\nd\te\x01");
+  EXPECT_EQ(w.str(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::quiet_NaN());
+  w.Double(std::numeric_limits<double>::infinity());
+  w.Double(2.5);
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null,2.5]");
+}
+
+TEST(JsonWriterTest, ArrayOfObjects) {
+  JsonWriter w;
+  w.BeginArray();
+  for (int i = 0; i < 2; ++i) {
+    w.BeginObject();
+    w.Key("i");
+    w.Int(i);
+    w.EndObject();
+  }
+  w.EndArray();
+  EXPECT_EQ(w.str(), R"([{"i":0},{"i":1}])");
+}
+
+// -------------------------------------------------------------- Model IO
+
+TEST(ModelIoTest, RoundTripsExactly) {
+  Rng rng(3);
+  DenseMatrix fu(7, 4), fi(5, 4);
+  fu.FillUniform(&rng, 0.0, 2.0);
+  fi.FillUniform(&rng, 0.0, 2.0);
+  OcularModel model(fu, fi);
+  OcularConfig cfg;
+  cfg.k = 4;
+  cfg.lambda = 0.125;
+  cfg.variant = OcularVariant::kRelative;
+
+  const std::string path = ::testing::TempDir() + "/ocular_model_rt.txt";
+  ASSERT_TRUE(SaveModel(model, cfg, path).ok());
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->config.k, 4u);
+  EXPECT_DOUBLE_EQ(loaded->config.lambda, 0.125);
+  EXPECT_EQ(loaded->config.variant, OcularVariant::kRelative);
+  // "%.17g" round-trips doubles exactly.
+  EXPECT_EQ(loaded->model.user_factors(), model.user_factors());
+  EXPECT_EQ(loaded->model.item_factors(), model.item_factors());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, BiasModelRoundTrips) {
+  // Regression test: models trained with use_biases carry k+2 factor
+  // columns; the file format must record the flag or reloading fails.
+  Dataset toy = MakePaperToyDataset();
+  OcularConfig cfg;
+  cfg.k = 3;
+  cfg.use_biases = true;
+  cfg.max_sweeps = 10;
+  OcularTrainer trainer(cfg);
+  auto fit = trainer.Fit(toy.interactions()).value();
+  const std::string path = ::testing::TempDir() + "/ocular_bias_model.txt";
+  ASSERT_TRUE(SaveModel(fit.model, cfg, path).ok());
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->config.use_biases);
+  EXPECT_EQ(loaded->config.TotalDims(), 5u);
+  EXPECT_EQ(loaded->model.user_factors(), fit.model.user_factors());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, SaveRejectsConfigModelDimMismatch) {
+  // A bias model saved with a bias-less config must be rejected loudly.
+  OcularModel model(DenseMatrix(2, 5, 0.5), DenseMatrix(2, 5, 0.5));
+  OcularConfig cfg;
+  cfg.k = 3;  // TotalDims 3 != model.k() 5
+  EXPECT_TRUE(SaveModel(model, cfg,
+                        ::testing::TempDir() + "/never_written2.txt")
+                  .IsInvalidArgument());
+}
+
+TEST(ModelIoTest, AcceptsLegacyConfigLineWithoutBiasesField) {
+  const std::string path = ::testing::TempDir() + "/ocular_legacy_model.txt";
+  {
+    std::ofstream out(path);
+    out << "ocular-model v1\n"
+        << "k 2 lambda 0.5 variant absolute\n"
+        << "users 1\n0.25 0.75\n"
+        << "items 1\n0.5 0.125\n";
+  }
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(loaded->config.use_biases);
+  EXPECT_DOUBLE_EQ(loaded->model.user_factors().At(0, 1), 0.75);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, RejectsCorruptFiles) {
+  const std::string path = ::testing::TempDir() + "/ocular_model_bad.txt";
+  auto write = [&](const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  };
+  write("not a model\n");
+  EXPECT_TRUE(LoadModel(path).status().IsParseError());
+  write("ocular-model v1\nk 2 lambda x variant absolute\n");
+  EXPECT_TRUE(LoadModel(path).status().IsParseError());
+  write("ocular-model v1\nk 2 lambda 1 variant weird\n");
+  EXPECT_TRUE(LoadModel(path).status().IsParseError());
+  write("ocular-model v1\nk 2 lambda 1 variant absolute\nusers 1\n0.5\n");
+  EXPECT_TRUE(LoadModel(path).status().IsParseError());  // wrong arity
+  write("ocular-model v1\nk 2 lambda 1 variant absolute\nusers 1\n"
+        "0.5 -0.25\nitems 0\n");
+  EXPECT_TRUE(LoadModel(path).status().IsParseError());  // negative factor
+  EXPECT_TRUE(LoadModel("/nonexistent/model").status().IsIOError());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, SaveRejectsInvalidModel) {
+  DenseMatrix fu(1, 1, -1.0);  // negative factor: invalid
+  OcularModel model(fu, DenseMatrix(1, 1, 0.5));
+  OcularConfig cfg;
+  cfg.k = 1;
+  EXPECT_FALSE(SaveModel(model, cfg,
+                         ::testing::TempDir() + "/never_written.txt")
+                   .ok());
+}
+
+// ----------------------------------------------------------------- Stats
+
+TEST(StatsTest, DegreeSummaryHandChecked) {
+  auto s = SummarizeDegrees({0, 1, 2, 3, 4});
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+  EXPECT_EQ(s.zeros, 1u);
+  // Gini of {0,1,2,3,4}: 2*(0*1+1*2+2*3+3*4+4*5)/(5*10) - 6/5 = 0.4.
+  EXPECT_NEAR(s.gini, 0.4, 1e-12);
+}
+
+TEST(StatsTest, UniformDegreesHaveZeroGini) {
+  auto s = SummarizeDegrees({5, 5, 5, 5});
+  EXPECT_NEAR(s.gini, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+}
+
+TEST(StatsTest, EmptyInput) {
+  auto s = SummarizeDegrees({});
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_DOUBLE_EQ(s.gini, 0.0);
+}
+
+TEST(StatsTest, DatasetStatsEndToEnd) {
+  CsrMatrix m =
+      CsrMatrix::FromPairs({{0, 0}, {0, 1}, {1, 0}, {2, 2}}, 4, 3).value();
+  auto stats = ComputeDatasetStats(m);
+  EXPECT_EQ(stats.num_users, 4u);
+  EXPECT_EQ(stats.num_items, 3u);
+  EXPECT_EQ(stats.num_positives, 4u);
+  EXPECT_EQ(stats.user_degrees.zeros, 1u);  // user 3
+  EXPECT_EQ(stats.item_degrees.max, 2u);    // item 0
+  const std::string report = RenderDatasetStats(stats);
+  EXPECT_NE(report.find("users 4"), std::string::npos);
+  EXPECT_NE(report.find("gini"), std::string::npos);
+}
+
+TEST(StatsTest, ZipfItemsHaveHigherGiniThanUniform) {
+  Rng rng(21);
+  PlantedCoClusterConfig cfg;
+  cfg.num_users = 150;
+  cfg.num_items = 200;
+  cfg.num_clusters = 6;
+  cfg.item_popularity_zipf = 1.0;
+  auto skewed = GeneratePlantedCoClusters(cfg, &rng).value();
+  cfg.item_popularity_zipf = 0.0;
+  auto flat = GeneratePlantedCoClusters(cfg, &rng).value();
+  const double gini_skewed =
+      ComputeDatasetStats(skewed.dataset.interactions()).item_degrees.gini;
+  const double gini_flat =
+      ComputeDatasetStats(flat.dataset.interactions()).item_degrees.gini;
+  EXPECT_GT(gini_skewed, gini_flat);
+}
+
+}  // namespace
+}  // namespace ocular

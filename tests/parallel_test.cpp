@@ -1,0 +1,219 @@
+// Unit tests for src/parallel: row-parallel trainer equivalence with the
+// serial trainer, and the per-positive-example gradient kernel against the
+// serial reference.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/ocular_trainer.h"
+#include "data/synthetic.h"
+#include "parallel/gradient_kernel.h"
+#include "parallel/kernel_trainer.h"
+#include "parallel/parallel_trainer.h"
+
+namespace ocular {
+namespace {
+
+PlantedCoClusterData Planted(uint64_t seed) {
+  PlantedCoClusterConfig cfg;
+  cfg.num_users = 60;
+  cfg.num_items = 45;
+  cfg.num_clusters = 3;
+  cfg.user_membership_prob = 0.3;
+  cfg.item_membership_prob = 0.3;
+  Rng rng(seed);
+  return GeneratePlantedCoClusters(cfg, &rng).value();
+}
+
+// -------------------------------------------------- trainer equivalence
+
+class ParallelEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ParallelEquivalenceTest, ParallelTrainerMatchesSerialExactly) {
+  const auto [seed, threads] = GetParam();
+  auto data = Planted(seed);
+  OcularConfig config;
+  config.k = 4;
+  config.lambda = 0.5;
+  config.max_sweeps = 6;
+  config.tolerance = 0.0;  // run all sweeps in both
+  config.seed = 17;
+
+  OcularTrainer serial(config);
+  auto fit_serial = serial.Fit(data.dataset.interactions()).value();
+
+  ParallelOcularTrainer parallel(config, threads);
+  auto fit_parallel = parallel.Fit(data.dataset.interactions()).value();
+
+  // Row updates within a phase are independent, so the parallel result is
+  // bit-identical to the serial one.
+  EXPECT_EQ(fit_serial.model.user_factors(),
+            fit_parallel.model.user_factors());
+  EXPECT_EQ(fit_serial.model.item_factors(),
+            fit_parallel.model.item_factors());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndThreads, ParallelEquivalenceTest,
+    ::testing::Combine(::testing::Values(1, 2), ::testing::Values(1, 2, 4)));
+
+TEST(ParallelTrainerTest, ROcularVariantAlsoMatches) {
+  auto data = Planted(9);
+  OcularConfig config;
+  config.k = 3;
+  config.variant = OcularVariant::kRelative;
+  config.max_sweeps = 4;
+  config.tolerance = 0.0;
+  OcularTrainer serial(config);
+  ParallelOcularTrainer parallel(config, 3);
+  auto a = serial.Fit(data.dataset.interactions()).value();
+  auto b = parallel.Fit(data.dataset.interactions()).value();
+  EXPECT_EQ(a.model.user_factors(), b.model.user_factors());
+}
+
+TEST(ParallelTrainerTest, RejectsBadInput) {
+  OcularConfig config;
+  config.k = 2;
+  ParallelOcularTrainer trainer(config, 2);
+  CsrMatrix empty = CsrMatrix::FromPairs({}, 3, 3).value();
+  EXPECT_TRUE(trainer.Fit(empty).status().IsInvalidArgument());
+}
+
+TEST(ParallelTrainerTest, ObjectiveDecreases) {
+  auto data = Planted(11);
+  OcularConfig config;
+  config.k = 4;
+  config.lambda = 0.3;
+  config.max_sweeps = 15;
+  ParallelOcularTrainer trainer(config, 2);
+  auto fit = trainer.Fit(data.dataset.interactions()).value();
+  ASSERT_GE(fit.trace.size(), 2u);
+  for (size_t s = 1; s < fit.trace.size(); ++s) {
+    EXPECT_LE(fit.trace[s].objective,
+              fit.trace[s - 1].objective +
+                  1e-6 * std::abs(fit.trace[s - 1].objective));
+  }
+}
+
+// -------------------------------------------------------- gradient kernel
+
+class GradientKernelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GradientKernelTest, KernelMatchesSerialReference) {
+  auto data = Planted(GetParam());
+  const CsrMatrix& r = data.dataset.interactions();
+  const CsrMatrix rt = r.Transpose();
+  Rng rng(GetParam() + 100);
+  DenseMatrix fu(r.num_rows(), 5), fi(r.num_cols(), 5);
+  fu.FillUniform(&rng, 0.0, 1.0);
+  fi.FillUniform(&rng, 0.0, 1.0);
+
+  DenseMatrix serial, kernel;
+  ComputeItemGradientsSerial(rt, fu, fi, 0.7, &serial);
+  ThreadPool pool(4);
+  ComputeItemGradientsKernel(rt, fu, fi, 0.7, &pool, &kernel);
+
+  ASSERT_EQ(serial.rows(), kernel.rows());
+  ASSERT_EQ(serial.cols(), kernel.cols());
+  for (uint32_t i = 0; i < serial.rows(); ++i) {
+    for (uint32_t c = 0; c < serial.cols(); ++c) {
+      const double a = serial.At(i, c);
+      const double b = kernel.At(i, c);
+      // Atomic accumulation reassociates floating point; allow tiny slack.
+      EXPECT_NEAR(a, b, 1e-9 * (1.0 + std::abs(a)))
+          << "item " << i << " dim " << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GradientKernelTest, ::testing::Range(1, 6));
+
+// ------------------------------------------------------- kernel trainer
+
+TEST(KernelTrainerTest, TracksSerialTrainerClosely) {
+  auto data = Planted(21);
+  OcularConfig cfg;
+  cfg.k = 4;
+  cfg.lambda = 0.5;
+  cfg.max_sweeps = 8;
+  cfg.tolerance = 0.0;
+  cfg.seed = 5;
+  OcularTrainer serial(cfg);
+  auto a = serial.Fit(data.dataset.interactions()).value();
+  KernelOcularTrainer kernel(cfg, 3);
+  auto b = kernel.Fit(data.dataset.interactions()).value();
+  // Atomic accumulation reorders float sums, so equality is approximate
+  // (unlike ParallelOcularTrainer's bit-exact match).
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (size_t s = 0; s < a.trace.size(); ++s) {
+    EXPECT_NEAR(a.trace[s].objective, b.trace[s].objective,
+                1e-6 * std::abs(a.trace[s].objective))
+        << "sweep " << s;
+  }
+  for (uint32_t u = 0; u < a.model.num_users(); ++u) {
+    for (uint32_t c = 0; c < cfg.k; ++c) {
+      EXPECT_NEAR(a.model.user_factors().At(u, c),
+                  b.model.user_factors().At(u, c), 1e-6);
+    }
+  }
+}
+
+TEST(KernelTrainerTest, ObjectiveDecreasesAndModelValid) {
+  auto data = Planted(22);
+  OcularConfig cfg;
+  cfg.k = 5;
+  cfg.lambda = 0.3;
+  cfg.max_sweeps = 15;
+  KernelOcularTrainer trainer(cfg, 2);
+  auto fit = trainer.Fit(data.dataset.interactions()).value();
+  ASSERT_GE(fit.trace.size(), 2u);
+  for (size_t s = 1; s < fit.trace.size(); ++s) {
+    EXPECT_LE(fit.trace[s].objective,
+              fit.trace[s - 1].objective +
+                  1e-6 * std::abs(fit.trace[s - 1].objective));
+  }
+  EXPECT_TRUE(fit.model.Validate().ok());
+}
+
+TEST(KernelTrainerTest, RejectsUnsupportedModes) {
+  OcularConfig cfg;
+  cfg.k = 2;
+  cfg.variant = OcularVariant::kRelative;
+  KernelOcularTrainer relative(cfg, 1);
+  CsrMatrix r = CsrMatrix::FromPairs({{0, 0}, {1, 1}}, 2, 2).value();
+  EXPECT_TRUE(relative.Fit(r).status().IsInvalidArgument());
+
+  OcularConfig biased;
+  biased.k = 2;
+  biased.use_biases = true;
+  KernelOcularTrainer with_bias(biased, 1);
+  EXPECT_TRUE(with_bias.Fit(r).status().IsInvalidArgument());
+
+  OcularConfig ok;
+  ok.k = 2;
+  KernelOcularTrainer empty_input(ok, 1);
+  CsrMatrix empty = CsrMatrix::FromPairs({}, 2, 2).value();
+  EXPECT_TRUE(empty_input.Fit(empty).status().IsInvalidArgument());
+}
+
+TEST(GradientKernelTest, GradientOfZeroFactorsIsComplementPlusReg) {
+  // With f_i = 0 the positives coefficient α(0)→huge is clamped; probe
+  // instead with fu = 0 (no positives influence; gradient = 2λf_i since
+  // column sums are zero).
+  CsrMatrix r = CsrMatrix::FromPairs({{0, 0}}, 2, 2).value();
+  CsrMatrix rt = r.Transpose();
+  DenseMatrix fu(2, 3, 0.0);
+  DenseMatrix fi(2, 3, 0.5);
+  DenseMatrix grad;
+  ComputeItemGradientsSerial(rt, fu, fi, 1.0, &grad);
+  // Item 1 has no positives: grad = C + 2λ f_i = 0 + 2*1*0.5 = 1.
+  for (uint32_t c = 0; c < 3; ++c) {
+    EXPECT_DOUBLE_EQ(grad.At(1, c), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace ocular

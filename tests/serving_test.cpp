@@ -1,0 +1,148 @@
+// Tests for the serving layer: batch recommendation and ASCII renderers.
+
+#include <gtest/gtest.h>
+
+#include "baselines/knn.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/ocular_recommender.h"
+#include "data/synthetic.h"
+#include "serving/batch.h"
+#include "serving/render.h"
+
+namespace ocular {
+namespace {
+
+OcularRecommender TrainedToy() {
+  OcularConfig cfg;
+  cfg.k = 3;
+  cfg.lambda = 0.05;
+  cfg.max_sweeps = 150;
+  cfg.seed = 1;
+  OcularRecommender rec(cfg);
+  OCULAR_CHECK(rec.Fit(MakePaperToyDataset().interactions()).ok());
+  return rec;
+}
+
+TEST(BatchTest, MatchesPerUserRecommend) {
+  Dataset toy = MakePaperToyDataset();
+  OcularRecommender rec = TrainedToy();
+  BatchOptions opts;
+  opts.m = 3;
+  opts.skip_cold_users = false;
+  auto batch =
+      RecommendForAllUsers(rec, toy.interactions(), opts).value();
+  ASSERT_EQ(batch.recommendations.size(), 12u);
+  for (uint32_t u = 0; u < 12; ++u) {
+    auto direct = rec.Recommend(u, 3, toy.interactions());
+    ASSERT_EQ(batch.recommendations[u].size(), direct.size()) << u;
+    for (size_t r = 0; r < direct.size(); ++r) {
+      EXPECT_EQ(batch.recommendations[u][r].item, direct[r].item);
+      EXPECT_DOUBLE_EQ(batch.recommendations[u][r].score, direct[r].score);
+    }
+  }
+}
+
+TEST(BatchTest, ParallelMatchesSerial) {
+  Dataset toy = MakePaperToyDataset();
+  OcularRecommender rec = TrainedToy();
+  BatchOptions opts;
+  opts.m = 5;
+  auto serial = RecommendForAllUsers(rec, toy.interactions(), opts).value();
+  ThreadPool pool(3);
+  auto parallel =
+      RecommendForAllUsers(rec, toy.interactions(), opts, &pool).value();
+  ASSERT_EQ(serial.recommendations.size(), parallel.recommendations.size());
+  for (size_t u = 0; u < serial.recommendations.size(); ++u) {
+    ASSERT_EQ(serial.recommendations[u].size(),
+              parallel.recommendations[u].size());
+    for (size_t r = 0; r < serial.recommendations[u].size(); ++r) {
+      EXPECT_EQ(serial.recommendations[u][r].item,
+                parallel.recommendations[u][r].item);
+    }
+  }
+  EXPECT_EQ(serial.users_scored, parallel.users_scored);
+  EXPECT_EQ(serial.total_items, parallel.total_items);
+}
+
+TEST(BatchTest, SkipsColdUsersAndFiltersByScore) {
+  Dataset toy = MakePaperToyDataset();
+  OcularRecommender rec = TrainedToy();
+  BatchOptions opts;
+  opts.m = 5;
+  opts.skip_cold_users = true;
+  opts.min_score = 0.5;
+  auto batch = RecommendForAllUsers(rec, toy.interactions(), opts).value();
+  // Users 3, 10, 11 have no history -> no lists.
+  EXPECT_TRUE(batch.recommendations[3].empty());
+  EXPECT_TRUE(batch.recommendations[10].empty());
+  EXPECT_TRUE(batch.recommendations[11].empty());
+  // Every surviving recommendation respects the score floor.
+  for (const auto& list : batch.recommendations) {
+    for (const auto& si : list) EXPECT_GE(si.score, 0.5);
+  }
+  // User 6's hole (item 4, ~0.82) survives.
+  ASSERT_FALSE(batch.recommendations[6].empty());
+  EXPECT_EQ(batch.recommendations[6][0].item, 4u);
+  EXPECT_GT(batch.users_scored, 0u);
+}
+
+TEST(BatchTest, ValidatesArguments) {
+  Dataset toy = MakePaperToyDataset();
+  OcularRecommender rec = TrainedToy();
+  BatchOptions opts;
+  opts.m = 0;
+  EXPECT_TRUE(RecommendForAllUsers(rec, toy.interactions(), opts)
+                  .status()
+                  .IsInvalidArgument());
+  opts.m = 5;
+  CsrMatrix wrong = CsrMatrix::FromPairs({{0, 0}}, 3, 3).value();
+  EXPECT_TRUE(
+      RecommendForAllUsers(rec, wrong, opts).status().IsInvalidArgument());
+}
+
+TEST(RenderTest, MatrixGlyphs) {
+  Dataset toy = MakePaperToyDataset();
+  OcularRecommender rec = TrainedToy();
+  const std::string art =
+      RenderInteractionMatrix(toy.interactions(), &rec.model());
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('o'), std::string::npos);  // the (6,4) hole
+  EXPECT_NE(art.find('.'), std::string::npos);
+  // 12 data rows + header + legend.
+  size_t lines = std::count(art.begin(), art.end(), '\n');
+  EXPECT_EQ(lines, 14u);
+}
+
+TEST(RenderTest, TruncatesLargeMatrices) {
+  Rng rng(5);
+  PlantedCoClusterConfig cfg;
+  cfg.num_users = 100;
+  cfg.num_items = 100;
+  cfg.num_clusters = 3;
+  auto data = GeneratePlantedCoClusters(cfg, &rng).value();
+  RenderOptions opts;
+  opts.max_users = 10;
+  opts.max_items = 20;
+  const std::string art =
+      RenderInteractionMatrix(data.dataset.interactions(), nullptr, opts);
+  EXPECT_NE(art.find("..."), std::string::npos);
+  size_t lines = std::count(art.begin(), art.end(), '\n');
+  EXPECT_EQ(lines, 13u);  // header + 10 rows + ellipsis + legend
+}
+
+TEST(RenderTest, CoClusterBlock) {
+  Dataset toy = MakePaperToyDataset();
+  OcularRecommender rec = TrainedToy();
+  CoClusterOptions copts;
+  copts.threshold = 0.5;
+  auto clusters = ExtractCoClusters(rec.model(), copts);
+  ASSERT_FALSE(clusters.empty());
+  const std::string art =
+      RenderCoClusterBlock(clusters[0], toy.interactions());
+  EXPECT_NE(art.find("co-cluster"), std::string::npos);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ocular

@@ -1,0 +1,307 @@
+// Unit tests for src/sparse: COO builder, CSR matrix, dense matrix,
+// vector kernels, Cholesky solver.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "sparse/coo.h"
+#include "sparse/csr.h"
+#include "sparse/dense.h"
+#include "sparse/linalg.h"
+
+namespace ocular {
+namespace {
+
+// ----------------------------------------------------------------- COO
+
+TEST(CooBuilderTest, SortsAndDeduplicates) {
+  CooBuilder coo;
+  coo.Add(1, 2);
+  coo.Add(0, 5);
+  coo.Add(1, 2);  // duplicate
+  coo.Add(0, 1);
+  auto entries = coo.Finalize().value();
+  ASSERT_EQ(entries.rows.size(), 3u);
+  EXPECT_EQ(entries.rows, (std::vector<uint32_t>{0, 0, 1}));
+  EXPECT_EQ(entries.cols, (std::vector<uint32_t>{1, 5, 2}));
+  EXPECT_EQ(entries.num_rows, 2u);
+  EXPECT_EQ(entries.num_cols, 6u);
+}
+
+TEST(CooBuilderTest, ExplicitShapeMustCover) {
+  CooBuilder coo;
+  coo.Add(3, 3);
+  EXPECT_FALSE(coo.Finalize(2, 10).ok());
+  CooBuilder coo2;
+  coo2.Add(3, 3);
+  auto entries = coo2.Finalize(10, 10).value();
+  EXPECT_EQ(entries.num_rows, 10u);
+  EXPECT_EQ(entries.num_cols, 10u);
+}
+
+TEST(CooBuilderTest, EmptyBuilder) {
+  CooBuilder coo;
+  auto entries = coo.Finalize(4, 4).value();
+  EXPECT_TRUE(entries.rows.empty());
+  CsrMatrix m = CsrMatrix::FromCoo(entries);
+  EXPECT_EQ(m.num_rows(), 4u);
+  EXPECT_EQ(m.nnz(), 0u);
+}
+
+// ----------------------------------------------------------------- CSR
+
+CsrMatrix SmallMatrix() {
+  // 3x4:
+  //   row0: 1 0 1 0
+  //   row1: 0 0 0 0
+  //   row2: 0 1 1 1
+  return CsrMatrix::FromPairs({{0, 0}, {0, 2}, {2, 1}, {2, 2}, {2, 3}}, 3, 4)
+      .value();
+}
+
+TEST(CsrMatrixTest, BasicAccessors) {
+  CsrMatrix m = SmallMatrix();
+  EXPECT_EQ(m.num_rows(), 3u);
+  EXPECT_EQ(m.num_cols(), 4u);
+  EXPECT_EQ(m.nnz(), 5u);
+  EXPECT_DOUBLE_EQ(m.Density(), 5.0 / 12.0);
+  EXPECT_EQ(m.RowDegree(0), 2u);
+  EXPECT_EQ(m.RowDegree(1), 0u);
+  EXPECT_EQ(m.RowDegree(2), 3u);
+  auto row2 = m.Row(2);
+  EXPECT_EQ(std::vector<uint32_t>(row2.begin(), row2.end()),
+            (std::vector<uint32_t>{1, 2, 3}));
+}
+
+TEST(CsrMatrixTest, HasEntry) {
+  CsrMatrix m = SmallMatrix();
+  EXPECT_TRUE(m.HasEntry(0, 0));
+  EXPECT_TRUE(m.HasEntry(2, 3));
+  EXPECT_FALSE(m.HasEntry(0, 1));
+  EXPECT_FALSE(m.HasEntry(1, 0));
+  EXPECT_FALSE(m.HasEntry(99, 0));  // out-of-range row is just "absent"
+}
+
+TEST(CsrMatrixTest, TransposeRoundTrip) {
+  CsrMatrix m = SmallMatrix();
+  CsrMatrix t = m.Transpose();
+  EXPECT_EQ(t.num_rows(), 4u);
+  EXPECT_EQ(t.num_cols(), 3u);
+  EXPECT_EQ(t.nnz(), m.nnz());
+  for (uint32_t r = 0; r < m.num_rows(); ++r) {
+    for (uint32_t c = 0; c < m.num_cols(); ++c) {
+      EXPECT_EQ(m.HasEntry(r, c), t.HasEntry(c, r));
+    }
+  }
+  EXPECT_EQ(t.Transpose(), m);
+}
+
+TEST(CsrMatrixTest, TransposeRowsSorted) {
+  Rng rng(5);
+  CooBuilder coo;
+  for (int e = 0; e < 500; ++e) {
+    coo.Add(static_cast<uint32_t>(rng.UniformInt(uint64_t{40})),
+            static_cast<uint32_t>(rng.UniformInt(uint64_t{30})));
+  }
+  CsrMatrix m = CsrMatrix::FromCoo(coo.Finalize(40, 30).value());
+  CsrMatrix t = m.Transpose();
+  for (uint32_t r = 0; r < t.num_rows(); ++r) {
+    auto row = t.Row(r);
+    EXPECT_TRUE(std::is_sorted(row.begin(), row.end()));
+  }
+}
+
+TEST(CsrMatrixTest, SelectRows) {
+  CsrMatrix m = SmallMatrix();
+  CsrMatrix s = m.SelectRows({2, 0});
+  EXPECT_EQ(s.num_rows(), 2u);
+  EXPECT_EQ(s.num_cols(), 4u);
+  EXPECT_TRUE(s.HasEntry(0, 1));  // old row 2
+  EXPECT_TRUE(s.HasEntry(1, 0));  // old row 0
+  EXPECT_FALSE(s.HasEntry(1, 1));
+}
+
+TEST(CsrMatrixTest, ColumnDegrees) {
+  CsrMatrix m = SmallMatrix();
+  EXPECT_EQ(m.ColumnDegrees(), (std::vector<uint32_t>{1, 1, 2, 1}));
+}
+
+TEST(CsrMatrixTest, ToPairsRoundTrip) {
+  CsrMatrix m = SmallMatrix();
+  auto pairs = m.ToPairs();
+  CsrMatrix m2 = CsrMatrix::FromPairs(pairs, 3, 4).value();
+  EXPECT_EQ(m, m2);
+}
+
+TEST(CsrMatrixTest, EmptyMatrix) {
+  CsrMatrix m;
+  EXPECT_EQ(m.num_rows(), 0u);
+  EXPECT_EQ(m.num_cols(), 0u);
+  EXPECT_EQ(m.nnz(), 0u);
+  EXPECT_DOUBLE_EQ(m.Density(), 0.0);
+}
+
+// Property check over random matrices: transpose twice is identity and
+// degrees are preserved.
+class CsrRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CsrRandomTest, TransposeInvolutionAndDegreeConservation) {
+  Rng rng(GetParam());
+  CooBuilder coo;
+  const uint32_t rows = 20 + GetParam() * 13;
+  const uint32_t cols = 15 + GetParam() * 7;
+  const int nnz = 50 + GetParam() * 100;
+  for (int e = 0; e < nnz; ++e) {
+    coo.Add(static_cast<uint32_t>(rng.UniformInt(uint64_t{rows})),
+            static_cast<uint32_t>(rng.UniformInt(uint64_t{cols})));
+  }
+  CsrMatrix m = CsrMatrix::FromCoo(coo.Finalize(rows, cols).value());
+  CsrMatrix t = m.Transpose();
+  EXPECT_EQ(t.Transpose(), m);
+  // Total degree is conserved.
+  size_t row_total = 0, col_total = 0;
+  for (uint32_t r = 0; r < m.num_rows(); ++r) row_total += m.RowDegree(r);
+  for (uint32_t c : m.ColumnDegrees()) col_total += c;
+  EXPECT_EQ(row_total, m.nnz());
+  EXPECT_EQ(col_total, m.nnz());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsrRandomTest, ::testing::Range(1, 8));
+
+// --------------------------------------------------------------- Dense
+
+TEST(DenseMatrixTest, FillAndAccess) {
+  DenseMatrix m(3, 2, 1.5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m.At(2, 1), 1.5);
+  m.At(1, 0) = -2.0;
+  EXPECT_DOUBLE_EQ(m.Row(1)[0], -2.0);
+  m.Fill(0.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 0.0);
+}
+
+TEST(DenseMatrixTest, ColumnSums) {
+  DenseMatrix m(2, 3);
+  m.At(0, 0) = 1;
+  m.At(0, 1) = 2;
+  m.At(0, 2) = 3;
+  m.At(1, 0) = 4;
+  m.At(1, 1) = 5;
+  m.At(1, 2) = 6;
+  EXPECT_EQ(m.ColumnSums(), (std::vector<double>{5, 7, 9}));
+}
+
+TEST(DenseMatrixTest, SquaredFrobeniusNorm) {
+  DenseMatrix m(2, 2);
+  m.At(0, 0) = 3;
+  m.At(1, 1) = 4;
+  EXPECT_DOUBLE_EQ(m.SquaredFrobeniusNorm(), 25.0);
+}
+
+TEST(DenseMatrixTest, FillUniformRespectsBounds) {
+  Rng rng(3);
+  DenseMatrix m(10, 10);
+  m.FillUniform(&rng, 0.5, 1.5);
+  for (uint32_t r = 0; r < 10; ++r) {
+    for (uint32_t c = 0; c < 10; ++c) {
+      EXPECT_GE(m.At(r, c), 0.5);
+      EXPECT_LT(m.At(r, c), 1.5);
+    }
+  }
+}
+
+TEST(VecTest, DotAxpyScaleNorm) {
+  std::vector<double> a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(vec::Dot(a, b), 32.0);
+  vec::Axpy(2.0, a, b);  // b = {6, 9, 12}
+  EXPECT_EQ(b, (std::vector<double>{6, 9, 12}));
+  vec::Scale(0.5, b);
+  EXPECT_EQ(b, (std::vector<double>{3, 4.5, 6}));
+  EXPECT_DOUBLE_EQ(vec::SquaredNorm(a), 14.0);
+  EXPECT_DOUBLE_EQ(vec::SquaredDistance(a, a), 0.0);
+}
+
+TEST(VecTest, ProjectNonNegative) {
+  std::vector<double> v{-1.0, 0.0, 2.5, -0.001};
+  vec::ProjectNonNegative(v);
+  EXPECT_EQ(v, (std::vector<double>{0.0, 0.0, 2.5, 0.0}));
+}
+
+// -------------------------------------------------------------- linalg
+
+TEST(CholeskyTest, SolvesIdentity) {
+  const uint32_t k = 4;
+  std::vector<double> a(k * k, 0.0);
+  for (uint32_t d = 0; d < k; ++d) a[d * k + d] = 1.0;
+  std::vector<double> b{1, 2, 3, 4}, x;
+  ASSERT_TRUE(CholeskySolveInPlace(&a, k, b, &x).ok());
+  for (uint32_t d = 0; d < k; ++d) EXPECT_NEAR(x[d], b[d], 1e-12);
+}
+
+TEST(CholeskyTest, SolvesRandomSpdSystem) {
+  Rng rng(11);
+  const uint32_t k = 12;
+  // A = M^T M + I is SPD.
+  DenseMatrix m(k, k);
+  m.FillUniform(&rng, -1.0, 1.0);
+  std::vector<double> a = GramMatrix(m);
+  for (uint32_t d = 0; d < k; ++d) a[d * k + d] += 1.0;
+  std::vector<double> a_copy = a;
+
+  std::vector<double> x_true(k);
+  for (auto& v : x_true) v = rng.Uniform(-2.0, 2.0);
+  // b = A x_true.
+  std::vector<double> b(k, 0.0);
+  for (uint32_t i = 0; i < k; ++i) {
+    for (uint32_t j = 0; j < k; ++j) b[i] += a_copy[i * k + j] * x_true[j];
+  }
+  std::vector<double> x;
+  ASSERT_TRUE(CholeskySolveInPlace(&a, k, b, &x).ok());
+  for (uint32_t d = 0; d < k; ++d) EXPECT_NEAR(x[d], x_true[d], 1e-8);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  std::vector<double> a{1.0, 2.0, 2.0, 1.0};  // eigenvalues 3, -1
+  std::vector<double> b{1.0, 1.0}, x;
+  Status s = CholeskySolveInPlace(&a, 2, b, &x);
+  EXPECT_TRUE(s.IsFailedPrecondition());
+}
+
+TEST(CholeskyTest, RejectsShapeMismatch) {
+  std::vector<double> a(9, 0.0);
+  std::vector<double> b{1.0, 1.0}, x;  // b has wrong length for k=3
+  EXPECT_TRUE(CholeskySolveInPlace(&a, 3, b, &x).IsInvalidArgument());
+}
+
+TEST(GramMatrixTest, MatchesManual) {
+  DenseMatrix f(3, 2);
+  f.At(0, 0) = 1;
+  f.At(0, 1) = 2;
+  f.At(1, 0) = 3;
+  f.At(1, 1) = 4;
+  f.At(2, 0) = 5;
+  f.At(2, 1) = 6;
+  auto g = GramMatrix(f);
+  // F^T F = [[35, 44], [44, 56]].
+  EXPECT_DOUBLE_EQ(g[0], 35.0);
+  EXPECT_DOUBLE_EQ(g[1], 44.0);
+  EXPECT_DOUBLE_EQ(g[2], 44.0);
+  EXPECT_DOUBLE_EQ(g[3], 56.0);
+}
+
+TEST(AddOuterProductTest, MatchesManual) {
+  std::vector<double> a(4, 0.0);
+  std::vector<double> v{2.0, 3.0};
+  AddOuterProduct(&a, 2, 0.5, v);
+  EXPECT_DOUBLE_EQ(a[0], 2.0);   // 0.5 * 2 * 2
+  EXPECT_DOUBLE_EQ(a[1], 3.0);   // 0.5 * 2 * 3
+  EXPECT_DOUBLE_EQ(a[2], 3.0);
+  EXPECT_DOUBLE_EQ(a[3], 4.5);
+}
+
+}  // namespace
+}  // namespace ocular

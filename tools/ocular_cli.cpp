@@ -1,0 +1,329 @@
+// ocular — command-line interface to the OCuLaR library.
+//
+// Subcommands:
+//   stats      describe an interaction dataset
+//   synth      generate a synthetic dataset (shape-calibrated stand-ins)
+//   train      fit an OCuLaR / R-OCuLaR model and save it
+//   recommend  top-M recommendations for a user (or an ad-hoc history)
+//   explain    co-cluster rationale for a (user, item) pair
+//   evaluate   train/test split evaluation (recall@M, MAP@M, AUC)
+//
+// Examples:
+//   ocular synth --dataset=b2b --scale=0.02 --output=/tmp/b2b.tsv
+//   ocular train --input=/tmp/b2b.tsv --model=/tmp/b2b.model --k=16
+//       --lambda=0.5   (continued from previous line)
+//   ocular recommend --model=/tmp/b2b.model --input=/tmp/b2b.tsv --user=3
+//   ocular explain --model=/tmp/b2b.model --input=/tmp/b2b.tsv --user=3
+//       --item=17 --json   (continued from previous line)
+//   ocular evaluate --input=/tmp/b2b.tsv --k=16 --lambda=0.5 --m=50
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "core/coclusters.h"
+#include "core/explain.h"
+#include "core/fold_in.h"
+#include "core/model_io.h"
+#include "core/ocular_recommender.h"
+#include "data/loaders.h"
+#include "data/split.h"
+#include "data/stats.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+
+namespace ocular {
+namespace {
+
+constexpr char kUsage[] = R"(usage: ocular <command> [flags]
+
+commands:
+  stats      --input=FILE [--format=csv|ml100k|ml1m] [--delimiter=C]
+  synth      --dataset=movielens|citeulike|b2b|netflix --scale=S
+             --output=FILE [--seed=N]
+  train      --input=FILE --model=FILE [--k=N] [--lambda=L]
+             [--variant=absolute|relative] [--sweeps=N] [--biases]
+             [--seed=N] [--format=...]
+  recommend  --model=FILE --input=FILE (--user=N | --history=i1,i2,...)
+             [--m=N] [--json]
+  explain    --model=FILE --input=FILE --user=N --item=N [--json]
+  evaluate   --input=FILE [--k=N] [--lambda=L] [--m=N]
+             [--train-fraction=F] [--seed=N] [--format=...]
+)";
+
+Result<Dataset> LoadInput(const Flags& flags) {
+  OCULAR_ASSIGN_OR_RETURN(std::string path, flags.RequireString("input"));
+  const std::string format = flags.GetString("format", "csv");
+  if (format == "ml100k") return LoadMovieLens100K(path);
+  if (format == "ml1m") return LoadMovieLens1M(path);
+  if (format == "csv") {
+    CsvOptions opts;
+    const std::string delim = flags.GetString("delimiter", "\t");
+    opts.delimiter = delim.empty() ? '\t' : delim[0];
+    opts.compact_ids = flags.GetBool("compact-ids", false);
+    return LoadCsv(path, opts);
+  }
+  return Status::InvalidArgument("unknown --format '" + format + "'");
+}
+
+OcularConfig ConfigFromFlags(const Flags& flags) {
+  OcularConfig cfg;
+  cfg.k = static_cast<uint32_t>(flags.GetInt("k", 16));
+  cfg.lambda = flags.GetDouble("lambda", 0.5);
+  cfg.max_sweeps = static_cast<uint32_t>(flags.GetInt("sweeps", 60));
+  cfg.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  cfg.use_biases = flags.GetBool("biases", false);
+  if (flags.GetString("variant", "absolute") == "relative") {
+    cfg.variant = OcularVariant::kRelative;
+  }
+  return cfg;
+}
+
+int CmdStats(const Flags& flags) {
+  auto ds = LoadInput(flags);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", RenderDatasetStats(
+                        ComputeDatasetStats(ds->interactions())).c_str());
+  return 0;
+}
+
+int CmdSynth(const Flags& flags) {
+  const std::string name = flags.GetString("dataset", "b2b");
+  const double scale = flags.GetDouble("scale", 0.02);
+  const std::string output = flags.GetString("output", "");
+  if (output.empty()) {
+    std::fprintf(stderr, "--output is required\n");
+    return 1;
+  }
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  Result<PlantedCoClusterData> data =
+      name == "movielens"   ? MakeMovieLensLike(scale, &rng)
+      : name == "citeulike" ? MakeCiteULikeLike(scale, &rng)
+      : name == "netflix"   ? MakeNetflixLike(scale, &rng)
+      : name == "b2b"       ? MakeB2BLike(scale, &rng)
+                            : Result<PlantedCoClusterData>(
+                                  Status::InvalidArgument(
+                                      "unknown --dataset '" + name + "'"));
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  Status st = SaveCsv(data->dataset, output);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%s)\n", output.c_str(),
+              data->dataset.Summary().c_str());
+  return 0;
+}
+
+int CmdTrain(const Flags& flags) {
+  auto ds = LoadInput(flags);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  auto model_path = flags.RequireString("model");
+  if (!model_path.ok()) {
+    std::fprintf(stderr, "%s\n", model_path.status().ToString().c_str());
+    return 1;
+  }
+  OcularConfig cfg = ConfigFromFlags(flags);
+  OcularRecommender rec(cfg);
+  Status st = rec.Fit(ds->interactions());
+  if (!st.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  st = SaveModel(rec.model(), cfg, *model_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("trained %s on %s: %u sweeps, converged=%s, Q=%.4f\n",
+              rec.name().c_str(), ds->Summary().c_str(),
+              static_cast<unsigned>(rec.trace().size()),
+              rec.converged() ? "yes" : "no",
+              rec.trace().empty() ? 0.0 : rec.trace().back().objective);
+  std::printf("model written to %s (%zu bytes of factors)\n",
+              model_path->c_str(), rec.model().MemoryBytes());
+  return 0;
+}
+
+int CmdRecommend(const Flags& flags) {
+  auto loaded = LoadModel(flags.GetString("model"));
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  auto ds = LoadInput(flags);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  const uint32_t m = static_cast<uint32_t>(flags.GetInt("m", 10));
+
+  std::vector<ScoredItem> top;
+  if (flags.Has("history")) {
+    // Ad-hoc history: fold-in inference for a user not in the training
+    // data (new-client serving path).
+    std::vector<uint32_t> history;
+    const std::string raw_history = flags.GetString("history");
+    for (auto field : Split(raw_history, ',')) {
+      auto parsed = ParseInt64(field);
+      if (!parsed.ok() || parsed.value() < 0) {
+        std::fprintf(stderr, "bad --history entry '%s'\n",
+                     std::string(field).c_str());
+        return 1;
+      }
+      history.push_back(static_cast<uint32_t>(parsed.value()));
+    }
+    std::sort(history.begin(), history.end());
+    history.erase(std::unique(history.begin(), history.end()),
+                  history.end());
+    auto recs = RecommendForHistory(loaded->model, loaded->config, history, m);
+    if (!recs.ok()) {
+      std::fprintf(stderr, "%s\n", recs.status().ToString().c_str());
+      return 1;
+    }
+    top = std::move(recs).value();
+  } else {
+    const int64_t user = flags.GetInt("user", -1);
+    if (user < 0 || user >= loaded->model.num_users()) {
+      std::fprintf(stderr, "--user out of range (model has %u users)\n",
+                   loaded->model.num_users());
+      return 1;
+    }
+    std::vector<double> scores(loaded->model.num_items());
+    for (uint32_t i = 0; i < scores.size(); ++i) {
+      scores[i] =
+          loaded->model.Probability(static_cast<uint32_t>(user), i);
+    }
+    std::span<const uint32_t> exclude;
+    if (static_cast<uint32_t>(user) < ds->interactions().num_rows()) {
+      exclude = ds->interactions().Row(static_cast<uint32_t>(user));
+    }
+    top = TopM(scores, m, exclude);
+  }
+
+  if (flags.GetBool("json")) {
+    JsonWriter w;
+    w.BeginArray();
+    for (const auto& si : top) {
+      w.BeginObject();
+      w.Key("item");
+      w.UInt(si.item);
+      w.Key("label");
+      w.String(ds->ItemLabel(si.item));
+      w.Key("score");
+      w.Double(si.score);
+      w.EndObject();
+    }
+    w.EndArray();
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    for (const auto& si : top) {
+      std::printf("%-30s %.4f\n", ds->ItemLabel(si.item).c_str(), si.score);
+    }
+  }
+  return 0;
+}
+
+int CmdExplain(const Flags& flags) {
+  auto loaded = LoadModel(flags.GetString("model"));
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  auto ds = LoadInput(flags);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  const int64_t user = flags.GetInt("user", -1);
+  const int64_t item = flags.GetInt("item", -1);
+  if (user < 0 || item < 0) {
+    std::fprintf(stderr, "--user and --item are required\n");
+    return 1;
+  }
+  auto expl = ExplainRecommendation(loaded->model, ds->interactions(),
+                                    static_cast<uint32_t>(user),
+                                    static_cast<uint32_t>(item));
+  if (!expl.ok()) {
+    std::fprintf(stderr, "%s\n", expl.status().ToString().c_str());
+    return 1;
+  }
+  if (flags.GetBool("json")) {
+    std::printf("%s\n", ExplanationToJson(*expl, *ds).c_str());
+  } else {
+    std::printf("%s", RenderExplanationText(*expl, *ds).c_str());
+  }
+  return 0;
+}
+
+int CmdEvaluate(const Flags& flags) {
+  auto ds = LoadInput(flags);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 42)));
+  const double train_fraction = flags.GetDouble("train-fraction", 0.75);
+  auto split = SplitInteractions(ds->interactions(), train_fraction, &rng);
+  if (!split.ok()) {
+    std::fprintf(stderr, "%s\n", split.status().ToString().c_str());
+    return 1;
+  }
+  OcularConfig cfg = ConfigFromFlags(flags);
+  OcularRecommender rec(cfg);
+  Status st = rec.Fit(split->train);
+  if (!st.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const uint32_t m = static_cast<uint32_t>(flags.GetInt("m", 50));
+  auto metrics = EvaluateRankingAtM(rec, split->train, split->test, m);
+  if (!metrics.ok()) {
+    std::fprintf(stderr, "%s\n", metrics.status().ToString().c_str());
+    return 1;
+  }
+  auto auc = SampledAuc(rec, split->train, split->test, 3, &rng);
+  std::printf("%s  K=%u lambda=%s\n", rec.name().c_str(), cfg.k,
+              FormatDouble(cfg.lambda, 3).c_str());
+  std::printf("recall@%u=%.4f  MAP@%u=%.4f  NDCG@%u=%.4f  MRR@%u=%.4f  "
+              "AUC=%.4f  (%u users)\n",
+              m, metrics->recall, m, metrics->map, m, metrics->ndcg, m,
+              metrics->mrr, auc.ok() ? *auc : 0.0, metrics->num_users);
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+  const std::string command = argv[1];
+  Flags flags = Flags::Parse(argc - 1, argv + 1);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "synth") return CmdSynth(flags);
+  if (command == "train") return CmdTrain(flags);
+  if (command == "recommend") return CmdRecommend(flags);
+  if (command == "explain") return CmdExplain(flags);
+  if (command == "evaluate") return CmdEvaluate(flags);
+  std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(), kUsage);
+  return 2;
+}
+
+}  // namespace
+}  // namespace ocular
+
+int main(int argc, char** argv) { return ocular::Run(argc, argv); }
