@@ -1,0 +1,20 @@
+# Smoke test: drive the ocular CLI end-to-end (synth -> train -> evaluate).
+# Run by ctest as:  cmake -DOCULAR_CLI=... -DWORK_DIR=... -P cli_smoke.cmake
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(DATA ${WORK_DIR}/smoke.tsv)
+set(MODEL ${WORK_DIR}/smoke.model)
+
+function(run_step)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    list(JOIN ARGV " " cmdline)
+    message(FATAL_ERROR "smoke step failed (exit ${rc}): ${cmdline}")
+  endif()
+endfunction()
+
+run_step(${OCULAR_CLI} synth --dataset=b2b --scale=0.02 --seed=42 --output=${DATA})
+run_step(${OCULAR_CLI} stats --input=${DATA})
+run_step(${OCULAR_CLI} train --input=${DATA} --model=${MODEL} --k=8 --lambda=0.5 --sweeps=5)
+run_step(${OCULAR_CLI} recommend --model=${MODEL} --input=${DATA} --user=0 --m=5)
+run_step(${OCULAR_CLI} evaluate --input=${DATA} --k=8 --lambda=0.5 --m=10 --sweeps=5)

@@ -13,26 +13,13 @@
 #include "data/synthetic.h"
 #include "eval/metrics.h"
 #include "sparse/coo.h"
+#include "test_util.h"
 
 namespace ocular {
 namespace {
 
-/// Two disjoint dense blocks with a few holes: the easiest co-clustering
-/// instance — a non-overlapping method must nail it.
-CsrMatrix DisjointBlocks() {
-  CooBuilder coo;
-  for (uint32_t u = 0; u < 10; ++u) {
-    for (uint32_t i = 0; i < 8; ++i) {
-      if ((u + i) % 9 != 0) coo.Add(u, i);  // block 1 with holes
-    }
-  }
-  for (uint32_t u = 10; u < 20; ++u) {
-    for (uint32_t i = 8; i < 16; ++i) {
-      if ((u + i) % 9 != 0) coo.Add(u, i);  // block 2 with holes
-    }
-  }
-  return CsrMatrix::FromCoo(coo.Finalize(20, 16).value());
-}
+// Shared deterministic two-block instance from test_util.h.
+CsrMatrix DisjointBlocks() { return test::TinyBlocksCsr(); }
 
 TEST(CoclustTest, ConfigValidation) {
   CoclustConfig c;

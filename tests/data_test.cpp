@@ -14,6 +14,7 @@
 #include "data/loaders.h"
 #include "data/split.h"
 #include "data/synthetic.h"
+#include "test_util.h"
 
 namespace ocular {
 namespace {
@@ -197,18 +198,10 @@ TEST(LoadersTest, SaveCsvRoundTrips) {
 
 // ---------------------------------------------------------------- Splits
 
-CsrMatrix RandomMatrix(uint32_t rows, uint32_t cols, int nnz, uint64_t seed) {
-  Rng rng(seed);
-  CooBuilder coo;
-  for (int e = 0; e < nnz; ++e) {
-    coo.Add(static_cast<uint32_t>(rng.UniformInt(uint64_t{rows})),
-            static_cast<uint32_t>(rng.UniformInt(uint64_t{cols})));
-  }
-  return CsrMatrix::FromCoo(coo.Finalize(rows, cols).value());
-}
+using test::RandomCsr;
 
 TEST(SplitTest, PartitionIsDisjointAndComplete) {
-  CsrMatrix m = RandomMatrix(50, 40, 800, 1);
+  CsrMatrix m = RandomCsr(50, 40, 800, 1);
   Rng rng(2);
   auto split = SplitInteractions(m, 0.75, &rng).value();
   EXPECT_EQ(split.train.num_rows(), m.num_rows());
@@ -225,7 +218,7 @@ TEST(SplitTest, PartitionIsDisjointAndComplete) {
 }
 
 TEST(SplitTest, ExtremeFractions) {
-  CsrMatrix m = RandomMatrix(20, 20, 100, 3);
+  CsrMatrix m = RandomCsr(20, 20, 100, 3);
   Rng rng(4);
   auto all_train = SplitInteractions(m, 1.0, &rng).value();
   EXPECT_EQ(all_train.train.nnz(), m.nnz());
@@ -235,7 +228,7 @@ TEST(SplitTest, ExtremeFractions) {
 }
 
 TEST(SplitTest, InvalidArguments) {
-  CsrMatrix m = RandomMatrix(5, 5, 10, 5);
+  CsrMatrix m = RandomCsr(5, 5, 10, 5);
   Rng rng(6);
   EXPECT_TRUE(SplitInteractions(m, 1.5, &rng).status().IsInvalidArgument());
   EXPECT_TRUE(SplitInteractions(m, -0.1, &rng).status().IsInvalidArgument());
@@ -243,7 +236,7 @@ TEST(SplitTest, InvalidArguments) {
 }
 
 TEST(SplitTest, LeaveKOutHoldsExactlyK) {
-  CsrMatrix m = RandomMatrix(30, 60, 900, 7);
+  CsrMatrix m = RandomCsr(30, 60, 900, 7);
   Rng rng(8);
   auto split = LeaveKOut(m, 2, &rng).value();
   EXPECT_EQ(split.train.nnz() + split.test.nnz(), m.nnz());
@@ -257,7 +250,7 @@ TEST(SplitTest, LeaveKOutHoldsExactlyK) {
 }
 
 TEST(SplitTest, KFoldCoversEachEntryExactlyOnce) {
-  CsrMatrix m = RandomMatrix(25, 25, 300, 9);
+  CsrMatrix m = RandomCsr(25, 25, 300, 9);
   Rng rng(10);
   auto folds = KFoldSplits(m, 4, &rng).value();
   ASSERT_EQ(folds.size(), 4u);
@@ -270,13 +263,13 @@ TEST(SplitTest, KFoldCoversEachEntryExactlyOnce) {
 }
 
 TEST(SplitTest, KFoldRejectsBadArgs) {
-  CsrMatrix m = RandomMatrix(5, 5, 10, 11);
+  CsrMatrix m = RandomCsr(5, 5, 10, 11);
   Rng rng(12);
   EXPECT_TRUE(KFoldSplits(m, 1, &rng).status().IsInvalidArgument());
 }
 
 TEST(SplitTest, SampleFractionSizes) {
-  CsrMatrix m = RandomMatrix(40, 40, 600, 13);
+  CsrMatrix m = RandomCsr(40, 40, 600, 13);
   Rng rng(14);
   auto half = SampleFraction(m, 0.5, &rng).value();
   EXPECT_NEAR(static_cast<double>(half.nnz()),

@@ -10,6 +10,7 @@
 #include "graph/bigclam.h"
 #include "graph/graph.h"
 #include "graph/louvain.h"
+#include "test_util.h"
 
 namespace ocular {
 namespace {
@@ -173,13 +174,7 @@ TEST(BigClamTest, RecoversTwoCliques) {
 class GraphPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(GraphPropertyTest, BipartiteHandshakeAndDegreeIdentities) {
-  Rng rng(GetParam());
-  CooBuilder coo;
-  for (int e = 0; e < 300; ++e) {
-    coo.Add(static_cast<uint32_t>(rng.UniformInt(uint64_t{25})),
-            static_cast<uint32_t>(rng.UniformInt(uint64_t{20})));
-  }
-  CsrMatrix r = CsrMatrix::FromCoo(coo.Finalize(25, 20).value());
+  CsrMatrix r = test::RandomCsr(25, 20, 300, GetParam());
   Graph g = Graph::FromBipartite(r);
   // Handshake: sum of degrees = 2 |E| = 2 nnz.
   size_t degree_sum = 0;

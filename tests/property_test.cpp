@@ -15,21 +15,13 @@
 #include "data/synthetic.h"
 #include "eval/metrics.h"
 #include "parallel/parallel_trainer.h"
+#include "test_util.h"
 
 namespace ocular {
 namespace {
 
-CsrMatrix RandomInteractions(uint32_t users, uint32_t items, double density,
-                             uint64_t seed) {
-  Rng rng(seed);
-  CooBuilder coo;
-  const auto target = static_cast<size_t>(users * items * density);
-  for (size_t e = 0; e < target; ++e) {
-    coo.Add(static_cast<uint32_t>(rng.UniformInt(uint64_t{users})),
-            static_cast<uint32_t>(rng.UniformInt(uint64_t{items})));
-  }
-  return CsrMatrix::FromCoo(coo.Finalize(users, items).value());
-}
+// Shared builder from test_util.h; `density`-parameterized random matrix.
+constexpr auto RandomInteractions = test::RandomCsrDense;
 
 // -------- Trainer invariants across (seed, K, lambda, variant, biases) --
 

@@ -1,0 +1,65 @@
+// Shared test fixtures: a seeded RNG factory and tiny deterministic
+// synthetic interaction matrices, so individual test files stop
+// re-implementing the same builders.
+
+#ifndef OCULAR_TESTS_TEST_UTIL_H_
+#define OCULAR_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "sparse/coo.h"
+#include "sparse/csr.h"
+
+namespace ocular {
+namespace test {
+
+/// Default seed for tests that just need "some" deterministic randomness.
+inline constexpr uint64_t kDefaultSeed = 42;
+
+/// Seeded RNG factory — one call site to change if Rng's constructor or
+/// seeding scheme ever evolves.
+inline Rng MakeRng(uint64_t seed = kDefaultSeed) { return Rng(seed); }
+
+/// Random sparse interaction matrix with `nnz` draws (duplicates collapse,
+/// so the realized nnz may be slightly lower). Deterministic in `seed`.
+inline CsrMatrix RandomCsr(uint32_t rows, uint32_t cols, size_t nnz,
+                           uint64_t seed = kDefaultSeed) {
+  Rng rng = MakeRng(seed);
+  CooBuilder coo;
+  for (size_t e = 0; e < nnz; ++e) {
+    coo.Add(static_cast<uint32_t>(rng.UniformInt(uint64_t{rows})),
+            static_cast<uint32_t>(rng.UniformInt(uint64_t{cols})));
+  }
+  return CsrMatrix::FromCoo(coo.Finalize(rows, cols).value());
+}
+
+/// Random matrix parameterized by density instead of an absolute count.
+inline CsrMatrix RandomCsrDense(uint32_t rows, uint32_t cols, double density,
+                                uint64_t seed = kDefaultSeed) {
+  return RandomCsr(rows, cols, static_cast<size_t>(rows * cols * density),
+                   seed);
+}
+
+/// Two disjoint dense blocks (users 0-9 x items 0-7, users 10-19 x items
+/// 8-15) with a few holes: the easiest co-clustering instance — any
+/// co-clustering method must nail it. Fully deterministic.
+inline CsrMatrix TinyBlocksCsr() {
+  CooBuilder coo;
+  for (uint32_t u = 0; u < 10; ++u) {
+    for (uint32_t i = 0; i < 8; ++i) {
+      if ((u + i) % 9 != 0) coo.Add(u, i);  // block 1 with holes
+    }
+  }
+  for (uint32_t u = 10; u < 20; ++u) {
+    for (uint32_t i = 8; i < 16; ++i) {
+      if ((u + i) % 9 != 0) coo.Add(u, i);  // block 2 with holes
+    }
+  }
+  return CsrMatrix::FromCoo(coo.Finalize(20, 16).value());
+}
+
+}  // namespace test
+}  // namespace ocular
+
+#endif  // OCULAR_TESTS_TEST_UTIL_H_
