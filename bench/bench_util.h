@@ -9,7 +9,10 @@
 // seconds-to-minutes. Pass --scale=<x> to change the dataset scale.
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -39,6 +42,62 @@ inline double FlagDouble(int argc, char** argv, const std::string& name,
     }
   }
   return def;
+}
+
+/// True when "--flag" (or "--flag=true"/"--flag=1") is on the command line.
+/// Used for mode switches like --json.
+inline bool FlagBool(int argc, char** argv, const std::string& name) {
+  const std::string bare = "--" + name;
+  const std::string prefix = bare + "=";
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == bare || arg == prefix + "true" || arg == prefix + "1") {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Parses "--flag=value" strings from argv, with a default.
+inline std::string FlagString(int argc, char** argv, const std::string& name,
+                              const std::string& def) {
+  const std::string prefix = "--" + name + "=";
+  for (int a = 1; a < argc; ++a) {
+    std::string arg = argv[a];
+    if (StartsWith(arg, prefix)) return arg.substr(prefix.size());
+  }
+  return def;
+}
+
+/// Writes `content` to `path`; returns false (with a log line) on failure.
+/// The --json benches emit their machine-readable records through this.
+inline bool WriteTextFile(const std::string& path,
+                          const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    OCULAR_LOG(kError) << "cannot open " << path << " for writing";
+    return false;
+  }
+  out << content;
+  return out.good();
+}
+
+/// Extracts the first numeric value of `"key": <number>` from a JSON text.
+/// Good enough for reading back our own BENCH_*.json records (the baseline
+/// regression gate); NOT a general JSON parser.
+inline bool FindJsonNumber(const std::string& json, const std::string& key,
+                           double* value) {
+  const std::string needle = "\"" + key + "\"";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) return false;
+  const size_t colon = json.find(':', at + needle.size());
+  if (colon == std::string::npos) return false;
+  const char* start = json.c_str() + colon + 1;
+  char* end = nullptr;
+  const double parsed = std::strtod(start, &end);
+  if (end == start) return false;
+  *value = parsed;
+  return true;
 }
 
 /// A named recommender candidate (one hyper-parameter setting).

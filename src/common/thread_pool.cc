@@ -4,13 +4,21 @@
 
 namespace ocular {
 
+namespace {
+/// Slot index of the current thread within the pool that owns it. A thread
+/// belongs to at most one pool, so a plain thread_local is unambiguous.
+thread_local size_t tls_worker_index = ThreadPool::kNotAWorker;
+}  // namespace
+
+size_t ThreadPool::CurrentWorkerIndex() { return tls_worker_index; }
+
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -62,15 +70,34 @@ void ThreadPool::ParallelForChunked(
     fn(begin, end);  // Run inline; not worth dispatching.
     return;
   }
+  std::vector<std::pair<size_t, size_t>> ranges;
+  ranges.reserve((n + chunk - 1) / chunk);
+  for (size_t lo = begin; lo < end; lo += chunk) {
+    ranges.emplace_back(lo, std::min(end, lo + chunk));
+  }
+  RunAndWait(ranges, fn);
+}
+
+void ThreadPool::ParallelForRanges(
+    const std::vector<std::pair<size_t, size_t>>& ranges,
+    const std::function<void(size_t, size_t)>& fn) {
+  if (ranges.empty()) return;
+  if (ranges.size() == 1) {
+    fn(ranges[0].first, ranges[0].second);
+    return;
+  }
+  RunAndWait(ranges, fn);
+}
+
+void ThreadPool::RunAndWait(
+    const std::vector<std::pair<size_t, size_t>>& ranges,
+    const std::function<void(size_t, size_t)>& fn) {
   std::atomic<size_t> pending{0};
   std::mutex done_mu;
   std::condition_variable done_cv;
-  size_t launched = 0;
-  for (size_t lo = begin; lo < end; lo += chunk) {
-    const size_t hi = std::min(end, lo + chunk);
-    ++launched;
+  for (const auto& [lo, hi] : ranges) {
     pending.fetch_add(1, std::memory_order_relaxed);
-    Submit([&, lo, hi] {
+    Submit([&, lo = lo, hi = hi] {
       fn(lo, hi);
       if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::unique_lock<std::mutex> lock(done_mu);
@@ -78,12 +105,13 @@ void ThreadPool::ParallelForChunked(
       }
     });
   }
-  (void)launched;
   std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return pending.load(std::memory_order_acquire) == 0; });
+  done_cv.wait(lock,
+               [&] { return pending.load(std::memory_order_acquire) == 0; });
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  tls_worker_index = worker_index;
   for (;;) {
     std::function<void()> task;
     {

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace ocular {
@@ -50,8 +51,29 @@ class ThreadPool {
       size_t begin, size_t end,
       const std::function<void(size_t, size_t)>& fn, size_t grain = 64);
 
+  /// Runs fn(lo, hi) for every caller-supplied half-open range and blocks.
+  /// This is the entry point for weight-balanced decompositions (e.g.
+  /// equal-nnz row ranges from BalancedRowRanges) where uniform chunking
+  /// would serialize on a few heavy chunks. A single range runs inline on
+  /// the calling thread.
+  void ParallelForRanges(
+      const std::vector<std::pair<size_t, size_t>>& ranges,
+      const std::function<void(size_t, size_t)>& fn);
+
+  /// Index of the calling pool worker in [0, num_threads()), or
+  /// kNotAWorker when called from a thread that is not a pool worker (e.g.
+  /// the caller of ParallelFor* running a chunk inline). Lets parallel
+  /// bodies pick a per-worker scratch slot without locking.
+  static constexpr size_t kNotAWorker = static_cast<size_t>(-1);
+  static size_t CurrentWorkerIndex();
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
+
+  /// Shared waiter for the fork-join entry points: submits fn over the
+  /// given ranges and blocks until all complete.
+  void RunAndWait(const std::vector<std::pair<size_t, size_t>>& ranges,
+                  const std::function<void(size_t, size_t)>& fn);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;

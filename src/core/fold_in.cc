@@ -48,14 +48,20 @@ Result<std::vector<double>> FoldInUser(const OcularModel& model,
     for (uint32_t c = 0; c < model.k(); ++c) complement[c] -= row[c];
   }
 
+  // One workspace for the whole solve: the history block never changes, so
+  // the dot cache stays warm across steps and each step's objective comes
+  // out of the line search for free.
+  internal::BlockWorkspace ws;
+  ws.Reserve(model.k(), history.size());
+
   double prev = internal::BlockObjective(f, history, items, complement,
                                          config.lambda, 1.0, {});
+  double step_hint = 0.0;  // accepted backtrack exponent (see ArmijoStep)
   for (uint32_t step = 0; step < options.max_steps; ++step) {
-    internal::ProjectedGradientStep(f, history, items, item_sums,
-                                    config.lambda, 1.0, {}, config,
-                                    user_frozen);
-    const double q = internal::BlockObjective(f, history, items, complement,
-                                              config.lambda, 1.0, {});
+    const internal::BlockStepResult res = internal::ProjectedGradientStep(
+        f, history, items, item_sums, config.lambda, 1.0, {}, config,
+        user_frozen, &ws, &step_hint);
+    const double q = res.objective;
     const double rel = (prev - q) / std::max(std::abs(prev), 1e-12);
     if (rel < options.tolerance) break;
     prev = q;

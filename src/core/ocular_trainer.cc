@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "sparse/linalg.h"
 
 namespace ocular {
 
@@ -45,6 +47,16 @@ Status OcularConfig::Validate() const {
 
 namespace internal {
 
+void BlockWorkspace::Reserve(size_t k, size_t max_neighbors) {
+  grad.resize(k);
+  trial.resize(k);
+  trial_alt.resize(k);
+  dots.resize(max_neighbors);
+  trial_dots.resize(max_neighbors);
+  trial_dots_alt.resize(max_neighbors);
+  dots_valid = false;
+}
+
 double BlockObjective(std::span<const double> f,
                       std::span<const uint32_t> neighbors,
                       const DenseMatrix& other,
@@ -64,31 +76,210 @@ double BlockObjective(std::span<const double> f,
   return q;
 }
 
-int ProjectedGradientStep(std::span<double> f,
-                          std::span<const uint32_t> neighbors,
-                          const DenseMatrix& other,
-                          std::span<const double> other_sums, double lambda,
-                          double pos_weight,
-                          std::span<const double> per_neighbor_weights,
-                          const OcularConfig& config, int frozen_coord) {
-  const size_t k = f.size();
-  // Σ_{r=0} f_n = Σ_all f_n − Σ_pos f_n  (the Section IV-D trick).
-  std::vector<double> complement(other_sums.begin(), other_sums.end());
-  for (uint32_t n : neighbors) {
-    auto row = other.Row(n);
-    for (size_t c = 0; c < k; ++c) complement[c] -= row[c];
-  }
+namespace {
 
-  // Gradient (eq. 6): complement + 2λf − Σ_pos w_n f_n / (e^{<f_n,f>} − 1).
-  std::vector<double> grad(complement.begin(), complement.end());
-  for (size_t c = 0; c < k; ++c) grad[c] += 2.0 * lambda * f[c];
+/// Evaluates the block objective at `x`, writing d_n = <f_n, x> into
+/// `dots`. The complement term is recovered from the sums and the dots:
+///   <x, Σ_{r=0} f_n> = <x, other_sums> − Σ_n d_n.
+/// One O(deg·K) pass, no allocation.
+double EvalBlockPoint(std::span<const double> x,
+                      std::span<const uint32_t> neighbors,
+                      const DenseMatrix& other,
+                      std::span<const double> other_sums, double lambda,
+                      double pos_weight,
+                      std::span<const double> per_neighbor_weights,
+                      std::span<double> dots) {
+  double q_pos = 0.0;
+  double dot_sum = 0.0;
   for (size_t n = 0; n < neighbors.size(); ++n) {
     const double w =
         per_neighbor_weights.empty() ? pos_weight : per_neighbor_weights[n];
-    auto row = other.Row(neighbors[n]);
-    const double dot = std::max(vec::Dot(row, f), kAffinityFloor);
-    const double coef = w / std::expm1(dot);
-    for (size_t c = 0; c < k; ++c) grad[c] -= coef * row[c];
+    const double d = vec::Dot(other.Row(neighbors[n]), x);
+    dots[n] = d;
+    dot_sum += d;
+    q_pos -= w * std::log(std::max(-std::expm1(-d), kProbFloor));
+  }
+  double sq = 0.0;
+  const double sums_dot = vec::DotAndSquaredNorm(x, other_sums, &sq);
+  return q_pos + sums_dot - dot_sum + lambda * sq;
+}
+
+/// The line-search core: q0 and the gradient are already in hand.
+///
+/// The search runs on the exponent grid alpha(t) = initial_step * beta^t,
+/// t in [0, max_backtracks], evaluated by the same repeated multiplication
+/// a cold top-down search performs — the candidate points are BITWISE the
+/// cold search's. A cold call (step_hint null) walks t upward from 0
+/// exactly like the classic backtracking loop. With a hint (the row's
+/// accepted exponent last sweep), the search starts at hint-1 and walks to
+/// the acceptance boundary — downward while passing (bigger steps), upward
+/// while failing (smaller steps) — accepting the t whose predecessor
+/// fails. Armijo acceptance is monotone in t for these strongly convex
+/// blocks, so this is the same t the cold search finds, at ~2 objective
+/// evaluations instead of t+1.
+///
+/// On success swaps the accepted trial's dots into ws->dots so the next
+/// step on the same block starts with a warm cache.
+BlockStepResult ArmijoSearch(std::span<double> f, std::span<const double> grad,
+                             std::span<const uint32_t> neighbors,
+                             const DenseMatrix& other,
+                             std::span<const double> other_sums, double lambda,
+                             double pos_weight,
+                             std::span<const double> per_neighbor_weights,
+                             const OcularConfig& config, double q0,
+                             BlockWorkspace* ws, double* step_hint) {
+  const int max_t = static_cast<int>(config.max_backtracks);
+
+  // alpha(t) by the same multiply chain the cold loop uses, so candidate
+  // points match it bitwise for every t.
+  const auto alpha_at = [&config](int t) {
+    double a = config.initial_step;
+    for (int j = 0; j < t; ++j) a *= config.armijo_beta;
+    return a;
+  };
+
+  // Evaluates grid point t into (*trial, *trial_dots, *q1). Returns
+  // +1 pass, 0 fail, +2 stationary (trial == f exactly; see below).
+  const auto eval_at = [&](int t, std::vector<double>* trial,
+                           std::vector<double>* trial_dots, double* q1) {
+    std::span<double> tr(trial->data(), f.size());
+    const double descent = vec::ProjectedTrial(tr, f, grad, alpha_at(t));
+    if (descent == 0.0) {
+      // Every term of <grad, trial - f> is <= 0 on the projection arc, so
+      // zero descent means trial == f exactly: the row is stationary at
+      // this alpha and the (q1 == q0) trial is trivially acceptable.
+      return 2;
+    }
+    *q1 = EvalBlockPoint(
+        tr, neighbors, other, other_sums, lambda, pos_weight,
+        per_neighbor_weights,
+        std::span<double>(trial_dots->data(), neighbors.size()));
+    return *q1 - q0 <= config.armijo_sigma * descent ? 1 : 0;
+  };
+
+  const auto accept = [&](int t, std::vector<double>* trial,
+                          std::vector<double>* trial_dots,
+                          double q1) -> BlockStepResult {
+    std::copy(trial->begin(), trial->begin() + f.size(), f.begin());
+    std::swap(ws->dots, *trial_dots);
+    ws->dots_valid = true;
+    ws->objective = q1;
+    if (step_hint != nullptr) *step_hint = static_cast<double>(t);
+    return {t, q1};
+  };
+
+  // Double-buffered candidates: `cur` holds the best passing trial seen,
+  // `alt` receives the next probe.
+  std::vector<double>* cur_trial = &ws->trial;
+  std::vector<double>* cur_dots = &ws->trial_dots;
+  std::vector<double>* alt_trial = &ws->trial_alt;
+  std::vector<double>* alt_dots = &ws->trial_dots_alt;
+
+  int t = 0;
+  if (step_hint != nullptr) {
+    t = std::clamp(static_cast<int>(*step_hint) - 1, 0, max_t);
+  }
+
+  double q_cur = 0.0;
+  const int first = eval_at(t, cur_trial, cur_dots, &q_cur);
+  if (first == 2) {
+    if (step_hint != nullptr) *step_hint = static_cast<double>(t);
+    return {t, q0};
+  }
+  if (first == 1) {
+    // Passing: walk toward bigger steps while they keep passing.
+    while (t > 0) {
+      double q_alt = 0.0;
+      const int r = eval_at(t - 1, alt_trial, alt_dots, &q_alt);
+      if (r != 1) break;  // t-1 fails (or is degenerate): t is the boundary
+      std::swap(cur_trial, alt_trial);
+      std::swap(cur_dots, alt_dots);
+      q_cur = q_alt;
+      --t;
+    }
+    return accept(t, cur_trial, cur_dots, q_cur);
+  }
+  // Failing: walk toward smaller steps until one passes.
+  for (++t; t <= max_t; ++t) {
+    const int r = eval_at(t, cur_trial, cur_dots, &q_cur);
+    if (r == 2) {
+      if (step_hint != nullptr) *step_hint = static_cast<double>(t);
+      return {t, q0};
+    }
+    if (r == 1) return accept(t, cur_trial, cur_dots, q_cur);
+  }
+  return {-1, q0};  // line search failed; f (and the dot cache) unchanged
+}
+
+}  // namespace
+
+BlockStepResult ArmijoStep(std::span<double> f, std::span<const double> grad,
+                           std::span<const uint32_t> neighbors,
+                           const DenseMatrix& other,
+                           std::span<const double> other_sums, double lambda,
+                           double pos_weight,
+                           std::span<const double> per_neighbor_weights,
+                           const OcularConfig& config, BlockWorkspace* ws,
+                           double* step_hint) {
+  if (!ws->dots_valid) {
+    ws->objective = EvalBlockPoint(
+        f, neighbors, other, other_sums, lambda, pos_weight,
+        per_neighbor_weights, std::span<double>(ws->dots.data(),
+                                                neighbors.size()));
+    ws->dots_valid = true;
+  }
+  return ArmijoSearch(f, grad, neighbors, other, other_sums, lambda,
+                      pos_weight, per_neighbor_weights, config,
+                      ws->objective, ws, step_hint);
+}
+
+BlockStepResult ProjectedGradientStep(
+    std::span<double> f, std::span<const uint32_t> neighbors,
+    const DenseMatrix& other, std::span<const double> other_sums,
+    double lambda, double pos_weight,
+    std::span<const double> per_neighbor_weights, const OcularConfig& config,
+    int frozen_coord, BlockWorkspace* ws, double* step_hint) {
+  const size_t k = f.size();
+  const size_t m = neighbors.size();
+  std::span<double> grad(ws->grad.data(), k);
+  std::span<double> dots(ws->dots.data(), m);
+
+  // Gradient (eq. 6) without materializing the complement:
+  //   grad = (Σ_all f_n − Σ_pos f_n) + 2λf − Σ_pos w_n f_n / (e^{d_n} − 1)
+  //        = Σ_all f_n + 2λf − Σ_pos (1 + w_n/(e^{d_n} − 1)) f_n.
+  vec::GradientInit(grad, other_sums, f, 2.0 * lambda);
+  if (ws->dots_valid) {
+    // Same block, f unchanged since the last accepted trial: the dots (and
+    // q0 = ws->objective) are already known; only the Axpy pass remains.
+    for (size_t n = 0; n < m; ++n) {
+      const double w =
+          per_neighbor_weights.empty() ? pos_weight : per_neighbor_weights[n];
+      const double coef = w / std::expm1(std::max(dots[n], kAffinityFloor));
+      vec::Axpy(-(1.0 + coef), other.Row(neighbors[n]), grad);
+    }
+  } else {
+    // Cold cache: one fused pass computes the dots, the q0 pieces, and the
+    // gradient corrections together. A single expm1 serves both the
+    // gradient coefficient and the log-likelihood term:
+    //   1 − e^{−d} = E/(1+E) with E = e^{d} − 1  (exact; guards overflow).
+    double q_pos = 0.0;
+    double dot_sum = 0.0;
+    for (size_t n = 0; n < m; ++n) {
+      const double w =
+          per_neighbor_weights.empty() ? pos_weight : per_neighbor_weights[n];
+      auto row = other.Row(neighbors[n]);
+      const double d = vec::Dot(row, f);
+      dots[n] = d;
+      dot_sum += d;
+      const double e = std::expm1(std::max(d, kAffinityFloor));
+      const double p = e < 1e300 ? e / (1.0 + e) : 1.0;
+      q_pos -= w * std::log(std::max(p, kProbFloor));
+      vec::Axpy(-(1.0 + w / e), row, grad);
+    }
+    double sq = 0.0;
+    const double sums_dot = vec::DotAndSquaredNorm(f, other_sums, &sq);
+    ws->objective = q_pos + sums_dot - dot_sum + lambda * sq;
+    ws->dots_valid = true;
   }
   // A frozen coordinate (bias extension) never moves; masking its gradient
   // keeps the Armijo line search exact for the remaining coordinates.
@@ -96,37 +287,9 @@ int ProjectedGradientStep(std::span<double> f,
     grad[static_cast<size_t>(frozen_coord)] = 0.0;
   }
 
-  return ArmijoStep(f, grad, neighbors, other, complement, lambda,
-                    pos_weight, per_neighbor_weights, config);
-}
-
-int ArmijoStep(std::span<double> f, std::span<const double> grad,
-               std::span<const uint32_t> neighbors, const DenseMatrix& other,
-               std::span<const double> complement_sum, double lambda,
-               double pos_weight,
-               std::span<const double> per_neighbor_weights,
-               const OcularConfig& config) {
-  const size_t k = f.size();
-  const double q0 = BlockObjective(f, neighbors, other, complement_sum,
-                                   lambda, pos_weight, per_neighbor_weights);
-  std::vector<double> trial(k);
-  double alpha = config.initial_step;
-  for (uint32_t t = 0; t <= config.max_backtracks; ++t) {
-    for (size_t c = 0; c < k; ++c) {
-      trial[c] = std::max(0.0, f[c] - alpha * grad[c]);
-    }
-    const double q1 =
-        BlockObjective(trial, neighbors, other, complement_sum, lambda,
-                       pos_weight, per_neighbor_weights);
-    double descent = 0.0;  // <grad, trial - f>
-    for (size_t c = 0; c < k; ++c) descent += grad[c] * (trial[c] - f[c]);
-    if (q1 - q0 <= config.armijo_sigma * descent) {
-      std::copy(trial.begin(), trial.end(), f.begin());
-      return static_cast<int>(t);
-    }
-    alpha *= config.armijo_beta;
-  }
-  return -1;  // line search failed; keep f unchanged
+  return ArmijoSearch(f, grad, neighbors, other, other_sums, lambda,
+                      pos_weight, per_neighbor_weights, config,
+                      ws->objective, ws, step_hint);
 }
 
 }  // namespace internal
@@ -198,30 +361,55 @@ Result<OcularFitResult> OcularTrainer::FitFrom(const CsrMatrix& interactions,
   const std::vector<double> weights = UserWeights(interactions);
   const bool relative = config_.variant == OcularVariant::kRelative;
 
+  // R-OCuLaR item phase: gather the per-positive user weights ONCE — the
+  // weights are constant across sweeps, and the flat layout aligns with
+  // transposed.col_idx() so item i's weights are a contiguous span.
+  std::vector<double> item_phase_weights;
+  if (relative) {
+    const std::vector<uint32_t>& users_flat = transposed.col_idx();
+    item_phase_weights.resize(users_flat.size());
+    for (size_t t = 0; t < users_flat.size(); ++t) {
+      item_phase_weights[t] = weights[users_flat[t]];
+    }
+  }
+
+  internal::BlockWorkspace ws;
+  ws.Reserve(config_.TotalDims(),
+             std::max(interactions.MaxRowDegree(), transposed.MaxRowDegree()));
+
+  // Per-row adaptive line-search state (see ArmijoStep): the last accepted
+  // backtrack exponent per row, so each search resumes near its boundary
+  // instead of walking down from exponent 0 every sweep.
+  std::vector<double> item_steps(interactions.num_cols(), 0.0);
+  std::vector<double> user_steps(interactions.num_rows(), 0.0);
+
   Stopwatch watch;
   double prev_q = config_.track_objective
                       ? ObjectiveQ(out.model, interactions, config_.lambda,
                                    relative ? weights : std::vector<double>{})
                       : 0.0;
 
-  std::vector<double> neighbor_weights;  // reused buffer (R-OCuLaR items)
+  // Per-user block objectives of the sweep's user phase. Summed in row
+  // order (not accumulation order), so serial and parallel trainers
+  // produce bit-identical traces.
+  std::vector<double> block_q(
+      config_.track_objective ? interactions.num_rows() : 0, 0.0);
+
   for (uint32_t sweep = 0; sweep < config_.max_sweeps; ++sweep) {
     // ---- Item phase: update every f_i with f_u fixed. ----
     const std::vector<double> user_sums = fu.ColumnSums();
+    const std::vector<uint64_t>& item_ptr = transposed.row_ptr();
     for (uint32_t i = 0; i < interactions.num_cols(); ++i) {
       auto users = transposed.Row(i);
       std::span<const double> wspan;
       if (relative) {
-        neighbor_weights.resize(users.size());
-        for (size_t n = 0; n < users.size(); ++n) {
-          neighbor_weights[n] = weights[users[n]];
-        }
-        wspan = neighbor_weights;
+        wspan = {item_phase_weights.data() + item_ptr[i], users.size()};
       }
+      ws.Invalidate();
       for (uint32_t step = 0; step < config_.block_steps; ++step) {
         internal::ProjectedGradientStep(fi.Row(i), users, fu, user_sums,
                                         config_.lambda, 1.0, wspan, config_,
-                                        item_frozen);
+                                        item_frozen, &ws, &item_steps[i]);
       }
     }
 
@@ -229,18 +417,24 @@ Result<OcularFitResult> OcularTrainer::FitFrom(const CsrMatrix& interactions,
     const std::vector<double> item_sums = fi.ColumnSums();
     for (uint32_t u = 0; u < interactions.num_rows(); ++u) {
       const double w = relative ? weights[u] : 1.0;
+      ws.Invalidate();
+      internal::BlockStepResult last;
       for (uint32_t step = 0; step < config_.block_steps; ++step) {
-        internal::ProjectedGradientStep(fu.Row(u), interactions.Row(u), fi,
-                                        item_sums, config_.lambda, w, {},
-                                        config_, user_frozen);
+        last = internal::ProjectedGradientStep(fu.Row(u), interactions.Row(u),
+                                               fi, item_sums, config_.lambda,
+                                               w, {}, config_, user_frozen,
+                                               &ws, &user_steps[u]);
       }
+      if (config_.track_objective) block_q[u] = last.objective;
     }
 
     out.sweeps_run = sweep + 1;
     if (config_.track_objective) {
-      const double q =
-          ObjectiveQ(out.model, interactions, config_.lambda,
-                     relative ? weights : std::vector<double>{});
+      // Fused objective: Σ_u Q_u(f_u) already contains the positives, the
+      // unknowns (via the per-block complement terms), and λ||F_u||²; only
+      // the item-side regularizer is missing.
+      const double q = std::accumulate(block_q.begin(), block_q.end(), 0.0) +
+                       config_.lambda * fi.SquaredFrobeniusNorm();
       out.trace.push_back(SweepStats{sweep, q, watch.ElapsedSeconds()});
       // "Convergence is declared if Q stops decreasing."
       const double rel_drop = (prev_q - q) / std::max(std::abs(prev_q), 1e-12);

@@ -68,8 +68,12 @@ struct OcularConfig {
   /// Total factor dimensions including bias dimensions.
   uint32_t TotalDims() const { return k + (use_biases ? 2 : 0); }
 
-  /// Record Q after every sweep (needed for the Fig. 8 convergence traces;
-  /// adds one O(nnz K) pass per sweep).
+  /// Record Q after every sweep (needed for the Fig. 8 convergence traces
+  /// and the stopping rule). Tracking is FUSED into the sweep: the user
+  /// phase accumulates the per-block objectives its line searches computed
+  /// anyway, so the only extra cost is O(n_i·K) for the item-side l2 term —
+  /// no separate O(nnz·K) ObjectiveQ pass (ObjectiveQ remains the oracle in
+  /// tests).
   bool track_objective = true;
 
   /// Validates ranges; returns InvalidArgument on nonsense.
@@ -122,33 +126,96 @@ class OcularTrainer {
 
 namespace internal {
 
+/// Reusable scratch for one block update. All heap storage the kernels need
+/// lives here; after Reserve() the kernels perform ZERO allocations per
+/// block update (verified by an allocator hook in tests), so one workspace
+/// per thread turns the whole sweep allocation-free.
+///
+/// The workspace also caches the per-neighbor dot products d_n = <f_n, f>
+/// and the block objective at the CURRENT point f. Within one block (same
+/// row, same fixed side) consecutive projected-gradient steps reuse them:
+/// the gradient coefficients w_n/expm1(d_n) come from the cache and the
+/// Armijo q0 needs no recomputation at all. Callers must Invalidate() when
+/// moving to a different row (or after the fixed side changed).
+struct BlockWorkspace {
+  std::vector<double> grad;        // K
+  std::vector<double> trial;      // K: line-search candidate
+  std::vector<double> trial_alt;  // K: second candidate (boundary search)
+  std::vector<double> dots;        // deg(row): <f_n, f> at the current f
+  std::vector<double> trial_dots;      // deg(row): dots at the candidates
+  std::vector<double> trial_dots_alt;  //
+
+  /// True when `dots`/`objective` describe the current f of the block this
+  /// workspace was last used on.
+  bool dots_valid = false;
+  /// Block objective Q_b(f) at the current f (valid with dots_valid).
+  double objective = 0.0;
+
+  /// Pre-sizes every buffer so later (re)use never reallocates. `k` is the
+  /// factor dimension, `max_neighbors` the maximum row degree the kernels
+  /// will see (max over both R and R^T when shared across phases).
+  ///
+  /// Memory trade-off: the three degree-sized buffers cost
+  /// 3*max_neighbors doubles per workspace, which the parallel trainers
+  /// multiply by (num_threads + 1). On heavily skewed data (one blockbuster
+  /// row of degree d) that is 24*d*(T+1) bytes of mostly-idle scratch — but
+  /// such a row implies >= d counterpart factor rows, so the scratch stays
+  /// small relative to the model itself.
+  void Reserve(size_t k, size_t max_neighbors);
+
+  /// Marks the dot/objective cache stale (switching to another block).
+  void Invalidate() { dots_valid = false; }
+};
+
+/// Outcome of one block update.
+struct BlockStepResult {
+  /// Backtracking steps taken, or -1 if the line search failed (f
+  /// unchanged).
+  int backtracks = -1;
+  /// Block objective Q_b(f) AFTER the update — the accepted trial's value
+  /// (or the unchanged point's value on failure). Computed as a byproduct
+  /// of the line search, so per-sweep objective tracking fused from these
+  /// is free.
+  double objective = 0.0;
+};
+
 /// One projected-gradient update of a single factor row, shared by the
-/// serial trainer and the parallel executor. Updates `f` in place.
+/// serial trainer, the parallel trainers, and fold-in. Updates `f` in
+/// place.
 ///
 /// `neighbors`   — positive counterparts of this row (users of an item, or
 ///                 items of a user);
 /// `other`       — the opposite factor matrix;
-/// `other_sums`  — column sums of `other` (Σ f over the opposite side);
+/// `other_sums`  — column sums of `other` (Σ f over the opposite side).
+///                 The complement Σ_{r=0} f_n is never materialized: both
+///                 the gradient and the objective only need it through
+///                 <x, complement> = <x, other_sums> − Σ_n <x, f_n>, and
+///                 the per-neighbor dots are computed (once) anyway;
 /// `pos_weight`  — weight multiplying every positive log-likelihood term
 ///                 (w_u for user rows under R-OCuLaR, 1 otherwise). For an
 ///                 ITEM row under R-OCuLaR, pass `per_neighbor_weights`
-///                 instead (weights differ per positive example).
+///                 instead (weights differ per positive example);
 /// `frozen_coord`— coordinate of `f` held fixed during the step (-1 for
 ///                 none); used by the bias extension where the counterpart
-///                 bias coordinate is pinned at 1.
-/// Returns the number of backtracking steps taken (for diagnostics), or -1
-/// if the line search failed and the row was left unchanged.
-int ProjectedGradientStep(std::span<double> f,
-                          std::span<const uint32_t> neighbors,
-                          const DenseMatrix& other,
-                          std::span<const double> other_sums, double lambda,
-                          double pos_weight,
-                          std::span<const double> per_neighbor_weights,
-                          const OcularConfig& config,
-                          int frozen_coord = -1);
+///                 bias coordinate is pinned at 1;
+/// `ws`          — per-thread scratch (see BlockWorkspace); must be
+///                 Reserve()d large enough and Invalidate()d when switching
+///                 rows;
+/// `step_hint`   — optional per-ROW adaptive line-search state (see
+///                 ArmijoStep). nullptr restarts every search at
+///                 config.initial_step.
+BlockStepResult ProjectedGradientStep(
+    std::span<double> f, std::span<const uint32_t> neighbors,
+    const DenseMatrix& other, std::span<const double> other_sums,
+    double lambda, double pos_weight,
+    std::span<const double> per_neighbor_weights, const OcularConfig& config,
+    int frozen_coord, BlockWorkspace* ws, double* step_hint = nullptr);
 
 /// The block objective Q(f) of eq. (5), up to terms constant in f:
 ///   -Σ_n w_n log(1-e^{-<f_n, f>}) + <f, Σ_{r=0} f_n> + lambda ||f||².
+/// O(deg·K) with heap allocation — kept as the slow oracle for tests and
+/// one-off evaluations; the hot path gets the same value from
+/// BlockStepResult::objective.
 double BlockObjective(std::span<const double> f,
                       std::span<const uint32_t> neighbors,
                       const DenseMatrix& other,
@@ -159,14 +226,30 @@ double BlockObjective(std::span<const double> f,
 /// The Armijo backtracking line search along the projection arc, given a
 /// PRECOMPUTED gradient (shared by ProjectedGradientStep and the
 /// kernel-style trainer, whose gradients come from the per-positive
-/// decomposition of Section VI). Updates `f` in place on success; returns
-/// backtrack count or -1 on failure (f unchanged).
-int ArmijoStep(std::span<double> f, std::span<const double> grad,
-               std::span<const uint32_t> neighbors, const DenseMatrix& other,
-               std::span<const double> complement_sum, double lambda,
-               double pos_weight,
-               std::span<const double> per_neighbor_weights,
-               const OcularConfig& config);
+/// decomposition of Section VI). Takes `other_sums` (NOT the materialized
+/// complement; see ProjectedGradientStep). Reuses ws->dots/objective for
+/// the q0 evaluation when valid; each backtrack computes dots only for the
+/// trial point. Updates `f` in place on success.
+///
+/// `step_hint` (optional, per ROW, persisted by the caller across sweeps,
+/// initialized to 0.0) warm-starts the search. It stores the row's last
+/// accepted backtrack EXPONENT t (alpha = initial_step * beta^t, the same
+/// grid a cold search walks): the search probes t-1 and walks to the
+/// acceptance boundary from there instead of from t=0. The Armijo
+/// acceptance test itself is unchanged, so every accepted step still
+/// satisfies the sufficient-decrease condition, and under the (generic)
+/// monotone-acceptance property the accepted step is exactly the cold
+/// search's — this only removes the 4-7 rejected trials per block a cold
+/// search spends walking alpha down, which is the single largest cost of
+/// a sweep. nullptr = cold search (old behavior).
+BlockStepResult ArmijoStep(std::span<double> f, std::span<const double> grad,
+                           std::span<const uint32_t> neighbors,
+                           const DenseMatrix& other,
+                           std::span<const double> other_sums, double lambda,
+                           double pos_weight,
+                           std::span<const double> per_neighbor_weights,
+                           const OcularConfig& config, BlockWorkspace* ws,
+                           double* step_hint = nullptr);
 
 }  // namespace internal
 

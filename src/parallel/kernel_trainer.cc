@@ -1,11 +1,23 @@
 #include "parallel/kernel_trainer.h"
 
 #include <cmath>
+#include <numeric>
 
 #include "common/timer.h"
 #include "parallel/gradient_kernel.h"
+#include "parallel/partition.h"
 
 namespace ocular {
+
+namespace {
+/// See parallel_trainer.cc: workers of THIS pool get their own slot, any
+/// other thread (inline single-range execution, possibly a foreign pool's
+/// worker) shares the extra last slot.
+size_t WorkspaceSlot(size_t num_threads) {
+  const size_t idx = ThreadPool::CurrentWorkerIndex();
+  return idx < num_threads ? idx : num_threads;
+}
+}  // namespace
 
 Result<OcularFitResult> KernelOcularTrainer::Fit(
     const CsrMatrix& interactions) {
@@ -20,38 +32,33 @@ Result<OcularFitResult> KernelOcularTrainer::Fit(
   return FitFrom(interactions, OcularModel(std::move(fu), std::move(fi)));
 }
 
-void KernelOcularTrainer::Phase(const CsrMatrix& pattern,
-                                const DenseMatrix& fixed,
-                                DenseMatrix* target) {
+void KernelOcularTrainer::Phase(
+    const CsrMatrix& pattern, const DenseMatrix& fixed, DenseMatrix* target,
+    const std::vector<std::pair<size_t, size_t>>& ranges,
+    std::vector<internal::BlockWorkspace>* workspaces, double* step_hints,
+    double* block_q) {
   // Kernels 1+2: per-positive gradient accumulation (Section VI-A).
   DenseMatrix gradients;
   ComputeItemGradientsKernel(pattern, fixed, *target, config_.lambda, &pool_,
                              &gradients);
 
   // Kernel 3: row-wise Armijo update with the precomputed gradients. The
-  // complement Σ_{r=0} f_n needed by the line-search objective is formed
-  // from the fixed side's column sums.
+  // line-search objective recovers the complement term from the fixed
+  // side's column sums and the per-neighbor dots, so nothing is
+  // materialized per row.
   const std::vector<double> sums = fixed.ColumnSums();
-  pool_.ParallelForChunked(
-      0, target->rows(),
-      [&](size_t lo, size_t hi) {
-        std::vector<double> complement(config_.k);
-        for (size_t row = lo; row < hi; ++row) {
-          const uint32_t r = static_cast<uint32_t>(row);
-          auto neighbors = pattern.Row(r);
-          for (uint32_t c = 0; c < config_.k; ++c) complement[c] = sums[c];
-          for (uint32_t n : neighbors) {
-            auto other_row = fixed.Row(n);
-            for (uint32_t c = 0; c < config_.k; ++c) {
-              complement[c] -= other_row[c];
-            }
-          }
-          internal::ArmijoStep(target->Row(r), gradients.Row(r), neighbors,
-                               fixed, complement, config_.lambda, 1.0, {},
-                               config_);
-        }
-      },
-      /*grain=*/8);
+  pool_.ParallelForRanges(ranges, [&](size_t lo, size_t hi) {
+    internal::BlockWorkspace& ws =
+        (*workspaces)[WorkspaceSlot(pool_.num_threads())];
+    for (size_t row = lo; row < hi; ++row) {
+      const uint32_t r = static_cast<uint32_t>(row);
+      ws.Invalidate();
+      const internal::BlockStepResult res = internal::ArmijoStep(
+          target->Row(r), gradients.Row(r), pattern.Row(r), fixed, sums,
+          config_.lambda, 1.0, {}, config_, &ws, &step_hints[row]);
+      if (block_q != nullptr) block_q[row] = res.objective;
+    }
+  });
 }
 
 Result<OcularFitResult> KernelOcularTrainer::FitFrom(
@@ -80,16 +87,41 @@ Result<OcularFitResult> KernelOcularTrainer::FitFrom(
   DenseMatrix& fi = *out.model.mutable_item_factors();
   const CsrMatrix transposed = interactions.Transpose();
 
+  // Pattern-derived state computed once per fit: nnz-balanced row ranges
+  // for both phases and the per-worker block-update workspaces.
+  const std::vector<std::pair<size_t, size_t>> item_ranges =
+      BalancedRowRanges(transposed.row_ptr(), pool_.num_threads());
+  const std::vector<std::pair<size_t, size_t>> user_ranges =
+      BalancedRowRanges(interactions.row_ptr(), pool_.num_threads());
+  const uint32_t max_deg =
+      std::max(interactions.MaxRowDegree(), transposed.MaxRowDegree());
+  std::vector<internal::BlockWorkspace> workspaces(pool_.num_threads() + 1);
+  for (auto& ws : workspaces) ws.Reserve(config_.k, max_deg);
+
+  // Per-row adaptive line-search state for each side (accepted backtrack
+  // exponents; see ArmijoStep).
+  std::vector<double> item_steps(interactions.num_cols(), 0.0);
+  std::vector<double> user_steps(interactions.num_rows(), 0.0);
+
+  std::vector<double> block_q(
+      config_.track_objective ? interactions.num_rows() : 0, 0.0);
+
   Stopwatch watch;
   double prev_q = config_.track_objective
                       ? ObjectiveQ(out.model, interactions, config_.lambda)
                       : 0.0;
   for (uint32_t sweep = 0; sweep < config_.max_sweeps; ++sweep) {
-    Phase(transposed, fu, &fi);    // item phase
-    Phase(interactions, fi, &fu);  // user phase
+    // Item phase, then user phase; the user phase runs last, so its block
+    // objectives describe the end-of-sweep model and their row-ordered sum
+    // plus the item-side regularizer IS the sweep's Q (fused tracking).
+    Phase(transposed, fu, &fi, item_ranges, &workspaces, item_steps.data(),
+          nullptr);
+    Phase(interactions, fi, &fu, user_ranges, &workspaces, user_steps.data(),
+          config_.track_objective ? block_q.data() : nullptr);
     out.sweeps_run = sweep + 1;
     if (config_.track_objective) {
-      const double q = ObjectiveQ(out.model, interactions, config_.lambda);
+      const double q = std::accumulate(block_q.begin(), block_q.end(), 0.0) +
+                       config_.lambda * fi.SquaredFrobeniusNorm();
       out.trace.push_back(SweepStats{sweep, q, watch.ElapsedSeconds()});
       const double rel_drop = (prev_q - q) / std::max(std::abs(prev_q), 1e-12);
       if (rel_drop < config_.tolerance) {

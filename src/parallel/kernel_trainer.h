@@ -1,6 +1,9 @@
 #ifndef OCULAR_PARALLEL_KERNEL_TRAINER_H_
 #define OCULAR_PARALLEL_KERNEL_TRAINER_H_
 
+#include <utility>
+#include <vector>
+
 #include "common/thread_pool.h"
 #include "core/ocular_trainer.h"
 
@@ -42,9 +45,16 @@ class KernelOcularTrainer {
 
  private:
   /// One phase: computes gradients for all rows of `target` by the
-  /// per-positive kernel, then applies the Armijo update row-wise.
+  /// per-positive kernel, then applies the Armijo update row-wise over the
+  /// nnz-balanced `ranges`, one workspace per worker. `step_hints` is the
+  /// per-row adaptive line-search state for this side. When `block_q` is
+  /// non-null (user phase with objective tracking), the final block
+  /// objective of each row is recorded there for the fused per-sweep Q.
   void Phase(const CsrMatrix& pattern, const DenseMatrix& fixed,
-             DenseMatrix* target);
+             DenseMatrix* target,
+             const std::vector<std::pair<size_t, size_t>>& ranges,
+             std::vector<internal::BlockWorkspace>* workspaces,
+             double* step_hints, double* block_q);
 
   OcularConfig config_;
   ThreadPool pool_;

@@ -1,10 +1,24 @@
 #include "parallel/parallel_trainer.h"
 
 #include <cmath>
+#include <numeric>
 
 #include "common/timer.h"
+#include "parallel/partition.h"
 
 namespace ocular {
+
+namespace {
+/// Scratch slot for the calling thread: this trainer's pool workers use
+/// their own index, anything else — the caller running a single-range
+/// phase inline, including a worker of some OTHER pool whose thread-local
+/// index would alias our array — uses the extra slot at the end. (Only one
+/// thread ever runs inline per phase, so the shared slot is uncontended.)
+size_t WorkspaceSlot(size_t num_threads) {
+  const size_t idx = ThreadPool::CurrentWorkerIndex();
+  return idx < num_threads ? idx : num_threads;
+}
+}  // namespace
 
 Result<OcularFitResult> ParallelOcularTrainer::Fit(
     const CsrMatrix& interactions) {
@@ -57,56 +71,101 @@ Result<OcularFitResult> ParallelOcularTrainer::FitFrom(
   const std::vector<double> weights = serial.UserWeights(interactions);
   const bool relative = config_.variant == OcularVariant::kRelative;
 
+  // R-OCuLaR item phase: pre-gather the per-positive user weights once per
+  // fit (constant across sweeps); item i's weights are the contiguous span
+  // aligned with transposed.col_idx().
+  std::vector<double> item_phase_weights;
+  if (relative) {
+    const std::vector<uint32_t>& users_flat = transposed.col_idx();
+    item_phase_weights.resize(users_flat.size());
+    for (size_t t = 0; t < users_flat.size(); ++t) {
+      item_phase_weights[t] = weights[users_flat[t]];
+    }
+  }
+
+  // The sparsity pattern is constant across sweeps, so the nnz-balanced
+  // row decomposition (which replaces the old fixed /*grain=*/8 chunking)
+  // is computed once per fit.
+  const std::vector<std::pair<size_t, size_t>> item_ranges =
+      BalancedRowRanges(transposed.row_ptr(), pool_.num_threads());
+  const std::vector<std::pair<size_t, size_t>> user_ranges =
+      BalancedRowRanges(interactions.row_ptr(), pool_.num_threads());
+
+  // One workspace per worker (+1 for the caller when a phase runs inline):
+  // all block-update scratch lives here, so sweeps are allocation-free.
+  const uint32_t max_deg =
+      std::max(interactions.MaxRowDegree(), transposed.MaxRowDegree());
+  std::vector<internal::BlockWorkspace> workspaces(pool_.num_threads() + 1);
+  for (auto& ws : workspaces) ws.Reserve(config_.TotalDims(), max_deg);
+
+  // Per-row adaptive line-search state (accepted backtrack exponents; see
+  // ArmijoStep). Row-indexed, and every row belongs to exactly one range,
+  // so workers never contend — and the values evolve identically to the
+  // serial trainer's (bit-exact equivalence holds).
+  std::vector<double> item_steps(interactions.num_cols(), 0.0);
+  std::vector<double> user_steps(interactions.num_rows(), 0.0);
+
   Stopwatch watch;
   double prev_q = config_.track_objective
                       ? ObjectiveQ(out.model, interactions, config_.lambda,
                                    relative ? weights : std::vector<double>{})
                       : 0.0;
 
+  // Per-user block objectives, summed in row order after the user phase so
+  // the fused Q is bit-identical to the serial trainer's regardless of the
+  // range decomposition.
+  std::vector<double> block_q(
+      config_.track_objective ? interactions.num_rows() : 0, 0.0);
+
   for (uint32_t sweep = 0; sweep < config_.max_sweeps; ++sweep) {
-    // ---- Item phase (rows partitioned across workers). ----
+    // ---- Item phase (rows partitioned across workers by nnz mass). ----
     const std::vector<double> user_sums = fu.ColumnSums();
-    pool_.ParallelForChunked(
-        0, interactions.num_cols(),
-        [&](size_t lo, size_t hi) {
-          std::vector<double> neighbor_weights;
-          for (size_t i = lo; i < hi; ++i) {
-            auto users = transposed.Row(static_cast<uint32_t>(i));
-            std::span<const double> wspan;
-            if (relative) {
-              neighbor_weights.resize(users.size());
-              for (size_t n = 0; n < users.size(); ++n) {
-                neighbor_weights[n] = weights[users[n]];
-              }
-              wspan = neighbor_weights;
-            }
-            internal::ProjectedGradientStep(
-                fi.Row(static_cast<uint32_t>(i)), users, fu, user_sums,
-                config_.lambda, 1.0, wspan, config_, item_frozen);
-          }
-        },
-        /*grain=*/8);
+    const std::vector<uint64_t>& item_ptr = transposed.row_ptr();
+    pool_.ParallelForRanges(item_ranges, [&](size_t lo, size_t hi) {
+      internal::BlockWorkspace& ws = workspaces[WorkspaceSlot(
+          pool_.num_threads())];
+      for (size_t i = lo; i < hi; ++i) {
+        auto users = transposed.Row(static_cast<uint32_t>(i));
+        std::span<const double> wspan;
+        if (relative) {
+          wspan = {item_phase_weights.data() + item_ptr[i], users.size()};
+        }
+        ws.Invalidate();
+        for (uint32_t step = 0; step < config_.block_steps; ++step) {
+          internal::ProjectedGradientStep(
+              fi.Row(static_cast<uint32_t>(i)), users, fu, user_sums,
+              config_.lambda, 1.0, wspan, config_, item_frozen, &ws,
+              &item_steps[i]);
+        }
+      }
+    });
 
     // ---- User phase. ----
     const std::vector<double> item_sums = fi.ColumnSums();
-    pool_.ParallelForChunked(
-        0, interactions.num_rows(),
-        [&](size_t lo, size_t hi) {
-          for (size_t u = lo; u < hi; ++u) {
-            const double w = relative ? weights[u] : 1.0;
-            internal::ProjectedGradientStep(
-                fu.Row(static_cast<uint32_t>(u)),
-                interactions.Row(static_cast<uint32_t>(u)), fi, item_sums,
-                config_.lambda, w, {}, config_, user_frozen);
-          }
-        },
-        /*grain=*/8);
+    pool_.ParallelForRanges(user_ranges, [&](size_t lo, size_t hi) {
+      internal::BlockWorkspace& ws = workspaces[WorkspaceSlot(
+          pool_.num_threads())];
+      for (size_t u = lo; u < hi; ++u) {
+        const double w = relative ? weights[u] : 1.0;
+        ws.Invalidate();
+        internal::BlockStepResult last;
+        for (uint32_t step = 0; step < config_.block_steps; ++step) {
+          last = internal::ProjectedGradientStep(
+              fu.Row(static_cast<uint32_t>(u)),
+              interactions.Row(static_cast<uint32_t>(u)), fi, item_sums,
+              config_.lambda, w, {}, config_, user_frozen, &ws,
+              &user_steps[u]);
+        }
+        if (config_.track_objective) block_q[u] = last.objective;
+      }
+    });
 
     out.sweeps_run = sweep + 1;
     if (config_.track_objective) {
-      const double q =
-          ObjectiveQ(out.model, interactions, config_.lambda,
-                     relative ? weights : std::vector<double>{});
+      // Fused objective (see OcularTrainer::FitFrom): the user-phase block
+      // objectives plus the item-side regularizer.
+      const double q = std::accumulate(block_q.begin(), block_q.end(), 0.0) +
+                       config_.lambda * fi.SquaredFrobeniusNorm();
       out.trace.push_back(SweepStats{sweep, q, watch.ElapsedSeconds()});
       const double rel_drop = (prev_q - q) / std::max(std::abs(prev_q), 1e-12);
       if (rel_drop < config_.tolerance) {

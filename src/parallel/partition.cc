@@ -1,0 +1,45 @@
+#include "parallel/partition.h"
+
+#include <algorithm>
+
+namespace ocular {
+
+namespace {
+/// Fixed per-row cost in "nnz units": covers the column-sum reads, the l2
+/// term, and the projection arithmetic a block update performs even when
+/// the row has no positives.
+constexpr uint64_t kRowOverhead = 4;
+/// Floor on the work per range, so near-empty matrices don't shatter into
+/// per-row tasks whose dispatch overhead dwarfs the work.
+constexpr uint64_t kMinWorkPerRange = 256;
+}  // namespace
+
+std::vector<std::pair<size_t, size_t>> BalancedRowRanges(
+    std::span<const uint64_t> row_ptr, size_t num_threads,
+    size_t chunks_per_thread) {
+  std::vector<std::pair<size_t, size_t>> ranges;
+  if (row_ptr.size() <= 1) return ranges;
+  const size_t num_rows = row_ptr.size() - 1;
+  const uint64_t total_nnz = row_ptr[num_rows] - row_ptr[0];
+  const uint64_t total_work = total_nnz + kRowOverhead * num_rows;
+
+  const size_t target_chunks =
+      std::max<size_t>(1, num_threads * std::max<size_t>(1, chunks_per_thread));
+  const uint64_t target_work = std::max(
+      kMinWorkPerRange, (total_work + target_chunks - 1) / target_chunks);
+
+  size_t range_begin = 0;
+  uint64_t acc = 0;
+  for (size_t r = 0; r < num_rows; ++r) {
+    acc += (row_ptr[r + 1] - row_ptr[r]) + kRowOverhead;
+    if (acc >= target_work) {
+      ranges.emplace_back(range_begin, r + 1);
+      range_begin = r + 1;
+      acc = 0;
+    }
+  }
+  if (range_begin < num_rows) ranges.emplace_back(range_begin, num_rows);
+  return ranges;
+}
+
+}  // namespace ocular

@@ -1,0 +1,35 @@
+#ifndef OCULAR_PARALLEL_PARTITION_H_
+#define OCULAR_PARALLEL_PARTITION_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace ocular {
+
+/// Splits the rows of a CSR pattern into contiguous half-open ranges of
+/// roughly equal WORK, where the work of a row is its nnz plus a small
+/// constant (the O(K) per-row bookkeeping every block update pays even for
+/// empty rows).
+///
+/// This replaces uniform row chunking (a fixed `grain`) in the parallel
+/// trainers: under skewed row-degree distributions — the normal case for
+/// interaction data — equal-row chunks concentrate most of the O(nnz·K)
+/// sweep cost in the few chunks holding the heavy rows and serialize the
+/// phase on them. Equal-nnz ranges keep every worker busy.
+///
+/// `row_ptr` is the cumulative CSR offset array (size num_rows + 1), so the
+/// whole computation is a single O(num_rows) walk with no per-row degree
+/// recount. The target work per range is derived from
+///   total_work / (num_threads * chunks_per_thread)
+/// and clamped below so tiny inputs produce one range instead of
+/// per-row tasks. Every range holds at least one row; the ranges cover
+/// [0, num_rows) exactly, in order.
+std::vector<std::pair<size_t, size_t>> BalancedRowRanges(
+    std::span<const uint64_t> row_ptr, size_t num_threads,
+    size_t chunks_per_thread = 8);
+
+}  // namespace ocular
+
+#endif  // OCULAR_PARALLEL_PARTITION_H_

@@ -32,6 +32,14 @@ double CsrMatrix::Density() const {
   return cells > 0 ? static_cast<double>(nnz()) / cells : 0.0;
 }
 
+uint32_t CsrMatrix::MaxRowDegree() const {
+  uint32_t max_deg = 0;
+  for (uint32_t r = 0; r < num_rows(); ++r) {
+    max_deg = std::max(max_deg, RowDegree(r));
+  }
+  return max_deg;
+}
+
 bool CsrMatrix::HasEntry(uint32_t row, uint32_t col) const {
   if (row >= num_rows()) return false;
   auto span = Row(row);

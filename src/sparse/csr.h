@@ -51,6 +51,10 @@ class CsrMatrix {
     return static_cast<uint32_t>(row_ptr_[row + 1] - row_ptr_[row]);
   }
 
+  /// Largest row degree (0 for an empty matrix). The trainers size their
+  /// per-thread scratch buffers from this.
+  uint32_t MaxRowDegree() const;
+
   /// Membership test, O(log deg(row)).
   bool HasEntry(uint32_t row, uint32_t col) const;
 

@@ -1,5 +1,6 @@
 #include "sparse/linalg.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace ocular {
@@ -83,5 +84,48 @@ void AddOuterProduct(std::vector<double>* a, uint32_t k, double alpha,
     }
   }
 }
+
+namespace vec {
+
+void GradientInit(std::span<double> grad, std::span<const double> sums,
+                  std::span<const double> f, double two_lambda) {
+  double* g = grad.data();
+  const double* s = sums.data();
+  const double* x = f.data();
+  const size_t k = grad.size();
+  for (size_t c = 0; c < k; ++c) g[c] = s[c] + two_lambda * x[c];
+}
+
+double ProjectedTrial(std::span<double> trial, std::span<const double> f,
+                      std::span<const double> grad, double alpha) {
+  double* t = trial.data();
+  const double* x = f.data();
+  const double* g = grad.data();
+  const size_t k = trial.size();
+  double descent = 0.0;
+  for (size_t c = 0; c < k; ++c) {
+    const double v = std::max(0.0, x[c] - alpha * g[c]);
+    t[c] = v;
+    descent += g[c] * (v - x[c]);
+  }
+  return descent;
+}
+
+double DotAndSquaredNorm(std::span<const double> a, std::span<const double> b,
+                         double* a_squared_norm) {
+  const double* pa = a.data();
+  const double* pb = b.data();
+  const size_t k = a.size();
+  double dot = 0.0;
+  double sq = 0.0;
+  for (size_t c = 0; c < k; ++c) {
+    dot += pa[c] * pb[c];
+    sq += pa[c] * pa[c];
+  }
+  *a_squared_norm = sq;
+  return dot;
+}
+
+}  // namespace vec
 
 }  // namespace ocular

@@ -30,6 +30,32 @@ std::vector<double> GramMatrix(const DenseMatrix& f);
 void AddOuterProduct(std::vector<double>* a, uint32_t k, double alpha,
                      std::span<const double> v);
 
+namespace vec {
+
+// Flat contiguous kernels of the training inner loop. Each is a single
+// pass over K-length spans with no branches in the body, so the compiler
+// auto-vectorizes them; the block-update hot path is built entirely from
+// these plus Dot/Axpy (sparse/dense.h).
+
+/// grad[c] = sums[c] + two_lambda * f[c] — the constant part of the block
+/// gradient (complement trick: the Σ_all term plus the l2 term; the
+/// per-neighbor corrections are Axpy'd on top).
+void GradientInit(std::span<double> grad, std::span<const double> sums,
+                  std::span<const double> f, double two_lambda);
+
+/// The projection-arc trial point: trial[c] = max(0, f[c] - alpha*grad[c]).
+/// Returns the Armijo descent inner product <grad, trial - f> computed in
+/// the same pass.
+double ProjectedTrial(std::span<double> trial, std::span<const double> f,
+                      std::span<const double> grad, double alpha);
+
+/// Computes <a, b> and ||a||² in one pass (the two reductions every block
+/// objective evaluation needs); returns the dot, writes the squared norm.
+double DotAndSquaredNorm(std::span<const double> a, std::span<const double> b,
+                         double* a_squared_norm);
+
+}  // namespace vec
+
 }  // namespace ocular
 
 #endif  // OCULAR_SPARSE_LINALG_H_

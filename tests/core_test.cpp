@@ -134,11 +134,14 @@ TEST(ProjectedGradientStepTest, NeverLeavesNonNegativeOrthant) {
   other.FillUniform(&rng, 0.0, 1.0);
   auto sums = other.ColumnSums();
   std::vector<uint32_t> neighbors{0, 3, 7, 11};
+  internal::BlockWorkspace ws;
+  ws.Reserve(config.k, neighbors.size());
   for (int trial = 0; trial < 30; ++trial) {
     std::vector<double> f(5);
     for (auto& v : f) v = rng.Uniform(0.0, 2.0);
+    ws.Invalidate();
     internal::ProjectedGradientStep(f, neighbors, other, sums, config.lambda,
-                                    1.0, {}, config);
+                                    1.0, {}, config, /*frozen_coord=*/-1, &ws);
     for (double v : f) EXPECT_GE(v, 0.0);
   }
 }
@@ -160,17 +163,23 @@ TEST(ProjectedGradientStepTest, DecreasesBlockObjective) {
     for (size_t c = 0; c < 4; ++c) complement[c] -= row[c];
   }
 
+  internal::BlockWorkspace ws;
+  ws.Reserve(config.k, neighbors.size());
   for (int trial = 0; trial < 20; ++trial) {
     std::vector<double> f(4);
     for (auto& v : f) v = rng.Uniform(0.0, 1.5);
     const double before = internal::BlockObjective(
         f, neighbors, other, complement, config.lambda, 1.0, {});
-    const int backtracks = internal::ProjectedGradientStep(
-        f, neighbors, other, sums, config.lambda, 1.0, {}, config);
+    ws.Invalidate();
+    const internal::BlockStepResult res = internal::ProjectedGradientStep(
+        f, neighbors, other, sums, config.lambda, 1.0, {}, config,
+        /*frozen_coord=*/-1, &ws);
     const double after = internal::BlockObjective(
         f, neighbors, other, complement, config.lambda, 1.0, {});
     EXPECT_LE(after, before + 1e-10);
-    EXPECT_GE(backtracks, 0) << "line search should succeed here";
+    EXPECT_GE(res.backtracks, 0) << "line search should succeed here";
+    // The fused objective the step reports must agree with the oracle.
+    EXPECT_NEAR(res.objective, after, 1e-9 * std::max(1.0, std::abs(after)));
   }
 }
 
@@ -187,9 +196,13 @@ TEST(ProjectedGradientStepTest, FixedPointAtOptimum) {
   auto sums = other.ColumnSums();
   std::vector<uint32_t> neighbors{0};
   std::vector<double> f{0.8};
+  // One workspace, never invalidated: iterating on the same block exercises
+  // the warm dot-cache path (the block_steps > 1 fast path).
+  internal::BlockWorkspace ws;
+  ws.Reserve(config.k, neighbors.size());
   for (int it = 0; it < 200; ++it) {
     internal::ProjectedGradientStep(f, neighbors, other, sums, config.lambda,
-                                    1.0, {}, config);
+                                    1.0, {}, config, /*frozen_coord=*/-1, &ws);
   }
   const double x = f[0];
   // Verify stationarity: gradient ≈ 0 at the solution.

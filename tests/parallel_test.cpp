@@ -6,12 +6,17 @@
 
 #include <cmath>
 
+#include <atomic>
+#include <numeric>
+
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/ocular_trainer.h"
 #include "data/synthetic.h"
 #include "parallel/gradient_kernel.h"
 #include "parallel/kernel_trainer.h"
 #include "parallel/parallel_trainer.h"
+#include "parallel/partition.h"
 
 namespace ocular {
 namespace {
@@ -197,6 +202,69 @@ TEST(KernelTrainerTest, RejectsUnsupportedModes) {
   KernelOcularTrainer empty_input(ok, 1);
   CsrMatrix empty = CsrMatrix::FromPairs({}, 2, 2).value();
   EXPECT_TRUE(empty_input.Fit(empty).status().IsInvalidArgument());
+}
+
+// ------------------------------------------------- balanced partitioning
+
+TEST(BalancedRowRangesTest, CoversAllRowsInOrderExactly) {
+  // 10 rows of degree 100 each.
+  std::vector<uint64_t> row_ptr(11);
+  for (size_t r = 0; r <= 10; ++r) row_ptr[r] = r * 100;
+  const auto ranges = BalancedRowRanges(row_ptr, /*num_threads=*/4);
+  ASSERT_FALSE(ranges.empty());
+  size_t expected_begin = 0;
+  for (const auto& [lo, hi] : ranges) {
+    EXPECT_EQ(lo, expected_begin);
+    EXPECT_LT(lo, hi);
+    expected_begin = hi;
+  }
+  EXPECT_EQ(expected_begin, 10u);
+  EXPECT_GT(ranges.size(), 1u);  // enough mass for several chunks
+}
+
+TEST(BalancedRowRangesTest, SkewDoesNotSerializeOnHeavyRows) {
+  // One huge row (100k nnz) followed by 999 light rows (10 nnz each). A
+  // uniform row decomposition would put ~250 rows — including the heavy
+  // one — into the first chunk; the balanced one must isolate the heavy
+  // row so the light rows can proceed on other workers.
+  std::vector<uint64_t> row_ptr(1001);
+  row_ptr[0] = 0;
+  row_ptr[1] = 100000;
+  for (size_t r = 2; r <= 1000; ++r) row_ptr[r] = row_ptr[r - 1] + 10;
+  const auto ranges = BalancedRowRanges(row_ptr, /*num_threads=*/4);
+  ASSERT_GT(ranges.size(), 2u);
+  EXPECT_EQ(ranges.front().first, 0u);
+  EXPECT_EQ(ranges.front().second, 1u)
+      << "the heavy row must be a chunk of its own";
+  EXPECT_EQ(ranges.back().second, 1000u);
+}
+
+TEST(BalancedRowRangesTest, TinyInputsProduceOneRangeOrNone) {
+  EXPECT_TRUE(BalancedRowRanges(std::vector<uint64_t>{0}, 4).empty());
+  std::vector<uint64_t> row_ptr{0, 2, 3, 5};
+  const auto ranges = BalancedRowRanges(row_ptr, 4);
+  ASSERT_EQ(ranges.size(), 1u);  // below the per-range work floor
+  EXPECT_EQ(ranges[0], (std::pair<size_t, size_t>{0, 3}));
+}
+
+TEST(ThreadPoolTest, ParallelForRangesRunsEveryRangeOnce) {
+  ThreadPool pool(3);
+  std::vector<std::pair<size_t, size_t>> ranges{{0, 5}, {5, 9}, {9, 20},
+                                                {20, 21}};
+  std::vector<std::atomic<int>> hits(21);
+  pool.ParallelForRanges(ranges, [&](size_t lo, size_t hi) {
+    // Worker threads report an in-bounds index; the inline path (single
+    // range) would report kNotAWorker — either way the slot contract of
+    // the trainers holds.
+    const size_t idx = ThreadPool::CurrentWorkerIndex();
+    EXPECT_TRUE(idx < 3 || idx == ThreadPool::kNotAWorker);
+    for (size_t i = lo; i < hi; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
 }
 
 TEST(GradientKernelTest, GradientOfZeroFactorsIsComplementPlusReg) {

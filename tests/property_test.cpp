@@ -128,8 +128,10 @@ TEST_P(FoldInInvariantTest, FoldedFactorIsBlockOptimal) {
   }
   const double q_before = internal::BlockObjective(
       f, history, items, complement, cfg.lambda, 1.0, {});
+  internal::BlockWorkspace ws;
+  ws.Reserve(cfg.k, history.size());
   internal::ProjectedGradientStep(f, history, items, sums, cfg.lambda, 1.0,
-                                  {}, cfg);
+                                  {}, cfg, /*frozen_coord=*/-1, &ws);
   const double q_after = internal::BlockObjective(
       f, history, items, complement, cfg.lambda, 1.0, {});
   EXPECT_NEAR(q_after, q_before, 1e-6 * std::max(1.0, std::abs(q_before)));
