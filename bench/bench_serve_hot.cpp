@@ -1,0 +1,388 @@
+// Hot-path serving benchmark: all-users top-M generation (the paper's
+// Section VIII bulk regeneration job), legacy per-pair path vs the blocked
+// scoring engine, on a trained OCuLaR model over the synthetic two-block
+// workload at K=50.
+//
+//   bench_serve_hot [--scale=1.0] [--k=50] [--m=50] [--reps=3] [--warmup=1]
+//                   [--sweeps=6] [--seed=1] [--json] [--out=BENCH_serve.json]
+//                   [--min-speedup=X] [--baseline=path/to/BENCH.json]
+//
+// The legacy side is a faithful reproduction of the pre-refactor bulk
+// path: per user, a freshly heap-allocated score vector filled through the
+// virtual per-pair Score() (a serial-dependency K-dot plus expm1 per
+// call), ranked with TopM, min_score applied as a post-filter. The engine
+// side is RecommendForAllUsers (serial — the speedup is algorithmic, not
+// thread count): tiled user-row x Vᵀ-block products, reusable per-worker
+// ServeWorkspace, threshold-pruned heap selection.
+//
+// Both paths must produce identical ranked lists (item-exact, scores to
+// 1e-12) — the bench aborts otherwise. Candidate mode (co-cluster pruning)
+// is timed and its exact-vs-candidate overlap reported for information; it
+// is approximate and takes no part in the speedup gate.
+//
+// --json writes a machine-readable record (see README "Performance") to
+// --out. --min-speedup fails (exit 2) below the floor; --baseline fails
+// (exit 2) on a >25% regression against the recorded speedup, after
+// checking the baseline records the same workload.
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/json.h"
+#include "common/timer.h"
+#include "core/ocular_recommender.h"
+#include "serving/batch.h"
+#include "serving/score_engine.h"
+#include "sparse/coo.h"
+#include "sparse/csr.h"
+
+namespace ocular {
+namespace bench {
+namespace {
+
+// ----------------------------------------------------------- workload
+
+/// Two disjoint dense user-item blocks with random holes (the same
+/// generator as bench_train_hot): the bulk-serving cost is dominated by
+/// the n_users x n_items x K scoring sweep, which is what this measures.
+CsrMatrix TwoBlockWorkload(double scale, uint64_t seed) {
+  const auto dim = [scale](uint32_t base) {
+    return std::max(8u, static_cast<uint32_t>(base * scale));
+  };
+  const uint32_t users_per_block = dim(600);
+  const uint32_t items_per_block = dim(400);
+  const double fill = 0.7;
+  Rng rng(seed);
+  CooBuilder coo;
+  for (uint32_t b = 0; b < 2; ++b) {
+    const uint32_t u0 = b * users_per_block;
+    const uint32_t i0 = b * items_per_block;
+    for (uint32_t u = 0; u < users_per_block; ++u) {
+      for (uint32_t i = 0; i < items_per_block; ++i) {
+        if (rng.Uniform(0.0, 1.0) < fill) coo.Add(u0 + u, i0 + i);
+      }
+    }
+  }
+  return CsrMatrix::FromCoo(
+      coo.Finalize(2 * users_per_block, 2 * items_per_block).value());
+}
+
+// -------------------------------------------------------- legacy path
+// Faithful reproduction of the pre-engine bulk loop (the before side of
+// the before/after table): per user, a fresh heap-allocated score vector
+// filled through the virtual per-pair Score, the pre-refactor TopM (heap
+// insert attempted for every non-excluded item, no selection bar), and
+// min_score applied as a post-ranking filter.
+
+std::vector<ScoredItem> LegacyTopM(const std::vector<double>& scores,
+                                   uint32_t m,
+                                   std::span<const uint32_t> exclude_sorted) {
+  std::vector<ScoredItem> heap;  // min-heap of the current best m
+  heap.reserve(m + 1);
+  auto worse = [](const ScoredItem& a, const ScoredItem& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.item < b.item;
+  };
+  size_t ex = 0;
+  for (uint32_t i = 0; i < scores.size(); ++i) {
+    while (ex < exclude_sorted.size() && exclude_sorted[ex] < i) ++ex;
+    if (ex < exclude_sorted.size() && exclude_sorted[ex] == i) continue;
+    ScoredItem cand{i, scores[i]};
+    if (heap.size() < m) {
+      heap.push_back(cand);
+      std::push_heap(heap.begin(), heap.end(), worse);
+    } else if (!heap.empty() && worse(cand, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), worse);
+      heap.back() = cand;
+      std::push_heap(heap.begin(), heap.end(), worse);
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), worse);
+  return heap;
+}
+
+std::vector<std::vector<ScoredItem>> LegacyRecommendAll(
+    const Recommender& rec, const CsrMatrix& train, uint32_t m,
+    double min_score) {
+  std::vector<std::vector<ScoredItem>> out(rec.num_users());
+  for (uint32_t u = 0; u < rec.num_users(); ++u) {
+    if (train.RowDegree(u) == 0) continue;
+    std::vector<double> scores(rec.num_items());
+    for (uint32_t i = 0; i < scores.size(); ++i) scores[i] = rec.Score(u, i);
+    auto ranked = LegacyTopM(scores, m, train.Row(u));
+    if (min_score > 0.0) {
+      size_t keep = 0;
+      while (keep < ranked.size() && ranked[keep].score >= min_score) ++keep;
+      ranked.resize(keep);
+    }
+    out[u] = std::move(ranked);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ benchmark
+
+struct ServeBenchResult {
+  double legacy_seconds_per_pass = 0.0;
+  double engine_seconds_per_pass = 0.0;
+  double speedup = 0.0;
+  double candidate_seconds_per_pass = 0.0;
+  double candidate_overlap = 0.0;
+  double max_score_abs_err = 0.0;
+  bool lists_identical = false;
+  uint32_t reps = 0;
+  uint32_t warmup = 0;
+};
+
+/// Item-exact list equality with a 1e-12 score tolerance; records the
+/// worst score deviation.
+bool SameLists(const std::vector<std::vector<ScoredItem>>& a,
+               const BatchRecommendations& b, double* max_abs_err) {
+  if (a.size() != b.recommendations.size()) return false;
+  for (size_t u = 0; u < a.size(); ++u) {
+    const auto& bu = b.recommendations[u];
+    if (a[u].size() != bu.size()) return false;
+    for (size_t r = 0; r < a[u].size(); ++r) {
+      if (a[u][r].item != bu[r].item) return false;
+      const double err = std::abs(a[u][r].score - bu[r].score);
+      *max_abs_err = std::max(*max_abs_err, err);
+      if (err > 1e-12 * std::max(1.0, std::abs(a[u][r].score))) return false;
+    }
+  }
+  return true;
+}
+
+ServeBenchResult RunServeBench(const OcularRecommender& rec,
+                               const CsrMatrix& r, uint32_t m, uint32_t reps,
+                               uint32_t warmup) {
+  BatchOptions opts;
+  opts.m = m;
+  ServeBenchResult out;
+  out.reps = reps;
+  out.warmup = warmup;
+
+  // Correctness first: one run of each path, lists must agree.
+  {
+    const auto legacy = LegacyRecommendAll(rec, r, m, opts.min_score);
+    const auto engine = RecommendForAllUsers(rec, r, opts).value();
+    out.lists_identical = SameLists(legacy, engine, &out.max_score_abs_err);
+    if (!out.lists_identical) return out;
+  }
+
+  {
+    for (uint32_t w = 0; w < warmup; ++w) LegacyRecommendAll(rec, r, m, 0.0);
+    Stopwatch watch;
+    for (uint32_t rep = 0; rep < reps; ++rep) {
+      LegacyRecommendAll(rec, r, m, 0.0);
+    }
+    out.legacy_seconds_per_pass = watch.ElapsedSeconds() / reps;
+  }
+  {
+    for (uint32_t w = 0; w < warmup; ++w) {
+      (void)RecommendForAllUsers(rec, r, opts).value();
+    }
+    Stopwatch watch;
+    for (uint32_t rep = 0; rep < reps; ++rep) {
+      (void)RecommendForAllUsers(rec, r, opts).value();
+    }
+    out.engine_seconds_per_pass = watch.ElapsedSeconds() / reps;
+  }
+  out.speedup = out.legacy_seconds_per_pass /
+                std::max(out.engine_seconds_per_pass, 1e-12);
+
+  // Candidate mode, for information: pruned serving time + exact overlap.
+  {
+    const auto index =
+        BuildCoClusterCandidateIndex(rec.model(), /*threshold=*/0.6).value();
+    BatchOptions copts = opts;
+    copts.candidates = &index;
+    (void)RecommendForAllUsers(rec, r, copts).value();  // warmup
+    Stopwatch watch;
+    for (uint32_t rep = 0; rep < reps; ++rep) {
+      (void)RecommendForAllUsers(rec, r, copts).value();
+    }
+    out.candidate_seconds_per_pass = watch.ElapsedSeconds() / reps;
+    ServeOptions serve;
+    serve.m = m;
+    auto overlap = CandidateOverlapAtM(rec, r, index, serve);
+    out.candidate_overlap = overlap.ok() ? *overlap : 0.0;
+  }
+  return out;
+}
+
+std::string ToJson(const ServeBenchResult& res, const CsrMatrix& r,
+                   uint32_t k, uint32_t m, double scale) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.String("serve_hot");
+  w.Key("workload");
+  w.BeginObject();
+  w.Key("kind");
+  w.String("two_block");
+  w.Key("scale");
+  w.Double(scale);
+  w.Key("users");
+  w.UInt(r.num_rows());
+  w.Key("items");
+  w.UInt(r.num_cols());
+  w.Key("nnz");
+  w.UInt(r.nnz());
+  w.Key("k");
+  w.UInt(k);
+  w.Key("m");
+  w.UInt(m);
+  w.Key("reps");
+  w.UInt(res.reps);
+  w.Key("warmup");
+  w.UInt(res.warmup);
+  w.EndObject();
+  w.Key("legacy");
+  w.BeginObject();
+  w.Key("seconds_per_pass");
+  w.Double(res.legacy_seconds_per_pass);
+  w.EndObject();
+  w.Key("engine");
+  w.BeginObject();
+  w.Key("seconds_per_pass");
+  w.Double(res.engine_seconds_per_pass);
+  w.EndObject();
+  w.Key("speedup");
+  w.Double(res.speedup);
+  w.Key("lists_identical");
+  w.Bool(res.lists_identical);
+  w.Key("max_score_abs_err");
+  w.Double(res.max_score_abs_err);
+  w.Key("candidate");
+  w.BeginObject();
+  w.Key("seconds_per_pass");
+  w.Double(res.candidate_seconds_per_pass);
+  w.Key("overlap");
+  w.Double(res.candidate_overlap);
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+int Main(int argc, char** argv) {
+  const double scale = FlagDouble(argc, argv, "scale", 1.0);
+  const uint32_t k = static_cast<uint32_t>(FlagDouble(argc, argv, "k", 50));
+  const uint32_t m = static_cast<uint32_t>(FlagDouble(argc, argv, "m", 50));
+  const uint32_t reps =
+      static_cast<uint32_t>(FlagDouble(argc, argv, "reps", 3));
+  const uint32_t warmup =
+      static_cast<uint32_t>(FlagDouble(argc, argv, "warmup", 1));
+  const uint32_t sweeps =
+      static_cast<uint32_t>(FlagDouble(argc, argv, "sweeps", 6));
+  const uint64_t seed =
+      static_cast<uint64_t>(FlagDouble(argc, argv, "seed", 1));
+
+  const CsrMatrix r = TwoBlockWorkload(scale, seed);
+  std::printf(
+      "serve_hot: %u users x %u items, nnz=%zu, K=%u, top-%u, %u reps "
+      "(+%u warmup)\n",
+      r.num_rows(), r.num_cols(), r.nnz(), k, m, reps, warmup);
+
+  OcularConfig config;
+  config.k = k;
+  config.lambda = 1.0;
+  config.max_sweeps = sweeps;
+  config.seed = seed + 1;
+  OcularRecommender rec(config);
+  {
+    Stopwatch watch;
+    OCULAR_CHECK(rec.Fit(r).ok());
+    std::printf("  trained %u sweeps in %.2f s\n",
+                static_cast<unsigned>(rec.trace().size()),
+                watch.ElapsedSeconds());
+  }
+
+  const ServeBenchResult res = RunServeBench(rec, r, m, reps, warmup);
+  if (!res.lists_identical) {
+    std::fprintf(stderr,
+                 "FAIL: engine ranked lists differ from the per-pair path "
+                 "(max |dscore| %.3e)\n",
+                 res.max_score_abs_err);
+    return 1;
+  }
+
+  std::printf("  legacy   : %8.2f ms/pass  (per-pair Score + TopM)\n",
+              1e3 * res.legacy_seconds_per_pass);
+  std::printf("  engine   : %8.2f ms/pass  (blocked ScoreBlock engine)\n",
+              1e3 * res.engine_seconds_per_pass);
+  std::printf("  speedup  : %8.2fx          (identical lists, max |ds| %.1e)\n",
+              res.speedup, res.max_score_abs_err);
+  std::printf("  candidate: %8.2f ms/pass  (co-cluster pruning, overlap "
+              "%.3f)\n",
+              1e3 * res.candidate_seconds_per_pass, res.candidate_overlap);
+
+  if (FlagBool(argc, argv, "json")) {
+    const std::string out_path =
+        FlagString(argc, argv, "out", "BENCH_serve.json");
+    const std::string json = ToJson(res, r, k, m, scale);
+    if (!WriteTextFile(out_path, json + "\n")) return 1;
+    std::printf("  wrote %s\n", out_path.c_str());
+  }
+
+  const double min_speedup = FlagDouble(argc, argv, "min-speedup", 0.0);
+  if (min_speedup > 0.0 && res.speedup < min_speedup) {
+    std::fprintf(stderr, "FAIL: speedup %.2fx below floor %.2fx\n",
+                 res.speedup, min_speedup);
+    return 2;
+  }
+
+  const std::string baseline_path = FlagString(argc, argv, "baseline", "");
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    double baseline_speedup = 0.0;
+    if (!in || !FindJsonNumber(buf.str(), "speedup", &baseline_speedup)) {
+      std::fprintf(stderr, "FAIL: cannot read speedup from baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    // The ratio only transfers between runs of the SAME workload — refuse
+    // to gate against a baseline recorded at a different scale/K/m/nnz.
+    double base_scale = 0.0, base_k = 0.0, base_m = 0.0, base_nnz = 0.0;
+    if (!FindJsonNumber(buf.str(), "scale", &base_scale) ||
+        !FindJsonNumber(buf.str(), "k", &base_k) ||
+        !FindJsonNumber(buf.str(), "m", &base_m) ||
+        !FindJsonNumber(buf.str(), "nnz", &base_nnz) ||
+        std::abs(base_scale - scale) > 1e-12 ||
+        static_cast<uint32_t>(base_k) != k ||
+        static_cast<uint32_t>(base_m) != m ||
+        static_cast<size_t>(base_nnz) != r.nnz()) {
+      std::fprintf(stderr,
+                   "FAIL: baseline %s records a different workload "
+                   "(scale=%g k=%g m=%g nnz=%.0f vs scale=%g k=%u m=%u "
+                   "nnz=%zu) — regenerate it with the current bench flags\n",
+                   baseline_path.c_str(), base_scale, base_k, base_m,
+                   base_nnz, scale, k, m, r.nnz());
+      return 2;
+    }
+    // >25% regression against the checked-in baseline fails the gate. The
+    // speedup is a same-machine ratio, so it transfers across runners far
+    // better than absolute wall clock.
+    const double floor = 0.75 * baseline_speedup;
+    if (res.speedup < floor) {
+      std::fprintf(stderr,
+                   "FAIL: speedup %.2fx regressed >25%% vs baseline %.2fx "
+                   "(floor %.2fx)\n",
+                   res.speedup, baseline_speedup, floor);
+      return 2;
+    }
+    std::printf("  baseline gate ok: %.2fx vs recorded %.2fx (floor %.2fx)\n",
+                res.speedup, baseline_speedup, floor);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ocular
+
+int main(int argc, char** argv) { return ocular::bench::Main(argc, argv); }

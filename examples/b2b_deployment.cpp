@@ -16,6 +16,7 @@
 #include "core/ocular_recommender.h"
 #include "data/loaders.h"
 #include "data/synthetic.h"
+#include "serving/batch.h"
 
 namespace {
 
@@ -85,11 +86,22 @@ int main(int argc, char** argv) {
   }
 
   // --- Produce seller-facing opportunity sheets for a few clients. ---
+  // The real deployment regenerates everyone's list per model refresh
+  // (Section VIII) — run the bulk blocked-scoring engine once, with the
+  // confidence bar pushed into selection, then review the top hits.
   const CsrMatrix& r = dataset.interactions();
+  BatchOptions bopts;
+  bopts.m = 1;
+  bopts.min_score = 0.4;
+  auto batch = RecommendForAllUsers(rec, r, bopts);
+  if (!batch.ok()) {
+    std::fprintf(stderr, "%s\n", batch.status().ToString().c_str());
+    return 1;
+  }
   int sheets = 0;
   for (uint32_t u = 0; u < dataset.num_users() && sheets < 3; ++u) {
-    auto top = rec.Recommend(u, 1, r);
-    if (top.empty() || top[0].score < 0.4) continue;
+    const auto& top = batch->recommendations[u];
+    if (top.empty()) continue;
     ++sheets;
     const uint32_t item = top[0].item;
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "sparse/linalg.h"
+
 namespace ocular {
 
 Status BprConfig::Validate() const {
@@ -70,11 +72,18 @@ Status BprRecommender::Fit(const CsrMatrix& interactions) {
       }
     }
   }
+  item_factors_t_ = TransposedCopy(item_factors_);
   return Status::OK();
 }
 
 double BprRecommender::Score(uint32_t u, uint32_t i) const {
   return vec::Dot(user_factors_.Row(u), item_factors_.Row(i));
+}
+
+void BprRecommender::ScoreBlock(uint32_t u, uint32_t item_begin,
+                                uint32_t /*item_end*/,
+                                std::span<double> out) const {
+  vec::AffinityBlock(user_factors_.Row(u), item_factors_t_, item_begin, out);
 }
 
 }  // namespace ocular

@@ -207,4 +207,20 @@ double CoclustRecommender::Score(uint32_t u, uint32_t i) const {
          (item_mean_[i] - col_cluster_mean_[b]);
 }
 
+void CoclustRecommender::ScoreBlock(uint32_t u, uint32_t item_begin,
+                                    uint32_t item_end,
+                                    std::span<double> out) const {
+  // Same expression as Score with the user-side terms hoisted; the
+  // summation order is preserved, so values are bit-identical.
+  const uint32_t a = user_cluster_[u];
+  const double* block_row =
+      block_mean_.data() + static_cast<size_t>(a) * config_.item_clusters;
+  const double user_part = user_mean_[u] - row_cluster_mean_[a];
+  for (uint32_t i = item_begin; i < item_end; ++i) {
+    const uint32_t b = item_cluster_[i];
+    out[i - item_begin] =
+        block_row[b] + user_part + (item_mean_[i] - col_cluster_mean_[b]);
+  }
+}
+
 }  // namespace ocular

@@ -45,6 +45,8 @@ class CoclustRecommender : public Recommender {
   std::string name() const override { return "coclust"; }
   Status Fit(const CsrMatrix& interactions) override;
   double Score(uint32_t u, uint32_t i) const override;
+  void ScoreBlock(uint32_t u, uint32_t item_begin, uint32_t item_end,
+                  std::span<double> out) const override;
   uint32_t num_users() const override {
     return static_cast<uint32_t>(user_cluster_.size());
   }

@@ -61,11 +61,18 @@ Status IalsRecommender::Fit(const CsrMatrix& interactions) {
     OCULAR_RETURN_IF_ERROR(
         SolveSide(transposed, user_factors_, &item_factors_));
   }
+  item_factors_t_ = TransposedCopy(item_factors_);
   return Status::OK();
 }
 
 double IalsRecommender::Score(uint32_t u, uint32_t i) const {
   return vec::Dot(user_factors_.Row(u), item_factors_.Row(i));
+}
+
+void IalsRecommender::ScoreBlock(uint32_t u, uint32_t item_begin,
+                                 uint32_t /*item_end*/,
+                                 std::span<double> out) const {
+  vec::AffinityBlock(user_factors_.Row(u), item_factors_t_, item_begin, out);
 }
 
 }  // namespace ocular

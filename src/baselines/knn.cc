@@ -71,6 +71,19 @@ double UserKnnRecommender::Score(uint32_t u, uint32_t i) const {
   return score;
 }
 
+void UserKnnRecommender::ScoreBlock(uint32_t u, uint32_t item_begin,
+                                    uint32_t item_end,
+                                    std::span<double> out) const {
+  std::fill(out.begin(), out.end(), 0.0);
+  for (const ScoredItem& nb : neighbors_[u]) {
+    auto row = interactions_.Row(nb.item);
+    auto it = std::lower_bound(row.begin(), row.end(), item_begin);
+    for (; it != row.end() && *it < item_end; ++it) {
+      out[*it - item_begin] += nb.score;
+    }
+  }
+}
+
 std::vector<ScoredItem> UserKnnRecommender::Recommend(
     uint32_t u, uint32_t m, const CsrMatrix& exclude) const {
   // Accumulate neighbor contributions item-by-item through neighbor rows —
@@ -91,6 +104,14 @@ Status ItemKnnRecommender::Fit(const CsrMatrix& interactions) {
   // Item neighbors: rows = items (the transpose), transpose of that = R.
   neighbors_ =
       TopNeighborsByRow(transposed, interactions_, config_.num_neighbors);
+  // Reverse adjacency for ScoreBlock: iterate i ascending so each
+  // incoming_[j] ends up sorted by source item.
+  incoming_.assign(neighbors_.size(), {});
+  for (uint32_t i = 0; i < neighbors_.size(); ++i) {
+    for (const ScoredItem& nb : neighbors_[i]) {
+      incoming_[nb.item].push_back(ScoredItem{i, nb.score});
+    }
+  }
   return Status::OK();
 }
 
@@ -102,14 +123,37 @@ double ItemKnnRecommender::Score(uint32_t u, uint32_t i) const {
   return score;
 }
 
+void ItemKnnRecommender::ScoreBlock(uint32_t u, uint32_t item_begin,
+                                    uint32_t item_end,
+                                    std::span<double> out) const {
+  std::fill(out.begin(), out.end(), 0.0);
+  for (uint32_t j : interactions_.Row(u)) {
+    const std::vector<ScoredItem>& in = incoming_[j];
+    auto it = std::lower_bound(
+        in.begin(), in.end(), item_begin,
+        [](const ScoredItem& a, uint32_t begin) { return a.item < begin; });
+    for (; it != in.end() && it->item < item_end; ++it) {
+      out[it->item - item_begin] += it->score;
+    }
+  }
+}
+
 Status PopularityRecommender::Fit(const CsrMatrix& interactions) {
   num_users_ = interactions.num_rows();
   degrees_ = interactions.ColumnDegrees();
+  scores_.assign(degrees_.begin(), degrees_.end());
   return Status::OK();
 }
 
 double PopularityRecommender::Score(uint32_t /*u*/, uint32_t i) const {
   return static_cast<double>(degrees_[i]);
+}
+
+void PopularityRecommender::ScoreBlock(uint32_t /*u*/, uint32_t item_begin,
+                                       uint32_t item_end,
+                                       std::span<double> out) const {
+  std::copy(scores_.begin() + item_begin, scores_.begin() + item_end,
+            out.begin());
 }
 
 }  // namespace ocular

@@ -66,11 +66,18 @@ Status WalsRecommender::Fit(const CsrMatrix& interactions) {
     OCULAR_RETURN_IF_ERROR(
         SolveSide(transposed, user_factors_, &item_factors_));
   }
+  item_factors_t_ = TransposedCopy(item_factors_);
   return Status::OK();
 }
 
 double WalsRecommender::Score(uint32_t u, uint32_t i) const {
   return vec::Dot(user_factors_.Row(u), item_factors_.Row(i));
+}
+
+void WalsRecommender::ScoreBlock(uint32_t u, uint32_t item_begin,
+                                 uint32_t /*item_end*/,
+                                 std::span<double> out) const {
+  vec::AffinityBlock(user_factors_.Row(u), item_factors_t_, item_begin, out);
 }
 
 }  // namespace ocular

@@ -42,6 +42,8 @@ class WalsRecommender : public Recommender {
   std::string name() const override { return "wALS"; }
   Status Fit(const CsrMatrix& interactions) override;
   double Score(uint32_t u, uint32_t i) const override;
+  void ScoreBlock(uint32_t u, uint32_t item_begin, uint32_t item_end,
+                  std::span<double> out) const override;
   uint32_t num_users() const override { return user_factors_.rows(); }
   uint32_t num_items() const override { return item_factors_.rows(); }
 
@@ -57,6 +59,7 @@ class WalsRecommender : public Recommender {
   WalsConfig config_;
   DenseMatrix user_factors_;
   DenseMatrix item_factors_;
+  DenseMatrix item_factors_t_;  // K x n_i, blocked-serving layout
 };
 
 }  // namespace ocular

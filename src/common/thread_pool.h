@@ -67,6 +67,17 @@ class ThreadPool {
   static constexpr size_t kNotAWorker = static_cast<size_t>(-1);
   static size_t CurrentWorkerIndex();
 
+  /// Scratch slot for the calling thread given a scratch array of
+  /// `num_threads` + 1 entries: pool workers use their own index, anything
+  /// else — the caller running a single-range phase inline, including a
+  /// worker of some OTHER pool whose thread-local index would alias the
+  /// array — shares the extra slot at the end. (Only one thread ever runs
+  /// inline per fork-join phase, so the shared slot is uncontended.)
+  static size_t ScratchSlot(size_t num_threads) {
+    const size_t idx = CurrentWorkerIndex();
+    return idx < num_threads ? idx : num_threads;
+  }
+
  private:
   void WorkerLoop(size_t worker_index);
 

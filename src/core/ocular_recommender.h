@@ -1,12 +1,31 @@
 #ifndef OCULAR_CORE_OCULAR_RECOMMENDER_H_
 #define OCULAR_CORE_OCULAR_RECOMMENDER_H_
 
+#include <cmath>
 #include <string>
 
 #include "core/ocular_trainer.h"
 #include "eval/recommender.h"
+#include "sparse/linalg.h"
 
 namespace ocular {
+
+namespace internal {
+
+/// Shared blocked scoring kernel of the OCuLaR-family recommenders:
+/// out[j] = P[r = 1] = 1 - e^{-<f_u, f_{item_begin+j}>} computed as a tiled
+/// user-row x Vᵀ-block product (see vec::AffinityBlock) followed by the
+/// elementwise probability map. Bit-compatible with
+/// OcularModel::Probability.
+inline void OcularScoreBlock(const OcularModel& model,
+                             const DenseMatrix& item_factors_t, uint32_t u,
+                             uint32_t item_begin, std::span<double> out) {
+  vec::AffinityBlock(model.user_factors().Row(u), item_factors_t, item_begin,
+                     out);
+  for (double& s : out) s = -std::expm1(-s);
+}
+
+}  // namespace internal
 
 /// Recommender-interface adapter around OcularTrainer + OcularModel.
 /// This is the main user-facing entry point of the library:
@@ -30,6 +49,8 @@ class OcularRecommender : public Recommender {
 
   Status Fit(const CsrMatrix& interactions) override {
     OCULAR_ASSIGN_OR_RETURN(fit_, trainer_.Fit(interactions));
+    // Vᵀ layout for the blocked serving kernel, rebuilt once per fit.
+    item_factors_t_ = TransposedCopy(fit_.model.item_factors());
     fitted_ = true;
     return Status::OK();
   }
@@ -37,6 +58,25 @@ class OcularRecommender : public Recommender {
   double Score(uint32_t u, uint32_t i) const override {
     return fit_.model.Probability(u, i);
   }
+
+  void ScoreBlock(uint32_t u, uint32_t item_begin, uint32_t item_end,
+                  std::span<double> out) const override {
+    (void)item_end;
+    internal::OcularScoreBlock(fit_.model, item_factors_t_, u, item_begin,
+                               out);
+  }
+
+  /// Raw ranking kernel: the affinity <f_u, f_i> (the probability map
+  /// 1 - e^{-x} is strictly increasing, applied by ScoreFromRaw to the
+  /// survivors only).
+  void RawScoreBlock(uint32_t u, uint32_t item_begin, uint32_t item_end,
+                     std::span<double> out) const override {
+    (void)item_end;
+    vec::AffinityBlock(fit_.model.user_factors().Row(u), item_factors_t_,
+                       item_begin, out);
+  }
+
+  double ScoreFromRaw(double raw) const override { return -std::expm1(-raw); }
 
   uint32_t num_users() const override { return fit_.model.num_users(); }
   uint32_t num_items() const override { return fit_.model.num_items(); }
@@ -52,7 +92,53 @@ class OcularRecommender : public Recommender {
  private:
   OcularTrainer trainer_;
   OcularFitResult fit_;
+  DenseMatrix item_factors_t_;  // K x n_i, serving layout
   bool fitted_ = false;
+};
+
+/// Recommender view over an already-fitted OcularModel — typically one
+/// loaded from disk via LoadModel — giving model-only consumers (the CLI
+/// `recommend` path, bulk re-serving after a model refresh) the same
+/// blocked serving kernels as OcularRecommender without retraining. Does
+/// not own the model; the caller keeps it alive.
+class OcularModelRecommender : public Recommender {
+ public:
+  explicit OcularModelRecommender(const OcularModel& model)
+      : model_(&model),
+        item_factors_t_(TransposedCopy(model.item_factors())) {}
+
+  std::string name() const override { return "OCuLaR"; }
+
+  Status Fit(const CsrMatrix& /*interactions*/) override {
+    return Status::FailedPrecondition(
+        "OcularModelRecommender wraps a pre-fitted model");
+  }
+
+  double Score(uint32_t u, uint32_t i) const override {
+    return model_->Probability(u, i);
+  }
+
+  void ScoreBlock(uint32_t u, uint32_t item_begin, uint32_t item_end,
+                  std::span<double> out) const override {
+    (void)item_end;
+    internal::OcularScoreBlock(*model_, item_factors_t_, u, item_begin, out);
+  }
+
+  void RawScoreBlock(uint32_t u, uint32_t item_begin, uint32_t item_end,
+                     std::span<double> out) const override {
+    (void)item_end;
+    vec::AffinityBlock(model_->user_factors().Row(u), item_factors_t_,
+                       item_begin, out);
+  }
+
+  double ScoreFromRaw(double raw) const override { return -std::expm1(-raw); }
+
+  uint32_t num_users() const override { return model_->num_users(); }
+  uint32_t num_items() const override { return model_->num_items(); }
+
+ private:
+  const OcularModel* model_;
+  DenseMatrix item_factors_t_;  // K x n_i, serving layout
 };
 
 }  // namespace ocular

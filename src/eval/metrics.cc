@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace ocular {
 
@@ -106,19 +107,40 @@ Result<double> SampledAuc(const Recommender& rec, const CsrMatrix& train,
   }
   double score = 0.0;
   uint64_t trials = 0;
+  // Per-user score row, filled tile-by-tile through the blocked ScoreBlock
+  // kernels and reused across users: every comparison below is a table
+  // lookup instead of a virtual per-pair Score call. Only worth it when
+  // the user's sampled pairs amortize the full-catalog block sweep —
+  // vectorized block scoring is a few times cheaper per item than the
+  // virtual per-pair path, so the break-even sits at pairs ~ n_items / 4;
+  // below that (huge sparse catalogs, few positives) per-pair wins.
+  std::vector<double> scores;
+  const uint32_t n_items = train.num_cols();
   for (uint32_t u = 0; u < test.num_rows(); ++u) {
     // Users whose knowns cover the catalog admit no negative samples.
     if (train.RowDegree(u) + test.RowDegree(u) >= train.num_cols()) {
       continue;
     }
+    if (test.RowDegree(u) == 0) continue;  // no positives, no trials
+    const uint64_t pairs = static_cast<uint64_t>(test.RowDegree(u)) *
+                           (1 + samples_per_positive);
+    const bool blocked = pairs * 4 >= n_items;
+    if (blocked) {
+      scores.resize(n_items);
+      for (uint32_t b0 = 0; b0 < n_items; b0 += kDefaultScoreBlockItems) {
+        const uint32_t b1 = std::min(n_items, b0 + kDefaultScoreBlockItems);
+        rec.ScoreBlock(u, b0, b1,
+                       std::span<double>(scores.data() + b0, b1 - b0));
+      }
+    }
     for (uint32_t i : test.Row(u)) {
-      const double si = rec.Score(u, i);
+      const double si = blocked ? scores[i] : rec.Score(u, i);
       for (uint32_t s = 0; s < samples_per_positive; ++s) {
         uint32_t j;
         do {
           j = static_cast<uint32_t>(rng->UniformInt(train.num_cols()));
         } while (train.HasEntry(u, j) || test.HasEntry(u, j));
-        const double sj = rec.Score(u, j);
+        const double sj = blocked ? scores[j] : rec.Score(u, j);
         if (si > sj) {
           score += 1.0;
         } else if (si == sj) {
@@ -153,10 +175,17 @@ Result<std::vector<MetricsAtM>> EvaluateRanking(
   std::vector<MetricsAtM> out(cutoffs.size());
   for (size_t c = 0; c < cutoffs.size(); ++c) out[c].m = cutoffs[c];
 
+  // Blocked ranking with per-call scratch reuse: one score tile and one
+  // selection heap serve every user (the shape RecommendForAllUsers uses,
+  // minus the per-user output lists).
+  std::vector<double> tile;
+  std::vector<ScoredItem> ranked;
   for (uint32_t u = 0; u < test.num_rows(); ++u) {
     auto relevant = test.Row(u);
     if (relevant.empty()) continue;  // user has no test positives
-    auto ranked = rec.Recommend(u, max_m, train);
+    RecommendBlockedInto(rec, u, max_m, train.Row(u),
+                         -std::numeric_limits<double>::infinity(),
+                         kDefaultScoreBlockItems, &tile, &ranked);
     for (size_t c = 0; c < cutoffs.size(); ++c) {
       const uint32_t m = cutoffs[c];
       out[c].recall += RecallAtM(ranked, m, relevant);

@@ -65,7 +65,8 @@
 #include "parallel/parallel_trainer.h" // IWYU pragma: export
 
 // Serving.
-#include "serving/batch.h"   // IWYU pragma: export
-#include "serving/render.h"  // IWYU pragma: export
+#include "serving/batch.h"         // IWYU pragma: export
+#include "serving/render.h"        // IWYU pragma: export
+#include "serving/score_engine.h"  // IWYU pragma: export
 
 #endif  // OCULAR_OCULAR_OCULAR_H_

@@ -9,16 +9,6 @@
 
 namespace ocular {
 
-namespace {
-/// See parallel_trainer.cc: workers of THIS pool get their own slot, any
-/// other thread (inline single-range execution, possibly a foreign pool's
-/// worker) shares the extra last slot.
-size_t WorkspaceSlot(size_t num_threads) {
-  const size_t idx = ThreadPool::CurrentWorkerIndex();
-  return idx < num_threads ? idx : num_threads;
-}
-}  // namespace
-
 Result<OcularFitResult> KernelOcularTrainer::Fit(
     const CsrMatrix& interactions) {
   OCULAR_RETURN_IF_ERROR(config_.Validate());
@@ -49,7 +39,7 @@ void KernelOcularTrainer::Phase(
   const std::vector<double> sums = fixed.ColumnSums();
   pool_.ParallelForRanges(ranges, [&](size_t lo, size_t hi) {
     internal::BlockWorkspace& ws =
-        (*workspaces)[WorkspaceSlot(pool_.num_threads())];
+        (*workspaces)[ThreadPool::ScratchSlot(pool_.num_threads())];
     for (size_t row = lo; row < hi; ++row) {
       const uint32_t r = static_cast<uint32_t>(row);
       ws.Invalidate();

@@ -8,18 +8,6 @@
 
 namespace ocular {
 
-namespace {
-/// Scratch slot for the calling thread: this trainer's pool workers use
-/// their own index, anything else — the caller running a single-range
-/// phase inline, including a worker of some OTHER pool whose thread-local
-/// index would alias our array — uses the extra slot at the end. (Only one
-/// thread ever runs inline per phase, so the shared slot is uncontended.)
-size_t WorkspaceSlot(size_t num_threads) {
-  const size_t idx = ThreadPool::CurrentWorkerIndex();
-  return idx < num_threads ? idx : num_threads;
-}
-}  // namespace
-
 Result<OcularFitResult> ParallelOcularTrainer::Fit(
     const CsrMatrix& interactions) {
   OCULAR_RETURN_IF_ERROR(config_.Validate());
@@ -122,7 +110,7 @@ Result<OcularFitResult> ParallelOcularTrainer::FitFrom(
     const std::vector<double> user_sums = fu.ColumnSums();
     const std::vector<uint64_t>& item_ptr = transposed.row_ptr();
     pool_.ParallelForRanges(item_ranges, [&](size_t lo, size_t hi) {
-      internal::BlockWorkspace& ws = workspaces[WorkspaceSlot(
+      internal::BlockWorkspace& ws = workspaces[ThreadPool::ScratchSlot(
           pool_.num_threads())];
       for (size_t i = lo; i < hi; ++i) {
         auto users = transposed.Row(static_cast<uint32_t>(i));
@@ -143,7 +131,7 @@ Result<OcularFitResult> ParallelOcularTrainer::FitFrom(
     // ---- User phase. ----
     const std::vector<double> item_sums = fi.ColumnSums();
     pool_.ParallelForRanges(user_ranges, [&](size_t lo, size_t hi) {
-      internal::BlockWorkspace& ws = workspaces[WorkspaceSlot(
+      internal::BlockWorkspace& ws = workspaces[ThreadPool::ScratchSlot(
           pool_.num_threads())];
       for (size_t u = lo; u < hi; ++u) {
         const double w = relative ? weights[u] : 1.0;

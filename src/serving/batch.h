@@ -7,6 +7,7 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "eval/recommender.h"
+#include "serving/score_engine.h"
 
 namespace ocular {
 
@@ -14,12 +15,19 @@ namespace ocular {
 struct BatchOptions {
   /// Recommendations per user.
   uint32_t m = 50;
-  /// Drop recommendations below this score (after ranking). The B2B
+  /// Drop recommendations below this score (applied during selection; same
+  /// surviving set as the historical post-ranking filter). The B2B
   /// deployment only surfaces opportunities a seller would act on.
   double min_score = 0.0;
   /// Skip users with no training history (their scores are
   /// uninformative for personalized models).
   bool skip_cold_users = true;
+  /// Items per scoring tile of the blocked engine.
+  uint32_t block_items = kDefaultScoreBlockItems;
+  /// Optional co-cluster candidate pruning (OCuLaR models only): when set,
+  /// each user is served from its co-clustered items instead of the full
+  /// catalog. Approximate — see CoClusterCandidateIndex. Off by default.
+  const CoClusterCandidateIndex* candidates = nullptr;
 };
 
 /// The precomputed top-M lists for every user — the artifact the paper's
@@ -34,10 +42,13 @@ struct BatchRecommendations {
   size_t total_items = 0;
 };
 
-/// Produces top-M lists for all users of `rec`, excluding each user's
-/// training positives, partitioned across `pool`'s workers (each user's
-/// ranking is independent — the same data-parallel shape as the training
-/// phases). `rec` must already be fitted. Pass pool = nullptr for serial.
+/// Produces top-M lists for all users of `rec` through the blocked scoring
+/// engine, excluding each user's training positives. With a pool, users are
+/// partitioned into nnz-balanced contiguous ranges (equal WORK, not equal
+/// rows — see BalancedRowRanges) and each worker serves its ranges out of a
+/// private ServeWorkspace, so the steady state allocates only the output
+/// lists. Serial and parallel runs produce bit-identical results. `rec`
+/// must already be fitted. Pass pool = nullptr for serial.
 Result<BatchRecommendations> RecommendForAllUsers(const Recommender& rec,
                                                   const CsrMatrix& train,
                                                   const BatchOptions& options,

@@ -1,0 +1,141 @@
+#include "serving/score_engine.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ocular {
+
+namespace {
+
+/// Maps the public min_score semantics (0 = unfiltered) onto the selection
+/// threshold of the topm:: helpers.
+double SelectionThreshold(const ServeOptions& options) {
+  return options.min_score > 0.0
+             ? options.min_score
+             : -std::numeric_limits<double>::infinity();
+}
+
+}  // namespace
+
+Result<CoClusterCandidateIndex> BuildCoClusterCandidateIndex(
+    const OcularModel& model, double threshold, uint32_t max_dims) {
+  if (threshold <= 0.0) {
+    return Status::InvalidArgument("candidate threshold must be positive");
+  }
+  const uint32_t dims =
+      max_dims == 0 ? model.k() : std::min(max_dims, model.k());
+  CoClusterCandidateIndex index;
+  index.threshold = threshold;
+  index.items_per_dim.resize(dims);
+  index.dims_per_user.resize(model.num_users());
+  const DenseMatrix& fi = model.item_factors();
+  for (uint32_t i = 0; i < fi.rows(); ++i) {
+    auto row = fi.Row(i);
+    for (uint32_t c = 0; c < dims; ++c) {
+      if (row[c] > threshold) index.items_per_dim[c].push_back(i);
+    }
+  }
+  const DenseMatrix& fu = model.user_factors();
+  for (uint32_t u = 0; u < fu.rows(); ++u) {
+    auto row = fu.Row(u);
+    size_t gathered = 0;
+    for (uint32_t c = 0; c < dims; ++c) {
+      if (row[c] > threshold) {
+        index.dims_per_user[u].push_back(c);
+        gathered += index.items_per_dim[c].size();
+      }
+    }
+    index.max_candidate_items = std::max(index.max_candidate_items, gathered);
+  }
+  return index;
+}
+
+std::span<const ScoredItem> ServeTopM(const Recommender& rec, uint32_t u,
+                                      std::span<const uint32_t> exclude_sorted,
+                                      const ServeOptions& options,
+                                      ServeWorkspace* ws) {
+  RecommendBlockedInto(rec, u, options.m, exclude_sorted,
+                       SelectionThreshold(options), options.block_items,
+                       &ws->tile, &ws->selection);
+  return ws->selection;
+}
+
+std::span<const ScoredItem> ServeTopMCandidates(
+    const Recommender& rec, uint32_t u,
+    std::span<const uint32_t> exclude_sorted, const ServeOptions& options,
+    const CoClusterCandidateIndex& index, ServeWorkspace* ws) {
+  // Gather the union of the user's co-clusters' items. std::sort and the
+  // in-place dedup stay within the reserved capacity, so the gathering is
+  // allocation-free in steady state.
+  ws->candidates.clear();
+  for (uint32_t c : index.dims_per_user[u]) {
+    const std::vector<uint32_t>& items = index.items_per_dim[c];
+    ws->candidates.insert(ws->candidates.end(), items.begin(), items.end());
+  }
+  std::sort(ws->candidates.begin(), ws->candidates.end());
+  ws->candidates.erase(
+      std::unique(ws->candidates.begin(), ws->candidates.end()),
+      ws->candidates.end());
+
+  // Candidate sets are small, so a plain bounded heap does the selection.
+  const double threshold = SelectionThreshold(options);
+  ws->selection.clear();
+  ws->selection.reserve(topm::SelectionCapacity(options.m));
+  size_t ex = 0;
+  for (uint32_t i : ws->candidates) {
+    while (ex < exclude_sorted.size() && exclude_sorted[ex] < i) ++ex;
+    if (ex < exclude_sorted.size() && exclude_sorted[ex] == i) continue;
+    topm::Consider(ws->selection, options.m, threshold,
+                   ScoredItem{i, rec.Score(u, i)});
+  }
+  topm::SortBestFirst(ws->selection);
+  return ws->selection;
+}
+
+Result<double> CandidateOverlapAtM(const Recommender& rec,
+                                   const CsrMatrix& train,
+                                   const CoClusterCandidateIndex& index,
+                                   const ServeOptions& options) {
+  if (train.num_rows() != rec.num_users() ||
+      train.num_cols() != rec.num_items()) {
+    return Status::InvalidArgument(
+        "training matrix shape does not match the recommender");
+  }
+  if (index.dims_per_user.size() != rec.num_users()) {
+    return Status::InvalidArgument(
+        "candidate index built for a different model");
+  }
+  ServeWorkspace exact_ws;
+  ServeWorkspace cand_ws;
+  exact_ws.Reserve(options.m, options.block_items);
+  cand_ws.Reserve(options.m, options.block_items, index.max_candidate_items);
+  std::vector<uint32_t> exact_items;
+  std::vector<uint32_t> cand_items;
+  double overlap_sum = 0.0;
+  uint32_t users = 0;
+  for (uint32_t u = 0; u < rec.num_users(); ++u) {
+    auto exact = ServeTopM(rec, u, train.Row(u), options, &exact_ws);
+    if (exact.empty()) continue;
+    auto cand =
+        ServeTopMCandidates(rec, u, train.Row(u), options, index, &cand_ws);
+    exact_items.clear();
+    cand_items.clear();
+    for (const ScoredItem& si : exact) exact_items.push_back(si.item);
+    for (const ScoredItem& si : cand) cand_items.push_back(si.item);
+    std::sort(exact_items.begin(), exact_items.end());
+    std::sort(cand_items.begin(), cand_items.end());
+    std::vector<uint32_t> both;
+    std::set_intersection(exact_items.begin(), exact_items.end(),
+                          cand_items.begin(), cand_items.end(),
+                          std::back_inserter(both));
+    overlap_sum += static_cast<double>(both.size()) /
+                   static_cast<double>(exact_items.size());
+    ++users;
+  }
+  if (users == 0) {
+    return Status::FailedPrecondition("no user produced a non-empty ranking");
+  }
+  return overlap_sum / users;
+}
+
+}  // namespace ocular

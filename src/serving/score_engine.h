@@ -1,0 +1,98 @@
+#ifndef OCULAR_SERVING_SCORE_ENGINE_H_
+#define OCULAR_SERVING_SCORE_ENGINE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "core/ocular_model.h"
+#include "eval/recommender.h"
+#include "sparse/csr.h"
+
+namespace ocular {
+
+/// Options of the per-user blocked scoring engine.
+struct ServeOptions {
+  /// Recommendations per user.
+  uint32_t m = 50;
+  /// Drop items scoring below this *during selection* (0 = keep
+  /// everything, matching the historical post-ranking filter: only items
+  /// with score >= min_score survive). Pushing the floor into the heap
+  /// insert means rejected items never touch the heap.
+  double min_score = 0.0;
+  /// Items per scoring tile. The default keeps the tile L1/L2-resident
+  /// across the K accumulation passes of the factor-model kernels.
+  uint32_t block_items = kDefaultScoreBlockItems;
+};
+
+/// Per-thread reusable serving scratch: the score tile and the bounded
+/// top-M selection buffer. After a warm-up call sized every buffer,
+/// serving a user performs zero heap allocations (enforced by the
+/// operator-new hook test in tests/score_engine_test.cpp).
+struct ServeWorkspace {
+  std::vector<double> tile;           // score tile, block_items doubles
+  std::vector<ScoredItem> selection;  // bounded best-m selection buffer
+  std::vector<uint32_t> candidates;   // gathered candidate ids (candidate mode)
+
+  /// Pre-sizes every buffer so subsequent serves never reallocate.
+  void Reserve(uint32_t m, uint32_t block_items, size_t max_candidates = 0) {
+    tile.reserve(block_items);
+    selection.reserve(topm::SelectionCapacity(m));
+    candidates.reserve(max_candidates);
+  }
+};
+
+/// OCuLaR-specific candidate pruning index (Section IV-C: a user is only
+/// plausibly interested in items it shares a co-cluster with). Dimension c
+/// is a co-cluster; membership means the factor entry exceeds `threshold`.
+/// Candidate serving scores only the union of the user's co-clusters'
+/// items instead of the whole catalog — approximate (items outside every
+/// shared co-cluster are unreachable) but much cheaper on sparse
+/// affiliation structures; CandidateOverlapAtM reports the exact-vs-
+/// candidate agreement.
+struct CoClusterCandidateIndex {
+  double threshold = 0.6;
+  /// items_per_dim[c] = items affiliated with co-cluster c, ascending.
+  std::vector<std::vector<uint32_t>> items_per_dim;
+  /// dims_per_user[u] = co-clusters user u belongs to, ascending.
+  std::vector<std::vector<uint32_t>> dims_per_user;
+  /// Upper bound on one user's gathered candidate count (before dedup) —
+  /// what ServeWorkspace::Reserve needs for allocation-free gathering.
+  size_t max_candidate_items = 0;
+};
+
+/// Builds the candidate index from a fitted model. `max_dims` behaves like
+/// CoClusterOptions::max_dims (0 = all factor dimensions; pass config.k
+/// for models trained with use_biases). Fails if `threshold` <= 0.
+Result<CoClusterCandidateIndex> BuildCoClusterCandidateIndex(
+    const OcularModel& model, double threshold = 0.6, uint32_t max_dims = 0);
+
+/// Exact blocked serve: the top-m items for `u` (excluding
+/// `exclude_sorted`, ascending ids), scored tile-by-tile through
+/// Recommender::ScoreBlock with threshold-pruned heap selection. Returns a
+/// best-first span into ws->heap, valid until the workspace is reused.
+std::span<const ScoredItem> ServeTopM(const Recommender& rec, uint32_t u,
+                                      std::span<const uint32_t> exclude_sorted,
+                                      const ServeOptions& options,
+                                      ServeWorkspace* ws);
+
+/// Candidate-mode serve: like ServeTopM but scores only the items
+/// co-clustered with `u` under `index`. Users outside every co-cluster get
+/// an empty list.
+std::span<const ScoredItem> ServeTopMCandidates(
+    const Recommender& rec, uint32_t u,
+    std::span<const uint32_t> exclude_sorted, const ServeOptions& options,
+    const CoClusterCandidateIndex& index, ServeWorkspace* ws);
+
+/// Mean per-user overlap |exact top-m ∩ candidate top-m| / |exact top-m|
+/// over users with a non-empty exact list (excluding each user's `train`
+/// row) — the exact-vs-candidate recall report for a pruning threshold.
+Result<double> CandidateOverlapAtM(const Recommender& rec,
+                                   const CsrMatrix& train,
+                                   const CoClusterCandidateIndex& index,
+                                   const ServeOptions& options);
+
+}  // namespace ocular
+
+#endif  // OCULAR_SERVING_SCORE_ENGINE_H_

@@ -85,6 +85,15 @@ void AddOuterProduct(std::vector<double>* a, uint32_t k, double alpha,
   }
 }
 
+DenseMatrix TransposedCopy(const DenseMatrix& f) {
+  DenseMatrix t(f.cols(), f.rows());
+  for (uint32_t r = 0; r < f.rows(); ++r) {
+    auto row = f.Row(r);
+    for (uint32_t c = 0; c < f.cols(); ++c) t.At(c, r) = row[c];
+  }
+  return t;
+}
+
 namespace vec {
 
 void GradientInit(std::span<double> grad, std::span<const double> sums,
@@ -124,6 +133,33 @@ double DotAndSquaredNorm(std::span<const double> a, std::span<const double> b,
   }
   *a_squared_norm = sq;
   return dot;
+}
+
+namespace {
+
+// Runtime-dispatched clone of the serving Axpy pass: the AVX2 variant runs
+// the same mul-then-add per element 4-wide (no FMA flag, so no contraction
+// — results stay bit-identical to the baseline), selected once at load
+// time via ifunc on platforms that support it.
+#if defined(__x86_64__) && defined(__ELF__) && defined(__GNUC__)
+__attribute__((target_clones("default", "avx2")))
+#endif
+void AxpyRun(double alpha, const double* x, double* y, size_t len) {
+  for (size_t j = 0; j < len; ++j) y[j] += alpha * x[j];
+}
+
+}  // namespace
+
+void AffinityBlock(std::span<const double> u_row, const DenseMatrix& f_t,
+                   uint32_t item_begin, std::span<double> out) {
+  std::fill(out.begin(), out.end(), 0.0);
+  const size_t len = out.size();
+  double* acc = out.data();
+  for (uint32_t c = 0; c < u_row.size(); ++c) {
+    const double uc = u_row[c];
+    if (uc == 0.0) continue;
+    AxpyRun(uc, f_t.Row(c).data() + item_begin, acc, len);
+  }
 }
 
 }  // namespace vec

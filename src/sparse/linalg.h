@@ -30,6 +30,14 @@ std::vector<double> GramMatrix(const DenseMatrix& f);
 void AddOuterProduct(std::vector<double>* a, uint32_t k, double alpha,
                      std::span<const double> v);
 
+/// K x n row-major transposed copy of an n x K factor matrix — the Vᵀ
+/// layout of the serving ScoreBlock kernels: row c holds [f_i]_c for every
+/// item contiguously, so a user-row x item-block product becomes K
+/// contiguous Axpy passes over an L1-resident tile instead of per-item dot
+/// reductions (which the compiler may not vectorize without reassociating
+/// the sum). The factor models rebuild this once per Fit.
+DenseMatrix TransposedCopy(const DenseMatrix& f);
+
 namespace vec {
 
 // Flat contiguous kernels of the training inner loop. Each is a single
@@ -53,6 +61,16 @@ double ProjectedTrial(std::span<double> trial, std::span<const double> f,
 /// objective evaluation needs); returns the dot, writes the squared norm.
 double DotAndSquaredNorm(std::span<const double> a, std::span<const double> b,
                          double* a_squared_norm);
+
+/// out[j] = <u_row, column item_begin + j of f_t> for j in [0, out.size()),
+/// where `f_t` is the TransposedCopy (K x n) of an n x K factor matrix.
+/// Accumulates dimension-by-dimension in ascending c, so each out[j] sums
+/// in exactly the order of per-item vec::Dot over the row-major factors —
+/// the result is bit-identical to the pair-at-a-time Score path. Zero user
+/// coordinates are skipped (adding 0 * f is exact), which makes the cost
+/// proportional to the user's *active* co-cluster affiliations.
+void AffinityBlock(std::span<const double> u_row, const DenseMatrix& f_t,
+                   uint32_t item_begin, std::span<double> out);
 
 }  // namespace vec
 

@@ -36,6 +36,7 @@
 #include "data/stats.h"
 #include "data/synthetic.h"
 #include "eval/metrics.h"
+#include "serving/score_engine.h"
 
 namespace ocular {
 namespace {
@@ -203,16 +204,20 @@ int CmdRecommend(const Flags& flags) {
                    loaded->model.num_users());
       return 1;
     }
-    std::vector<double> scores(loaded->model.num_items());
-    for (uint32_t i = 0; i < scores.size(); ++i) {
-      scores[i] =
-          loaded->model.Probability(static_cast<uint32_t>(user), i);
-    }
+    // Blocked scoring engine over the loaded model — the same kernels the
+    // bulk RecommendForAllUsers path runs.
+    OcularModelRecommender shim(loaded->model);
     std::span<const uint32_t> exclude;
     if (static_cast<uint32_t>(user) < ds->interactions().num_rows()) {
       exclude = ds->interactions().Row(static_cast<uint32_t>(user));
     }
-    top = TopM(scores, m, exclude);
+    ServeOptions serve;
+    serve.m = m;
+    ServeWorkspace ws;
+    ws.Reserve(serve.m, serve.block_items);
+    auto ranked =
+        ServeTopM(shim, static_cast<uint32_t>(user), exclude, serve, &ws);
+    top.assign(ranked.begin(), ranked.end());
   }
 
   if (flags.GetBool("json")) {
