@@ -1,0 +1,187 @@
+// bench_model_store — cold-open and steady-state latency of the binary v2
+// model path against the v1 text path.
+//
+//   ./bench_model_store [--scale=1] [--k=50] [--reps=200] [--opens=20]
+//                       [--json] [--out=BENCH_store.json]
+//
+// Measures, on one trained OCuLaR model written in both formats:
+//   cold open   — v1 LoadModel (full parse + copy) vs v2 ModelStore::Open
+//                 with and without checksum verification (mmap, O(header)),
+//   steady state— per-request ServeTopM latency through the mmapped
+//                 StoreRecommender vs the in-memory OcularModelRecommender,
+//                 with an identical-ranking cross-check.
+//
+// The open-time ratio is the headline: it is what bounds how fast a
+// serving daemon can hot-reload or cold-start a large catalog model.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "core/model_io.h"
+#include "core/model_store.h"
+#include "serving/score_engine.h"
+#include "serving/store_recommender.h"
+
+namespace ocular {
+namespace bench {
+namespace {
+
+double MedianSeconds(std::vector<double>& samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples.empty() ? 0.0 : samples[samples.size() / 2];
+}
+
+int Main(int argc, char** argv) {
+  const double scale = FlagDouble(argc, argv, "scale", 1.0);
+  const uint32_t k = static_cast<uint32_t>(FlagDouble(argc, argv, "k", 50));
+  const int reps = static_cast<int>(FlagDouble(argc, argv, "reps", 200));
+  const int opens = static_cast<int>(FlagDouble(argc, argv, "opens", 20));
+  const bool json = FlagBool(argc, argv, "json");
+  const std::string out_path =
+      FlagString(argc, argv, "out", "BENCH_store.json");
+
+  // One trained model at the bench's standard two-block scale.
+  const uint32_t users = static_cast<uint32_t>(1200 * scale);
+  const uint32_t items = static_cast<uint32_t>(800 * scale);
+  Rng rng(1);
+  CooBuilder coo;
+  for (uint32_t u = 0; u < users; ++u) {
+    const uint32_t lo = (u < users / 2) ? 0 : items / 2;
+    const uint32_t hi = (u < users / 2) ? items / 2 : items;
+    for (uint32_t i = lo; i < hi; ++i) {
+      if (rng.Uniform() < 0.7) coo.Add(u, i);
+    }
+  }
+  const CsrMatrix train =
+      CsrMatrix::FromCoo(coo.Finalize(users, items).value());
+  OcularConfig cfg;
+  cfg.k = k;
+  cfg.lambda = 1.0;
+  cfg.max_sweeps = 5;
+  OcularRecommender rec(cfg);
+  if (!rec.Fit(train).ok()) {
+    std::fprintf(stderr, "training failed\n");
+    return 1;
+  }
+
+  const std::string text_path = "/tmp/bench_store_model.txt";
+  const std::string bin_path = "/tmp/bench_store_model.oclr";
+  if (!SaveModel(rec.model(), cfg, text_path).ok() ||
+      !SaveModelBinary(rec.model(), cfg, bin_path).ok()) {
+    std::fprintf(stderr, "save failed\n");
+    return 1;
+  }
+
+  // ---- cold opens (medians over `opens` runs; page cache warm for all,
+  // which is the hot-reload scenario).
+  std::vector<double> text_open, bin_open_verify, bin_open_trusting;
+  for (int r = 0; r < opens; ++r) {
+    {
+      Stopwatch t;
+      auto loaded = LoadModel(text_path);
+      if (!loaded.ok()) return 1;
+      text_open.push_back(t.ElapsedSeconds());
+    }
+    {
+      Stopwatch t;
+      auto store = ModelStore::Open(bin_path);
+      if (!store.ok()) return 1;
+      bin_open_verify.push_back(t.ElapsedSeconds());
+    }
+    {
+      ModelStoreOptions trusting;
+      trusting.verify_checksums = false;
+      Stopwatch t;
+      auto store = ModelStore::Open(bin_path, trusting);
+      if (!store.ok()) return 1;
+      bin_open_trusting.push_back(t.ElapsedSeconds());
+    }
+  }
+  const double text_s = MedianSeconds(text_open);
+  const double verify_s = MedianSeconds(bin_open_verify);
+  const double trusting_s = MedianSeconds(bin_open_trusting);
+
+  // ---- steady-state serving: mmapped vs in-memory, identical rankings.
+  auto store = ModelStore::Open(bin_path).value();
+  StoreRecommender store_rec(store);
+  OcularModelRecommender memory_rec(rec.model());
+  ServeOptions serve;
+  serve.m = 50;
+  ServeWorkspace ws_store, ws_memory;
+  ws_store.Reserve(serve.m, serve.block_items);
+  ws_memory.Reserve(serve.m, serve.block_items);
+
+  size_t mismatches = 0;
+  for (uint32_t u = 0; u < std::min<uint32_t>(users, 200); ++u) {
+    auto a = ServeTopM(store_rec, u, train.Row(u), serve, &ws_store);
+    auto b = ServeTopM(memory_rec, u, train.Row(u), serve, &ws_memory);
+    if (a.size() != b.size() ||
+        !std::equal(a.begin(), a.end(), b.begin())) {
+      ++mismatches;
+    }
+  }
+
+  Stopwatch t_store;
+  for (int r = 0; r < reps; ++r) {
+    const uint32_t u = static_cast<uint32_t>(r) % users;
+    (void)ServeTopM(store_rec, u, train.Row(u), serve, &ws_store);
+  }
+  const double store_us = t_store.ElapsedSeconds() * 1e6 / reps;
+  Stopwatch t_memory;
+  for (int r = 0; r < reps; ++r) {
+    const uint32_t u = static_cast<uint32_t>(r) % users;
+    (void)ServeTopM(memory_rec, u, train.Row(u), serve, &ws_memory);
+  }
+  const double memory_us = t_memory.ElapsedSeconds() * 1e6 / reps;
+
+  std::printf("model: %u x %u, K=%u (%zu factor bytes)\n", users, items, k,
+              rec.model().MemoryBytes());
+  std::printf("cold open:   v1 text parse %9.3f ms\n", text_s * 1e3);
+  std::printf("             v2 mmap+verify %8.3f ms   (%.0fx)\n",
+              verify_s * 1e3, text_s / verify_s);
+  std::printf("             v2 mmap only  %9.3f ms   (%.0fx)\n",
+              trusting_s * 1e3, text_s / trusting_s);
+  std::printf("serve top-%u: mmapped %7.1f us/req, in-memory %7.1f us/req\n",
+              serve.m, store_us, memory_us);
+  std::printf("ranking cross-check: %zu mismatching users (expect 0)\n",
+              mismatches);
+  if (mismatches != 0) return 1;
+
+  if (json) {
+    std::ostringstream record;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"bench\":\"model_store\",\"users\":%u,\"items\":%u,"
+                  "\"k\":%u,", users, items, k);
+    record << buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        "\"open_text_ms\":%.6f,\"open_mmap_verify_ms\":%.6f,"
+        "\"open_mmap_ms\":%.6f,\"open_speedup_verify\":%.2f,"
+        "\"open_speedup\":%.2f,",
+        text_s * 1e3, verify_s * 1e3, trusting_s * 1e3, text_s / verify_s,
+        text_s / trusting_s);
+    record << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "\"serve_store_us\":%.3f,\"serve_memory_us\":%.3f,"
+                  "\"ranking_mismatches\":%zu}",
+                  store_us, memory_us, mismatches);
+    record << buf;
+    if (!WriteTextFile(out_path, record.str() + "\n")) return 1;
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  std::remove(text_path.c_str());
+  std::remove(bin_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ocular
+
+int main(int argc, char** argv) { return ocular::bench::Main(argc, argv); }

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo docs.
+
+Scans the given markdown files for inline links and fails if a relative
+link points at a file (or file#anchor) that does not exist. External
+(http/https/mailto) links are not fetched — CI has no business hitting
+the network — only recorded. Usage:
+
+    python3 docs/check_links.py README.md docs/*.md
+
+Exit code 0 = all relative links resolve, 1 = at least one is broken.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline markdown links [text](target); images ![alt](target) share the
+# suffix. Reference-style links are rare in this repo and out of scope.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# Fenced code blocks must not contribute false links.
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def iter_links(text):
+    in_fence = False
+    for line in text.splitlines():
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield match.group(1)
+
+
+def slugify(heading):
+    """GitHub-style anchor slug for a markdown heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(path):
+    anchors = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence and line.startswith("#"):
+            anchors.add(slugify(line.lstrip("#")))
+    return anchors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    broken = []
+    external = 0
+    checked = 0
+    for md in argv[1:]:
+        md_path = Path(md)
+        if not md_path.is_file():
+            broken.append((md, "<file itself missing>"))
+            continue
+        text = md_path.read_text(encoding="utf-8")
+        for target in iter_links(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                external += 1
+                continue
+            checked += 1
+            if target.startswith("#"):  # same-document anchor
+                if slugify(target[1:]) not in anchors_of(md_path):
+                    broken.append((md, target))
+                continue
+            rel, _, anchor = target.partition("#")
+            dest = (md_path.parent / rel).resolve()
+            if not dest.exists():
+                broken.append((md, target))
+            elif anchor and dest.suffix == ".md":
+                if slugify(anchor) not in anchors_of(dest):
+                    broken.append((md, target))
+    print(f"checked {checked} relative links ({external} external skipped) "
+          f"across {len(argv) - 1} files")
+    for src, target in broken:
+        print(f"BROKEN: {src}: {target}", file=sys.stderr)
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/model_store.h"
 #include "sparse/linalg.h"
 
 namespace ocular {
@@ -84,6 +85,11 @@ void BprRecommender::ScoreBlock(uint32_t u, uint32_t item_begin,
                                 uint32_t /*item_end*/,
                                 std::span<double> out) const {
   vec::AffinityBlock(user_factors_.Row(u), item_factors_t_, item_begin, out);
+}
+
+Status BprRecommender::SaveBinary(const std::string& path) const {
+  return SaveDotProductFactors(name(), config_.k, config_.lambda,
+                               user_factors_, item_factors_, path);
 }
 
 }  // namespace ocular

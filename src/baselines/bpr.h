@@ -46,6 +46,10 @@ class BprRecommender : public Recommender {
   const DenseMatrix& user_factors() const { return user_factors_; }
   const DenseMatrix& item_factors() const { return item_factors_; }
 
+  /// Writes the fitted factors as a binary v2 model file
+  /// (BinaryModelKind::kDotProduct); see WalsRecommender::SaveBinary.
+  Status SaveBinary(const std::string& path) const;
+
  private:
   BprConfig config_;
   DenseMatrix user_factors_;

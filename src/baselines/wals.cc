@@ -1,5 +1,6 @@
 #include "baselines/wals.h"
 
+#include "core/model_store.h"
 #include "sparse/linalg.h"
 
 namespace ocular {
@@ -78,6 +79,11 @@ void WalsRecommender::ScoreBlock(uint32_t u, uint32_t item_begin,
                                  uint32_t /*item_end*/,
                                  std::span<double> out) const {
   vec::AffinityBlock(user_factors_.Row(u), item_factors_t_, item_begin, out);
+}
+
+Status WalsRecommender::SaveBinary(const std::string& path) const {
+  return SaveDotProductFactors(name(), config_.k, config_.lambda,
+                               user_factors_, item_factors_, path);
 }
 
 }  // namespace ocular

@@ -50,6 +50,12 @@ class WalsRecommender : public Recommender {
   const DenseMatrix& user_factors() const { return user_factors_; }
   const DenseMatrix& item_factors() const { return item_factors_; }
 
+  /// Writes the fitted factors as a binary v2 model file
+  /// (BinaryModelKind::kDotProduct), servable by the model-agnostic
+  /// ModelStore/StoreRecommender path and the ocular_served daemon.
+  /// FailedPrecondition before a successful Fit().
+  Status SaveBinary(const std::string& path) const;
+
  private:
   /// One half-sweep: solves all rows of `target` given `fixed`.
   /// `pattern` lists each target row's positive counterparts.

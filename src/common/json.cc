@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
 
 namespace ocular {
 
@@ -124,6 +127,242 @@ std::string JsonWriter::Escape(const std::string& s) {
     }
   }
   return out;
+}
+
+// ------------------------------------------------------------- JsonValue
+
+// Recursive-descent parser over a string_view cursor. Kept as a class so
+// the depth budget and cursor thread through cleanly; JsonValue befriends
+// it to let it fill private members without exposing setters.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue root;
+    OCULAR_RETURN_IF_ERROR(ParseValue(&root, /*depth=*/0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("trailing content after JSON document");
+    }
+    return root;
+  }
+
+ private:
+  // Deep enough for any sane request, small enough that malicious nesting
+  // cannot overflow the stack.
+  static constexpr int kMaxDepth = 64;
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Fail(const std::string& what) {
+    return Status::ParseError(what + " at offset " + std::to_string(pos_));
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("JSON nested too deeply");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of JSON");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->type_ = JsonValue::Type::kString;
+        return ParseString(&out->string_);
+      case 't':
+        OCULAR_RETURN_IF_ERROR(ParseLiteral("true"));
+        out->type_ = JsonValue::Type::kBool;
+        out->number_ = 1.0;
+        return Status::OK();
+      case 'f':
+        OCULAR_RETURN_IF_ERROR(ParseLiteral("false"));
+        out->type_ = JsonValue::Type::kBool;
+        out->number_ = 0.0;
+        return Status::OK();
+      case 'n':
+        OCULAR_RETURN_IF_ERROR(ParseLiteral("null"));
+        out->type_ = JsonValue::Type::kNull;
+        return Status::OK();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return Fail("malformed JSON literal");
+    }
+    pos_ += literal.size();
+    return Status::OK();
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    out->type_ = JsonValue::Type::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key string");
+      }
+      OCULAR_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':' after object key");
+      JsonValue value;
+      OCULAR_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->members_.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return Status::OK();
+      if (!Consume(',')) return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    out->type_ = JsonValue::Type::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue value;
+      OCULAR_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->children_.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(']')) return Status::OK();
+      if (!Consume(',')) return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c < 0x20) return Fail("unescaped control character in string");
+      if (c != '\\') {
+        out->push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      // Escape sequence.
+      if (++pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          uint32_t code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char d = text_[pos_ + i];
+            code <<= 4;
+            if (d >= '0' && d <= '9') code |= static_cast<uint32_t>(d - '0');
+            else if (d >= 'a' && d <= 'f') code |= static_cast<uint32_t>(d - 'a' + 10);
+            else if (d >= 'A' && d <= 'F') code |= static_cast<uint32_t>(d - 'A' + 10);
+            else return Fail("malformed \\u escape");
+          }
+          pos_ += 4;
+          // UTF-8 encode the BMP code point (surrogate pairs are passed
+          // through as two 3-byte sequences — lossless for round-tripping,
+          // and request fields the daemon cares about are ASCII anyway).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("unknown escape sequence");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {}
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (pos_ == start || (text_[start] == '-' && pos_ == start + 1)) {
+      return Fail("malformed JSON value");
+    }
+    // Leading zeros: "0" ok, "01" not.
+    const size_t int_begin = text_[start] == '-' ? start + 1 : start;
+    if (text_[int_begin] == '0' && pos_ > int_begin + 1) {
+      return Fail("number has leading zero");
+    }
+    if (Consume('.')) {
+      const size_t frac = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      if (pos_ == frac) return Fail("missing digits after decimal point");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      const size_t exp = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      if (pos_ == exp) return Fail("missing digits in exponent");
+    }
+    OCULAR_ASSIGN_OR_RETURN(
+        out->number_,
+        ParseDouble(text_.substr(start, pos_ - start)));
+    out->type_ = JsonValue::Type::kNumber;
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  return JsonParser(text).Parse();
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
 }
 
 }  // namespace ocular

@@ -3,7 +3,11 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
+
+#include "common/result.h"
 
 namespace ocular {
 
@@ -54,6 +58,64 @@ class JsonWriter {
   // Stack of container states: true = needs comma before next element.
   std::vector<bool> needs_comma_;
   bool pending_key_ = false;
+};
+
+/// Parsed JSON document — the read-side counterpart of JsonWriter, added
+/// for the serving daemon's newline-delimited request protocol
+/// (serving/daemon.h). A strict RFC 8259 recursive-descent parser over
+/// UNTRUSTED input: every malformed document yields a ParseError (no
+/// asserts), nesting depth is bounded, numbers are doubles (the only
+/// number type JSON has).
+///
+/// Usage:
+///   OCULAR_ASSIGN_OR_RETURN(JsonValue v, JsonValue::Parse(line));
+///   const JsonValue* user = v.Find("user");
+///   if (user == nullptr || !user->is_number()) ...
+class JsonValue {
+ public:
+  /// Discriminator of the held value.
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses one complete JSON document (surrounding whitespace allowed,
+  /// trailing garbage rejected).
+  static Result<JsonValue> Parse(std::string_view text);
+
+  /// Constructs null.
+  JsonValue() = default;
+
+  /// The held type.
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Value accessors; each is only meaningful for the matching type (a
+  /// mismatched access returns the type's zero value).
+  bool boolean() const { return number_ != 0.0; }
+  double number() const { return number_; }
+  const std::string& string() const { return string_; }
+  /// Array elements (empty unless is_array()).
+  const std::vector<JsonValue>& array() const { return children_; }
+  /// Object members in document order (empty unless is_object()).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Object lookup: the value of `key`, or nullptr when absent (or when
+  /// this value is not an object). First match wins on duplicate keys.
+  const JsonValue* Find(const std::string& key) const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  double number_ = 0.0;  // numbers; 0/1 for booleans
+  std::string string_;
+  std::vector<JsonValue> children_;                         // arrays
+  std::vector<std::pair<std::string, JsonValue>> members_;  // objects
 };
 
 }  // namespace ocular

@@ -8,13 +8,28 @@
 
 namespace ocular {
 
-/// On-disk model persistence.
+/// \file
+/// \brief On-disk model persistence, v1 text format.
 ///
-/// Format: a versioned text file ("ocular-model v1") holding the training
-/// configuration that produced the model plus both factor matrices at full
-/// double precision ("%.17g" round-trips exactly). Text keeps the format
-/// portable across endianness and easy to diff/inspect; factor files are
-/// small (n * K doubles) relative to the training data.
+/// The library has two model file formats; this header is the v1 TEXT
+/// format, core/model_store.h is the v2 BINARY format. Choose by use:
+///
+/// - **v1 text** (`SaveModel`/`LoadModel`, this header): portable across
+///   endianness, diffable, greppable, hand-editable. Loading PARSES every
+///   factor entry (seconds of CPU at production catalog sizes, plus a full
+///   in-memory copy), so use it for archival, debugging, and interchange —
+///   not for serving. Factors are written "%.17g", which round-trips
+///   doubles exactly, so converting between the formats is lossless.
+/// - **v2 binary** ("OCLR", `SaveModelBinary`/`ModelStore::Open`): the
+///   deployable artifact. Little-endian, 64-byte-aligned, checksummed
+///   sections that mmap straight into the serving kernels — O(header)
+///   open, zero copies, page-cache sharing across processes. Use it for
+///   everything a daemon serves or hot-reloads.
+///
+/// `ocular_cli convert` translates between the two;
+/// docs/MODEL_FORMAT.md holds both byte-level specifications.
+///
+/// v1 grammar (one header line, one config line, two matrices):
 ///
 ///   ocular-model v1
 ///   k <K> lambda <l> variant <absolute|relative> biases <0|1>
@@ -25,18 +40,22 @@ namespace ocular {
 ///
 /// Loaders also accept the older config line without the `biases` field.
 
-/// Writes the model (and the config it was trained with) to `path`.
+/// \brief Writes the model (and the config it was trained with) to `path`
+/// in the v1 text format.
 Status SaveModel(const OcularModel& model, const OcularConfig& config,
                  const std::string& path);
 
-/// A loaded model plus its training configuration.
+/// \brief A loaded model plus its training configuration.
 struct LoadedModel {
+  /// The factor matrices.
   OcularModel model;
+  /// The configuration the model was trained with.
   OcularConfig config;
 };
 
-/// Reads a model written by SaveModel. Fails with ParseError on any
-/// malformed content and IOError on unreadable files.
+/// \brief Reads a model written by SaveModel. Fails with ParseError on any
+/// malformed content and IOError on unreadable files. (For binary v2 files
+/// use ModelStore::Open, or LoadModelAuto to sniff the format.)
 Result<LoadedModel> LoadModel(const std::string& path);
 
 }  // namespace ocular

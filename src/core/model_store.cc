@@ -1,0 +1,418 @@
+#include "core/model_store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "sparse/linalg.h"
+
+namespace ocular {
+
+namespace {
+
+// ---------------------------------------------------------------- layout
+//
+// All integers little-endian. See docs/MODEL_FORMAT.md for the normative
+// byte-level spec; the constants here ARE that spec.
+
+constexpr char kMagic[4] = {'O', 'C', 'L', 'R'};
+constexpr uint32_t kVersion = 2;
+// Written as an integer, read back as an integer: a mapping made on a
+// big-endian machine would see the bytes reversed and reject the file
+// instead of serving garbage factors.
+constexpr uint32_t kEndianTag = 0x0C0FFEE1;
+constexpr uint32_t kSectionCount = 3;
+constexpr size_t kAlgorithmBytes = 16;  // NUL-padded tag
+constexpr size_t kFixedHeaderBytes = 64;
+constexpr size_t kSectionEntryBytes = 32;
+constexpr size_t kHeaderBytes =
+    kFixedHeaderBytes + kSectionCount * kSectionEntryBytes;  // 160
+constexpr size_t kSectionAlignment = 64;
+
+// Section kinds, in the order the writer emits them.
+enum SectionKind : uint32_t {
+  kSectionUserFactors = 0,
+  kSectionItemFactors = 1,
+  kSectionItemFactorsT = 2,
+};
+
+// Header flag bits.
+constexpr uint32_t kFlagUseBiases = 1u << 0;
+constexpr uint32_t kFlagRelativeVariant = 1u << 1;
+
+constexpr size_t AlignUp(size_t n) {
+  return (n + kSectionAlignment - 1) & ~(kSectionAlignment - 1);
+}
+
+uint64_t Fnv1a64(const void* data, size_t bytes) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 14695981039346656037ull;
+  for (size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Little-endian scalar put/get against a byte buffer. The build targets
+// little-endian hosts (enforced below), so these are memcpys; the
+// indirection documents intent and keeps alignment rules honest.
+template <typename T>
+void PutScalar(unsigned char* buf, size_t offset, T value) {
+  std::memcpy(buf + offset, &value, sizeof(T));
+}
+
+template <typename T>
+T GetScalar(const unsigned char* buf, size_t offset) {
+  T value;
+  std::memcpy(&value, buf + offset, sizeof(T));
+  return value;
+}
+
+Status RequireLittleEndianHost() {
+  if constexpr (std::endian::native != std::endian::little) {
+    return Status::NotImplemented(
+        "binary model files are little-endian; this host is not");
+  }
+  return Status::OK();
+}
+
+struct SectionPlan {
+  uint32_t kind = 0;
+  const double* data = nullptr;
+  size_t length_bytes = 0;
+  size_t offset = 0;
+};
+
+Status WriteBinaryFile(const BinaryModelMeta& meta, const DenseMatrix& users,
+                       const DenseMatrix& items, const DenseMatrix& items_t,
+                       const std::string& path) {
+  OCULAR_RETURN_IF_ERROR(RequireLittleEndianHost());
+  if (meta.k == 0 || users.cols() != meta.k || items.cols() != meta.k) {
+    return Status::InvalidArgument(
+        "factor matrices do not have meta.k columns");
+  }
+  if (meta.algorithm.size() >= kAlgorithmBytes) {
+    return Status::InvalidArgument("algorithm tag longer than 15 bytes");
+  }
+
+  SectionPlan sections[kSectionCount] = {
+      {kSectionUserFactors, users.data(), users.size() * sizeof(double), 0},
+      {kSectionItemFactors, items.data(), items.size() * sizeof(double), 0},
+      {kSectionItemFactorsT, items_t.data(), items_t.size() * sizeof(double),
+       0},
+  };
+  size_t offset = AlignUp(kHeaderBytes);
+  for (SectionPlan& s : sections) {
+    s.offset = offset;
+    offset = AlignUp(offset + s.length_bytes);
+  }
+
+  unsigned char header[kHeaderBytes] = {};
+  std::memcpy(header, kMagic, sizeof(kMagic));
+  PutScalar<uint32_t>(header, 4, kVersion);
+  PutScalar<uint32_t>(header, 8, kEndianTag);
+  PutScalar<uint32_t>(header, 12, static_cast<uint32_t>(meta.kind));
+  PutScalar<uint32_t>(header, 16, meta.k);
+  PutScalar<uint32_t>(header, 20, users.rows());
+  PutScalar<uint32_t>(header, 24, items.rows());
+  uint32_t flags = 0;
+  if (meta.use_biases) flags |= kFlagUseBiases;
+  if (meta.relative_variant) flags |= kFlagRelativeVariant;
+  PutScalar<uint32_t>(header, 28, flags);
+  PutScalar<double>(header, 32, meta.lambda);
+  std::memcpy(header + 40, meta.algorithm.data(), meta.algorithm.size());
+  PutScalar<uint32_t>(header, 56, kSectionCount);
+  for (uint32_t i = 0; i < kSectionCount; ++i) {
+    const size_t base = kFixedHeaderBytes + i * kSectionEntryBytes;
+    PutScalar<uint32_t>(header, base, sections[i].kind);
+    PutScalar<uint64_t>(header, base + 8, sections[i].offset);
+    PutScalar<uint64_t>(header, base + 16, sections[i].length_bytes);
+    PutScalar<uint64_t>(header, base + 24,
+                        Fnv1a64(sections[i].data, sections[i].length_bytes));
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  size_t written = sizeof(header);
+  const char zeros[kSectionAlignment] = {};
+  for (const SectionPlan& s : sections) {
+    out.write(zeros, static_cast<std::streamsize>(s.offset - written));
+    out.write(reinterpret_cast<const char*>(s.data),
+              static_cast<std::streamsize>(s.length_bytes));
+    written = s.offset + s.length_bytes;
+  }
+  if (!out) return Status::IOError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveModelBinary(const OcularModel& model, const OcularConfig& config,
+                       const std::string& path) {
+  OCULAR_RETURN_IF_ERROR(model.Validate());
+  if (model.k() != config.TotalDims()) {
+    return Status::InvalidArgument(
+        "model dimensions do not match the config being saved (did you "
+        "forget use_biases?)");
+  }
+  BinaryModelMeta meta;
+  meta.kind = BinaryModelKind::kOcularProbability;
+  meta.k = model.k();
+  meta.lambda = config.lambda;
+  meta.use_biases = config.use_biases;
+  meta.relative_variant = config.variant == OcularVariant::kRelative;
+  meta.algorithm =
+      config.variant == OcularVariant::kRelative ? "R-OCuLaR" : "OCuLaR";
+  return WriteBinaryFile(meta, model.user_factors(), model.item_factors(),
+                         TransposedCopy(model.item_factors()), path);
+}
+
+Status SaveFactorsBinary(const BinaryModelMeta& meta, const DenseMatrix& users,
+                         const DenseMatrix& items, const std::string& path) {
+  return WriteBinaryFile(meta, users, items, TransposedCopy(items), path);
+}
+
+Status SaveDotProductFactors(const std::string& algorithm, uint32_t k,
+                             double lambda, const DenseMatrix& users,
+                             const DenseMatrix& items,
+                             const std::string& path) {
+  if (users.rows() == 0) {
+    return Status::FailedPrecondition(algorithm + " model is not fitted");
+  }
+  BinaryModelMeta meta;
+  meta.kind = BinaryModelKind::kDotProduct;
+  meta.k = k;
+  meta.lambda = lambda;
+  meta.algorithm = algorithm;
+  return SaveFactorsBinary(meta, users, items, path);
+}
+
+Status ConvertTextModelToBinary(const std::string& text_path,
+                                const std::string& binary_path) {
+  OCULAR_ASSIGN_OR_RETURN(LoadedModel loaded, LoadModel(text_path));
+  return SaveModelBinary(loaded.model, loaded.config, binary_path);
+}
+
+// ------------------------------------------------------------ ModelStore
+
+ModelStore::ModelStore(ModelStore&& other) noexcept { *this = std::move(other); }
+
+ModelStore& ModelStore::operator=(ModelStore&& other) noexcept {
+  if (this == &other) return *this;
+  if (mapping_ != nullptr) ::munmap(mapping_, mapped_bytes_);
+  path_ = std::move(other.path_);
+  mapping_ = other.mapping_;
+  mapped_bytes_ = other.mapped_bytes_;
+  meta_ = std::move(other.meta_);
+  num_users_ = other.num_users_;
+  num_items_ = other.num_items_;
+  user_factors_ = other.user_factors_;
+  item_factors_ = other.item_factors_;
+  item_factors_t_ = other.item_factors_t_;
+  other.Reset();
+  return *this;
+}
+
+ModelStore::~ModelStore() {
+  if (mapping_ != nullptr) ::munmap(mapping_, mapped_bytes_);
+}
+
+void ModelStore::Reset() noexcept {
+  mapping_ = nullptr;
+  mapped_bytes_ = 0;
+  num_users_ = 0;
+  num_items_ = 0;
+  user_factors_ = nullptr;
+  item_factors_ = nullptr;
+  item_factors_t_ = nullptr;
+}
+
+Result<ModelStore> ModelStore::Open(const std::string& path,
+                                    const ModelStoreOptions& options) {
+  OCULAR_RETURN_IF_ERROR(RequireLittleEndianHost());
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open '" + path +
+                           "': " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError("fstat('" + path + "'): " + std::strerror(err));
+  }
+  const size_t file_bytes = static_cast<size_t>(st.st_size);
+  if (file_bytes < kHeaderBytes) {
+    ::close(fd);
+    return Status::ParseError("'" + path +
+                              "' is too small to be a binary model file");
+  }
+  void* mapping = ::mmap(nullptr, file_bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping pins the file contents; the descriptor is no longer needed.
+  ::close(fd);
+  if (mapping == MAP_FAILED) {
+    return Status::IOError("mmap('" + path + "'): " + std::strerror(errno));
+  }
+
+  ModelStore store;
+  store.path_ = path;
+  store.mapping_ = mapping;
+  store.mapped_bytes_ = file_bytes;
+
+  const unsigned char* h = static_cast<const unsigned char*>(mapping);
+  if (std::memcmp(h, kMagic, sizeof(kMagic)) != 0) {
+    return Status::ParseError("'" + path +
+                              "' has no OCLR magic; not a binary model file");
+  }
+  const uint32_t version = GetScalar<uint32_t>(h, 4);
+  if (version != kVersion) {
+    return Status::ParseError("unsupported binary model version " +
+                              std::to_string(version) + " (this build reads " +
+                              std::to_string(kVersion) + ")");
+  }
+  if (GetScalar<uint32_t>(h, 8) != kEndianTag) {
+    return Status::ParseError(
+        "endianness tag mismatch; file written on a foreign byte order");
+  }
+  const uint32_t kind = GetScalar<uint32_t>(h, 12);
+  if (kind > static_cast<uint32_t>(BinaryModelKind::kDotProduct)) {
+    return Status::ParseError("unknown model kind " + std::to_string(kind));
+  }
+  store.meta_.kind = static_cast<BinaryModelKind>(kind);
+  store.meta_.k = GetScalar<uint32_t>(h, 16);
+  store.num_users_ = GetScalar<uint32_t>(h, 20);
+  store.num_items_ = GetScalar<uint32_t>(h, 24);
+  if (store.meta_.k == 0) return Status::ParseError("k must be positive");
+  const uint32_t flags = GetScalar<uint32_t>(h, 28);
+  store.meta_.use_biases = (flags & kFlagUseBiases) != 0;
+  store.meta_.relative_variant = (flags & kFlagRelativeVariant) != 0;
+  store.meta_.lambda = GetScalar<double>(h, 32);
+  {
+    const char* tag = reinterpret_cast<const char*>(h + 40);
+    store.meta_.algorithm.assign(tag, strnlen(tag, kAlgorithmBytes));
+  }
+  if (GetScalar<uint32_t>(h, 56) != kSectionCount) {
+    return Status::ParseError("unexpected section count");
+  }
+
+  // Hostile-header guard: the factor cell counts are u32 x u32 products
+  // (they fit a u64), but the BYTE counts could wrap at *8. Every section
+  // must fit in the file anyway, so bound the cell counts by the file
+  // size first — after this check the byte products below cannot overflow.
+  const uint64_t user_cells =
+      static_cast<uint64_t>(store.num_users_) * store.meta_.k;
+  const uint64_t item_cells =
+      static_cast<uint64_t>(store.num_items_) * store.meta_.k;
+  if (user_cells > file_bytes / sizeof(double) ||
+      item_cells > file_bytes / sizeof(double)) {
+    return Status::ParseError(
+        "header dimensions exceed the file size; corrupt or hostile header");
+  }
+  const size_t expected_bytes[kSectionCount] = {
+      static_cast<size_t>(user_cells * sizeof(double)),
+      static_cast<size_t>(item_cells * sizeof(double)),
+      static_cast<size_t>(item_cells * sizeof(double)),
+  };
+  const double* section_data[kSectionCount] = {};
+  for (uint32_t i = 0; i < kSectionCount; ++i) {
+    const size_t base = kFixedHeaderBytes + i * kSectionEntryBytes;
+    const uint32_t section_kind = GetScalar<uint32_t>(h, base);
+    const uint64_t offset = GetScalar<uint64_t>(h, base + 8);
+    const uint64_t length = GetScalar<uint64_t>(h, base + 16);
+    if (section_kind >= kSectionCount || section_data[section_kind] != nullptr) {
+      return Status::ParseError("malformed section table");
+    }
+    if (offset % kSectionAlignment != 0) {
+      return Status::ParseError("section " + std::to_string(section_kind) +
+                                " is not 64-byte aligned");
+    }
+    if (length != expected_bytes[section_kind]) {
+      return Status::ParseError(
+          "section " + std::to_string(section_kind) +
+          " length does not match the header dimensions");
+    }
+    if (offset > file_bytes || length > file_bytes - offset) {
+      return Status::ParseError("'" + path +
+                                "' is truncated: section " +
+                                std::to_string(section_kind) +
+                                " extends past end of file");
+    }
+    section_data[section_kind] = reinterpret_cast<const double*>(h + offset);
+  }
+  store.user_factors_ = section_data[kSectionUserFactors];
+  store.item_factors_ = section_data[kSectionItemFactors];
+  store.item_factors_t_ = section_data[kSectionItemFactorsT];
+
+  if (options.verify_checksums) {
+    OCULAR_RETURN_IF_ERROR(store.VerifyChecksums());
+  }
+  return store;
+}
+
+Status ModelStore::VerifyChecksums() const {
+  if (mapping_ == nullptr) {
+    return Status::FailedPrecondition("ModelStore is not open");
+  }
+  const unsigned char* h = static_cast<const unsigned char*>(mapping_);
+  for (uint32_t i = 0; i < kSectionCount; ++i) {
+    const size_t base = kFixedHeaderBytes + i * kSectionEntryBytes;
+    const uint64_t offset = GetScalar<uint64_t>(h, base + 8);
+    const uint64_t length = GetScalar<uint64_t>(h, base + 16);
+    const uint64_t recorded = GetScalar<uint64_t>(h, base + 24);
+    if (Fnv1a64(h + offset, length) != recorded) {
+      return Status::ParseError(
+          "checksum mismatch in section " +
+          std::to_string(GetScalar<uint32_t>(h, base)) + " of '" + path_ +
+          "' (file corrupted?)");
+    }
+  }
+  return Status::OK();
+}
+
+Result<LoadedModel> ModelStore::MaterializeOcular() const {
+  if (mapping_ == nullptr) {
+    return Status::FailedPrecondition("ModelStore is not open");
+  }
+  if (meta_.kind != BinaryModelKind::kOcularProbability) {
+    return Status::FailedPrecondition(
+        "model '" + meta_.algorithm + "' is not an OCuLaR-family model");
+  }
+  LoadedModel out;
+  out.config.use_biases = meta_.use_biases;
+  out.config.k = meta_.k - (meta_.use_biases ? 2 : 0);
+  out.config.lambda = meta_.lambda;
+  out.config.variant = meta_.relative_variant ? OcularVariant::kRelative
+                                              : OcularVariant::kAbsolute;
+  DenseMatrix users(num_users_, meta_.k);
+  DenseMatrix items(num_items_, meta_.k);
+  std::memcpy(users.data(), user_factors_,
+              users.size() * sizeof(double));
+  std::memcpy(items.data(), item_factors_,
+              items.size() * sizeof(double));
+  out.model = OcularModel(std::move(users), std::move(items));
+  return out;
+}
+
+bool IsBinaryModelFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  return in.gcount() == sizeof(magic) &&
+         std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
+}
+
+Result<LoadedModel> LoadModelAuto(const std::string& path) {
+  if (!IsBinaryModelFile(path)) return LoadModel(path);
+  OCULAR_ASSIGN_OR_RETURN(ModelStore store, ModelStore::Open(path));
+  return store.MaterializeOcular();
+}
+
+}  // namespace ocular

@@ -11,7 +11,12 @@
 
 namespace ocular {
 
-/// Options for batch recommendation generation.
+/// \file
+/// \brief Bulk top-M generation for every user — the offline batch
+/// artifact of the paper's deployment, produced by the same blocked
+/// engine the online daemon serves from (rankings agree bit for bit).
+
+/// \brief Options for batch recommendation generation.
 struct BatchOptions {
   /// Recommendations per user.
   uint32_t m = 50;
@@ -30,9 +35,10 @@ struct BatchOptions {
   const CoClusterCandidateIndex* candidates = nullptr;
 };
 
-/// The precomputed top-M lists for every user — the artifact the paper's
-/// deployment serves to sales teams (Section VIII): recommendations are
-/// generated offline in bulk, then reviewed per client.
+/// \brief The precomputed top-M lists for every user — the artifact the
+/// paper's deployment serves to sales teams (Section VIII):
+/// recommendations are generated offline in bulk, then reviewed per
+/// client.
 struct BatchRecommendations {
   /// recommendations[u] = ranked ScoredItems for user u (possibly empty).
   std::vector<std::vector<ScoredItem>> recommendations;
@@ -42,13 +48,13 @@ struct BatchRecommendations {
   size_t total_items = 0;
 };
 
-/// Produces top-M lists for all users of `rec` through the blocked scoring
-/// engine, excluding each user's training positives. With a pool, users are
-/// partitioned into nnz-balanced contiguous ranges (equal WORK, not equal
-/// rows — see BalancedRowRanges) and each worker serves its ranges out of a
-/// private ServeWorkspace, so the steady state allocates only the output
-/// lists. Serial and parallel runs produce bit-identical results. `rec`
-/// must already be fitted. Pass pool = nullptr for serial.
+/// \brief Produces top-M lists for all users of `rec` through the blocked
+/// scoring engine, excluding each user's training positives. With a pool,
+/// users are partitioned into nnz-balanced contiguous ranges (equal WORK,
+/// not equal rows — see BalancedRowRanges) and each worker serves its
+/// ranges out of a private ServeWorkspace, so the steady state allocates
+/// only the output lists. Serial and parallel runs produce bit-identical
+/// results. `rec` must already be fitted. Pass pool = nullptr for serial.
 Result<BatchRecommendations> RecommendForAllUsers(const Recommender& rec,
                                                   const CsrMatrix& train,
                                                   const BatchOptions& options,

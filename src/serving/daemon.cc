@@ -1,0 +1,486 @@
+#include "serving/daemon.h"
+
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+namespace ocular {
+
+namespace {
+
+// SIGHUP latch. A signal handler may only touch async-signal-safe state;
+// the actual reload runs on the serving thread between requests.
+std::atomic<bool> g_pending_reload{false};
+
+void OnSighup(int /*signum*/) {
+  g_pending_reload.store(true, std::memory_order_relaxed);
+}
+
+// Reads a non-negative integer field, with bounds checking against
+// `max_value`. Returns defaults when the field is absent.
+Result<uint64_t> GetUIntField(const JsonValue& request, const char* key,
+                              uint64_t def, uint64_t max_value) {
+  const JsonValue* field = request.Find(key);
+  if (field == nullptr) return def;
+  if (!field->is_number() || field->number() < 0.0 ||
+      field->number() != std::floor(field->number())) {
+    return Status::InvalidArgument(std::string("'") + key +
+                                   "' must be a non-negative integer");
+  }
+  if (field->number() > static_cast<double>(max_value)) {
+    return Status::InvalidArgument(std::string("'") + key + "' out of range");
+  }
+  return static_cast<uint64_t>(field->number());
+}
+
+double NowMicros() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+RequestServer::RequestServer(ModelRegistry* registry)
+    : RequestServer(registry, Options()) {}
+
+RequestServer::RequestServer(ModelRegistry* registry, Options options)
+    : registry_(registry), options_(options) {
+  latency_ring_.resize(std::max<size_t>(options_.latency_window, 1), 0.0);
+  workspace_.Reserve(options_.serve.m, options_.serve.block_items);
+}
+
+void RequestServer::InstallReloadSignalHandler() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = OnSighup;
+  sigemptyset(&sa.sa_mask);
+  // No SA_RESTART: a SIGHUP arriving mid-accept/mid-read surfaces as EINTR
+  // so the serving loop can apply the reload promptly.
+  ::sigaction(SIGHUP, &sa, nullptr);
+}
+
+bool RequestServer::ConsumePendingReload() {
+  if (!g_pending_reload.exchange(false, std::memory_order_relaxed)) {
+    return false;
+  }
+  // Failed models keep their previous generation serving; surface the
+  // failure (SIGHUP has no reply channel) and do not count it as a
+  // performed reload, so stats can't report a stale model as refreshed.
+  const Status status = registry_->ReloadAll();
+  if (!status.ok()) {
+    std::fprintf(stderr, "hot reload failed: %s\n",
+                 status.ToString().c_str());
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++reloads_;
+  return true;
+}
+
+Result<std::vector<ScoredItem>> RequestServer::Recommend(
+    const std::string& model_name, uint32_t user, const ServeOptions& options,
+    const std::vector<uint32_t>* exclude_override) {
+  std::shared_ptr<const ServableModel> model = registry_->Get(model_name);
+  if (model == nullptr) {
+    return Status::NotFound("no model named '" + model_name + "'");
+  }
+  if (user >= model->store.num_users()) {
+    return Status::OutOfRange("user " + std::to_string(user) +
+                              " out of range (model has " +
+                              std::to_string(model->store.num_users()) +
+                              " users)");
+  }
+  std::span<const uint32_t> exclude = exclude_override != nullptr
+                                          ? std::span<const uint32_t>(*exclude_override)
+                                          : model->ExcludeRow(user);
+  auto ranked =
+      ServeTopM(*model->recommender, user, exclude, options, &workspace_);
+  return std::vector<ScoredItem>(ranked.begin(), ranked.end());
+}
+
+std::string RequestServer::ErrorReply(const std::string& message) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ok");
+  w.Bool(false);
+  w.Key("error");
+  w.String(message);
+  w.EndObject();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++errors_;
+  return w.str();
+}
+
+std::string RequestServer::HandleRecommend(const JsonValue& request) {
+  std::string model_name = "default";
+  if (const JsonValue* m = request.Find("model"); m != nullptr) {
+    if (!m->is_string()) return ErrorReply("'model' must be a string");
+    model_name = m->string();
+  }
+  auto user = GetUIntField(request, "user", 0, UINT32_MAX);
+  if (!user.ok()) return ErrorReply(user.status().message());
+  if (request.Find("user") == nullptr) {
+    return ErrorReply("'user' is required");
+  }
+  auto m = GetUIntField(request, "m", options_.serve.m, UINT32_MAX);
+  if (!m.ok()) return ErrorReply(m.status().message());
+
+  ServeOptions serve = options_.serve;
+  serve.m = static_cast<uint32_t>(*m);
+  if (const JsonValue* ms = request.Find("min_score"); ms != nullptr) {
+    if (!ms->is_number()) return ErrorReply("'min_score' must be a number");
+    serve.min_score = ms->number();
+  }
+
+  const std::vector<uint32_t>* exclude_override = nullptr;
+  if (const JsonValue* ex = request.Find("exclude"); ex != nullptr) {
+    if (!ex->is_array()) {
+      return ErrorReply("'exclude' must be an array of item ids");
+    }
+    exclude_scratch_.clear();
+    for (const JsonValue& e : ex->array()) {
+      if (!e.is_number() || e.number() < 0.0 ||
+          e.number() != std::floor(e.number()) || e.number() > UINT32_MAX) {
+        return ErrorReply("'exclude' entries must be item ids");
+      }
+      exclude_scratch_.push_back(static_cast<uint32_t>(e.number()));
+    }
+    std::sort(exclude_scratch_.begin(), exclude_scratch_.end());
+    exclude_scratch_.erase(
+        std::unique(exclude_scratch_.begin(), exclude_scratch_.end()),
+        exclude_scratch_.end());
+    exclude_override = &exclude_scratch_;
+  }
+
+  auto ranked = Recommend(model_name, static_cast<uint32_t>(*user), serve,
+                          exclude_override);
+  if (!ranked.ok()) return ErrorReply(ranked.status().ToString());
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ok");
+  w.Bool(true);
+  w.Key("model");
+  w.String(model_name);
+  w.Key("user");
+  w.UInt(*user);
+  w.Key("items");
+  w.BeginArray();
+  for (const ScoredItem& si : *ranked) {
+    w.BeginObject();
+    w.Key("item");
+    w.UInt(si.item);
+    w.Key("score");
+    w.Double(si.score);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+std::string RequestServer::HandleModels() {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ok");
+  w.Bool(true);
+  w.Key("models");
+  w.BeginArray();
+  for (const std::string& name : registry_->Names()) {
+    std::shared_ptr<const ServableModel> model = registry_->Get(name);
+    if (model == nullptr) continue;  // raced with an unload
+    w.BeginObject();
+    w.Key("name");
+    w.String(name);
+    w.Key("algorithm");
+    w.String(model->store.meta().algorithm);
+    w.Key("users");
+    w.UInt(model->store.num_users());
+    w.Key("items");
+    w.UInt(model->store.num_items());
+    w.Key("k");
+    w.UInt(model->store.k());
+    w.Key("mapped_bytes");
+    w.UInt(model->store.mapped_bytes());
+    w.Key("path");
+    w.String(model->store.path());
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+std::string RequestServer::HandleStats() {
+  const DaemonStatsSnapshot snapshot = Stats();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ok");
+  w.Bool(true);
+  w.Key("models_loaded");
+  w.UInt(snapshot.models_loaded);
+  w.Key("requests_served");
+  w.UInt(snapshot.requests_served);
+  w.Key("errors");
+  w.UInt(snapshot.errors);
+  w.Key("reloads");
+  w.UInt(snapshot.reloads);
+  w.Key("p50_latency_us");
+  w.Double(snapshot.p50_latency_us);
+  w.Key("p99_latency_us");
+  w.Double(snapshot.p99_latency_us);
+  w.EndObject();
+  return w.str();
+}
+
+std::string RequestServer::HandleReload() {
+  Status status = registry_->ReloadAll();
+  if (!status.ok()) return ErrorReply(status.ToString());
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++reloads_;
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ok");
+  w.Bool(true);
+  w.Key("reloaded");
+  w.UInt(registry_->size());
+  w.EndObject();
+  return w.str();
+}
+
+std::string RequestServer::HandleLine(const std::string& line) {
+  const double start_us = NowMicros();
+  std::string reply;
+  auto parsed = JsonValue::Parse(line);
+  if (!parsed.ok()) {
+    reply = ErrorReply(parsed.status().ToString());
+  } else if (!parsed->is_object()) {
+    reply = ErrorReply("request must be a JSON object");
+  } else {
+    std::string cmd = "recommend";
+    bool bad_cmd = false;
+    if (const JsonValue* c = parsed->Find("cmd"); c != nullptr) {
+      if (c->is_string()) {
+        cmd = c->string();
+      } else {
+        bad_cmd = true;
+      }
+    }
+    if (bad_cmd) {
+      reply = ErrorReply("'cmd' must be a string");
+    } else if (cmd == "recommend") {
+      reply = HandleRecommend(*parsed);
+    } else if (cmd == "models") {
+      reply = HandleModels();
+    } else if (cmd == "stats") {
+      reply = HandleStats();
+    } else if (cmd == "reload") {
+      reply = HandleReload();
+    } else if (cmd == "quit") {
+      quit_requested_ = true;
+      JsonWriter w;
+      w.BeginObject();
+      w.Key("ok");
+      w.Bool(true);
+      w.Key("bye");
+      w.Bool(true);
+      w.EndObject();
+      reply = w.str();
+    } else {
+      reply = ErrorReply("unknown cmd '" + cmd + "'");
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++requests_served_;
+  }
+  RecordLatency(NowMicros() - start_us);
+  return reply;
+}
+
+void RequestServer::RecordLatency(double micros) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  latency_ring_[latency_next_] = micros;
+  latency_next_ = (latency_next_ + 1) % latency_ring_.size();
+  latency_count_ = std::min(latency_count_ + 1, latency_ring_.size());
+}
+
+DaemonStatsSnapshot RequestServer::Stats() const {
+  DaemonStatsSnapshot snapshot;
+  snapshot.models_loaded = registry_->size();
+  std::vector<double> window;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    snapshot.requests_served = requests_served_;
+    snapshot.errors = errors_;
+    snapshot.reloads = reloads_;
+    window.assign(latency_ring_.begin(),
+                  latency_ring_.begin() +
+                      static_cast<std::ptrdiff_t>(latency_count_));
+  }
+  if (!window.empty()) {
+    auto percentile = [&window](double p) {
+      const size_t idx = std::min(
+          window.size() - 1,
+          static_cast<size_t>(p * static_cast<double>(window.size() - 1)));
+      std::nth_element(window.begin(),
+                       window.begin() + static_cast<std::ptrdiff_t>(idx),
+                       window.end());
+      return window[idx];
+    };
+    snapshot.p50_latency_us = percentile(0.50);
+    snapshot.p99_latency_us = percentile(0.99);
+  }
+  return snapshot;
+}
+
+void RequestServer::RunStdioLoop(std::istream& in, std::ostream& out) {
+  std::string line;
+  std::string partial;  // prefix extracted before an interrupted read
+  while (!quit_requested_) {
+    ConsumePendingReload();
+    errno = 0;
+    if (!std::getline(in, line)) {
+      // A SIGHUP arriving while blocked in getline fails the stream with
+      // EINTR (the handler is installed without SA_RESTART); that is a
+      // reload request, not end of input — recover and keep serving. The
+      // stream flags are not trustworthy here (libstdc++ reports the
+      // interrupted read as eof), so the errno check decides, and the
+      // C-stdio error state backing std::cin must be cleared too. Any
+      // half-read line is carried over so the request stream stays
+      // aligned.
+      if (errno == EINTR) {
+        partial += line;
+        in.clear();
+        if (&in == &std::cin) std::clearerr(stdin);
+        continue;
+      }
+      break;
+    }
+    if (!partial.empty()) {
+      line = partial + line;
+      partial.clear();
+    }
+    if (line.empty()) continue;
+    out << HandleLine(line) << '\n';
+    out.flush();
+  }
+}
+
+void RequestServer::ServeConnection(int fd) {
+  // Framing bound against hostile clients: a "line" that exceeds this
+  // without a newline drops the connection instead of growing the buffer
+  // without limit. Generous for real requests (a full-catalog exclude
+  // list is well under this).
+  constexpr size_t kMaxRequestBytes = 4 << 20;
+  std::string buffer;
+  char chunk[4096];
+  bool connection_quit = false;
+  while (!connection_quit) {
+    ConsumePendingReload();
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;  // signal (e.g. SIGHUP) — poll and retry
+      break;
+    }
+    if (n == 0) break;  // client EOF
+    // Everything before old_size was already scanned newline-free, so
+    // each chunk is searched exactly once — framing stays linear in the
+    // request size.
+    const size_t old_size = buffer.size();
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    size_t newline = buffer.find('\n', old_size);
+    for (; newline != std::string::npos && !connection_quit;
+         newline = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, newline - start);
+      start = newline + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      std::string reply = HandleLine(line);
+      reply.push_back('\n');
+      size_t sent = 0;
+      while (sent < reply.size()) {
+        const ssize_t w =
+            ::write(fd, reply.data() + sent, reply.size() - sent);
+        if (w < 0) {
+          if (errno == EINTR) continue;
+          connection_quit = true;
+          break;
+        }
+        sent += static_cast<size_t>(w);
+      }
+      if (quit_requested_) {
+        // `quit` ends the connection; the next client gets a fresh session.
+        quit_requested_ = false;
+        connection_quit = true;
+      }
+    }
+    buffer.erase(0, start);  // keep the newline-free tail
+    if (buffer.size() > kMaxRequestBytes) {
+      const std::string reply = ErrorReply("request line too long") + "\n";
+      (void)!::write(fd, reply.data(), reply.size());
+      break;
+    }
+  }
+  ::close(fd);
+}
+
+Status RequestServer::RunTcpLoop(uint16_t port, uint64_t max_connections) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // serve localhost only
+  addr.sin_port = htons(port);
+  if (::bind(listener, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const Status st =
+        Status::IOError(std::string("bind 127.0.0.1:") + std::to_string(port) +
+                        ": " + std::strerror(errno));
+    ::close(listener);
+    return st;
+  }
+  if (::listen(listener, 16) != 0) {
+    const Status st =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(listener);
+    return st;
+  }
+  uint64_t served = 0;
+  while (max_connections == 0 || served < max_connections) {
+    ConsumePendingReload();
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;  // SIGHUP — apply reload, keep accepting
+      const Status st =
+          Status::IOError(std::string("accept: ") + std::strerror(errno));
+      ::close(listener);
+      return st;
+    }
+    ServeConnection(conn);
+    ++served;
+  }
+  ::close(listener);
+  return Status::OK();
+}
+
+}  // namespace ocular

@@ -1,0 +1,143 @@
+#ifndef OCULAR_SERVING_DAEMON_H_
+#define OCULAR_SERVING_DAEMON_H_
+
+#include <cstdint>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "serving/registry.h"
+#include "serving/score_engine.h"
+
+namespace ocular {
+
+/// \brief Point-in-time serving statistics, as reported by the `stats`
+/// verb.
+struct DaemonStatsSnapshot {
+  /// Requests answered (including failed ones).
+  uint64_t requests_served = 0;
+  /// Requests answered with "ok": false.
+  uint64_t errors = 0;
+  /// Hot reloads performed (SIGHUP or `reload` verb).
+  uint64_t reloads = 0;
+  /// Models currently loaded.
+  size_t models_loaded = 0;
+  /// Median request latency over the recent window, microseconds.
+  double p50_latency_us = 0.0;
+  /// 99th-percentile request latency over the recent window, microseconds.
+  double p99_latency_us = 0.0;
+};
+
+/// \brief The request-serving core of the long-running daemon
+/// (tools/ocular_served.cpp and the `ocular_cli serve` subcommand).
+///
+/// Speaks a newline-delimited JSON protocol — one request object per input
+/// line, one response object per output line — over stdin/stdout
+/// (RunStdioLoop) or a loopback TCP socket (RunTcpLoop). Requests:
+///
+///   {"cmd":"recommend","model":"default","user":3,"m":10}
+///   {"cmd":"recommend","model":"default","user":3,"exclude":[1,7]}
+///   {"cmd":"models"}      — loaded models and their shapes
+///   {"cmd":"stats"}       — DaemonStatsSnapshot as JSON
+///   {"cmd":"reload"}      — hot-reload every model (same path as SIGHUP)
+///   {"cmd":"quit"}        — end the session
+///
+/// Responses always carry "ok"; failures add "error" and never kill the
+/// loop. `recommend` serves through the PR 3 blocked engine (ServeTopM)
+/// out of a reusable ServeWorkspace, excluding the user's training row by
+/// default (an explicit "exclude" array overrides it). Rankings are
+/// bit-identical to RecommendForAllUsers on the same model and exclusions.
+///
+/// Hot reload: InstallReloadSignalHandler() latches SIGHUP into a flag the
+/// loops poll between requests; the swap itself is
+/// ModelRegistry::ReloadAll, so in-flight requests drain on the old
+/// mapping. See docs/OPERATIONS.md for the walkthrough.
+class RequestServer {
+ public:
+  /// \brief Tunables of a server instance.
+  struct Options {
+    /// Per-request serving defaults (m, min_score, tile size); a request's
+    /// own fields override m and min_score.
+    ServeOptions serve;
+    /// Latency samples kept for the p50/p99 report (ring buffer).
+    size_t latency_window = 4096;
+  };
+
+  /// \brief Serves the models of `registry` (not owned; must outlive the
+  /// server) with default Options.
+  explicit RequestServer(ModelRegistry* registry);
+  /// \brief Serves the models of `registry` (not owned; must outlive the
+  /// server).
+  RequestServer(ModelRegistry* registry, Options options);
+
+  /// \brief Answers one JSON request line with one JSON response line
+  /// (no trailing newline). Never throws; malformed input yields an
+  /// "ok": false response.
+  std::string HandleLine(const std::string& line);
+
+  /// \brief The `recommend` verb's structured core: top-`options.m` items
+  /// for `user` of model `model_name` through the blocked scoring engine.
+  /// `exclude_override` (ascending ids), when non-null, replaces the
+  /// model's default training-row exclusion.
+  Result<std::vector<ScoredItem>> Recommend(
+      const std::string& model_name, uint32_t user, const ServeOptions& options,
+      const std::vector<uint32_t>* exclude_override = nullptr);
+
+  /// \brief Reads request lines from `in` until EOF or a `quit` verb,
+  /// writing one response line each to `out` (flushed per line; pending
+  /// SIGHUP reloads are applied between requests).
+  void RunStdioLoop(std::istream& in, std::ostream& out);
+
+  /// \brief Listens on 127.0.0.1:`port` and serves one connection at a
+  /// time with the same line protocol (a `quit` verb or client EOF ends
+  /// the connection, not the server). Returns only on a socket setup
+  /// error or after `max_connections` > 0 connections (0 = serve
+  /// forever) — the latter is how tests bound the loop.
+  Status RunTcpLoop(uint16_t port, uint64_t max_connections = 0);
+
+  /// \brief Current counters + latency percentiles.
+  DaemonStatsSnapshot Stats() const;
+
+  /// \brief True once a handled request asked to quit.
+  bool quit_requested() const { return quit_requested_; }
+
+  /// \brief Installs the process-wide SIGHUP handler that requests a
+  /// hot reload (idempotent; async-signal-safe handler, it only sets a
+  /// flag).
+  static void InstallReloadSignalHandler();
+
+  /// \brief Applies a pending SIGHUP reload if one is latched; returns
+  /// whether a reload ran. Also callable directly (the `reload` verb).
+  bool ConsumePendingReload();
+
+ private:
+  std::string HandleRecommend(const JsonValue& request);
+  std::string HandleModels();
+  std::string HandleStats();
+  std::string HandleReload();
+  std::string ErrorReply(const std::string& message);
+  void RecordLatency(double micros);
+  void ServeConnection(int fd);
+
+  ModelRegistry* registry_;
+  Options options_;
+  ServeWorkspace workspace_;
+  std::vector<uint32_t> exclude_scratch_;
+  bool quit_requested_ = false;
+
+  mutable std::mutex stats_mu_;
+  uint64_t requests_served_ = 0;
+  uint64_t errors_ = 0;
+  uint64_t reloads_ = 0;
+  std::vector<double> latency_ring_;  // microseconds
+  size_t latency_next_ = 0;
+  size_t latency_count_ = 0;
+};
+
+}  // namespace ocular
+
+#endif  // OCULAR_SERVING_DAEMON_H_

@@ -1,0 +1,83 @@
+#include "serving/registry.h"
+
+#include <utility>
+
+namespace ocular {
+
+namespace {
+
+Result<std::shared_ptr<const ServableModel>> BuildServable(
+    const std::string& name, const std::string& model_path,
+    std::shared_ptr<const CsrMatrix> train) {
+  OCULAR_ASSIGN_OR_RETURN(ModelStore store, ModelStore::Open(model_path));
+  if (train != nullptr && train->num_cols() > store.num_items()) {
+    return Status::InvalidArgument(
+        "training matrix has more items than model '" + name + "'");
+  }
+  auto servable = std::make_shared<ServableModel>();
+  servable->name = name;
+  servable->model_path = model_path;
+  servable->store = std::move(store);
+  // Constructed after the store reaches its final address.
+  servable->recommender = std::make_unique<StoreRecommender>(servable->store);
+  servable->train = std::move(train);
+  return std::shared_ptr<const ServableModel>(std::move(servable));
+}
+
+}  // namespace
+
+Status ModelRegistry::Load(const std::string& name,
+                           const std::string& model_path,
+                           std::shared_ptr<const CsrMatrix> train) {
+  if (name.empty()) return Status::InvalidArgument("model name is empty");
+  OCULAR_ASSIGN_OR_RETURN(std::shared_ptr<const ServableModel> servable,
+                          BuildServable(name, model_path, std::move(train)));
+  std::lock_guard<std::mutex> lock(mu_);
+  models_[name] = std::move(servable);
+  return Status::OK();
+}
+
+std::shared_ptr<const ServableModel> ModelRegistry::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second;
+}
+
+Status ModelRegistry::ReloadAll() {
+  // Snapshot under the lock, re-open outside it (opens touch the
+  // filesystem), publish each replacement atomically.
+  std::vector<std::shared_ptr<const ServableModel>> current;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current.reserve(models_.size());
+    for (const auto& [name, servable] : models_) current.push_back(servable);
+  }
+  Status first_error = Status::OK();
+  for (const auto& old_model : current) {
+    auto rebuilt = BuildServable(old_model->name, old_model->model_path,
+                                 old_model->train);
+    if (!rebuilt.ok()) {
+      if (first_error.ok()) first_error = rebuilt.status();
+      continue;  // keep serving the previous version
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    models_[old_model->name] = std::move(rebuilt).value();
+  }
+  return first_error;
+}
+
+std::vector<std::string> ModelRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [name, servable] : models_) names.push_back(name);
+  return names;
+}
+
+size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return models_.size();
+}
+
+}  // namespace ocular

@@ -1,0 +1,89 @@
+#ifndef OCULAR_SERVING_REGISTRY_H_
+#define OCULAR_SERVING_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "serving/store_recommender.h"
+#include "sparse/csr.h"
+
+namespace ocular {
+
+/// \brief One resident servable model: an mmapped ModelStore, its
+/// zero-copy StoreRecommender, and the optional training matrix whose rows
+/// are excluded from that user's recommendations (the Section IV-C
+/// "recommend unknowns only" rule).
+///
+/// Immutable once published: a reload builds a NEW ServableModel and swaps
+/// the registry pointer, so requests already holding a shared_ptr keep
+/// serving the old mapping until they drain — at which point the last
+/// reference unmaps it.
+struct ServableModel {
+  /// Registry key the model is served under.
+  std::string name;
+  /// File the store was opened from (re-opened on reload).
+  std::string model_path;
+  /// The open mapping. Recommender views point into it.
+  ModelStore store;
+  /// Zero-copy recommender over `store`.
+  /// Held by pointer so the views stay valid when ServableModel moves.
+  std::unique_ptr<StoreRecommender> recommender;
+  /// Per-user exclusion rows (nullptr = no exclusions). Shared with the
+  /// reloaded generations of the model — only the factor file is re-opened
+  /// on reload, the interaction history is not re-read.
+  std::shared_ptr<const CsrMatrix> train;
+
+  /// \brief The exclusion row for `u` (empty without a matrix or for users
+  /// beyond it).
+  std::span<const uint32_t> ExcludeRow(uint32_t u) const {
+    if (train == nullptr || u >= train->num_rows()) return {};
+    return train->Row(u);
+  }
+};
+
+/// \brief Named collection of servable models with atomic hot-reload —
+/// the model-management half of the serving daemon (serving/daemon.h).
+///
+/// Readers call Get() and hold the returned shared_ptr for the duration of
+/// one request; Load()/ReloadAll() publish replacement models by swapping
+/// the map entry under a mutex. No request is ever served from a
+/// half-loaded model, and an old model's mapping is retired exactly when
+/// its last in-flight request completes (shared_ptr drain). All methods
+/// are thread-safe.
+class ModelRegistry {
+ public:
+  /// \brief Opens `model_path` (binary v2) and publishes it as `name`,
+  /// replacing any previous model of that name. `train` supplies per-user
+  /// exclusion rows (pass nullptr for none). On failure the previous model
+  /// (if any) keeps serving.
+  Status Load(const std::string& name, const std::string& model_path,
+              std::shared_ptr<const CsrMatrix> train = nullptr);
+
+  /// \brief The current model for `name`, or nullptr when absent. The
+  /// returned pointer pins the model (and its mapping) until released.
+  std::shared_ptr<const ServableModel> Get(const std::string& name) const;
+
+  /// \brief Re-opens every model from its recorded path and swaps each
+  /// atomically — the SIGHUP hot-reload. A model whose file no longer
+  /// opens keeps its previous version; the first such error is returned
+  /// (after attempting every model).
+  Status ReloadAll();
+
+  /// \brief Registered model names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// \brief Number of registered models.
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const ServableModel>> models_;
+};
+
+}  // namespace ocular
+
+#endif  // OCULAR_SERVING_REGISTRY_H_

@@ -12,7 +12,13 @@
 
 namespace ocular {
 
-/// Options of the per-user blocked scoring engine.
+/// \file
+/// \brief The per-user blocked scoring engine: allocation-free top-M
+/// serving through Recommender::ScoreBlock, with optional co-cluster
+/// candidate pruning. This is the hot path under ServeTopM, the batch
+/// generator (serving/batch.h) and the serving daemon (serving/daemon.h).
+
+/// \brief Options of the per-user blocked scoring engine.
 struct ServeOptions {
   /// Recommendations per user.
   uint32_t m = 50;
@@ -26,16 +32,16 @@ struct ServeOptions {
   uint32_t block_items = kDefaultScoreBlockItems;
 };
 
-/// Per-thread reusable serving scratch: the score tile and the bounded
-/// top-M selection buffer. After a warm-up call sized every buffer,
-/// serving a user performs zero heap allocations (enforced by the
+/// \brief Per-thread reusable serving scratch: the score tile and the
+/// bounded top-M selection buffer. After a warm-up call sized every
+/// buffer, serving a user performs zero heap allocations (enforced by the
 /// operator-new hook test in tests/score_engine_test.cpp).
 struct ServeWorkspace {
-  std::vector<double> tile;           // score tile, block_items doubles
-  std::vector<ScoredItem> selection;  // bounded best-m selection buffer
-  std::vector<uint32_t> candidates;   // gathered candidate ids (candidate mode)
+  std::vector<double> tile;           ///< score tile, block_items doubles
+  std::vector<ScoredItem> selection;  ///< bounded best-m selection buffer
+  std::vector<uint32_t> candidates;   ///< gathered ids (candidate mode)
 
-  /// Pre-sizes every buffer so subsequent serves never reallocate.
+  /// \brief Pre-sizes every buffer so subsequent serves never reallocate.
   void Reserve(uint32_t m, uint32_t block_items, size_t max_candidates = 0) {
     tile.reserve(block_items);
     selection.reserve(topm::SelectionCapacity(m));
@@ -43,15 +49,16 @@ struct ServeWorkspace {
   }
 };
 
-/// OCuLaR-specific candidate pruning index (Section IV-C: a user is only
-/// plausibly interested in items it shares a co-cluster with). Dimension c
-/// is a co-cluster; membership means the factor entry exceeds `threshold`.
-/// Candidate serving scores only the union of the user's co-clusters'
-/// items instead of the whole catalog — approximate (items outside every
-/// shared co-cluster are unreachable) but much cheaper on sparse
-/// affiliation structures; CandidateOverlapAtM reports the exact-vs-
-/// candidate agreement.
+/// \brief OCuLaR-specific candidate pruning index (Section IV-C: a user is
+/// only plausibly interested in items it shares a co-cluster with).
+/// Dimension c is a co-cluster; membership means the factor entry exceeds
+/// `threshold`. Candidate serving scores only the union of the user's
+/// co-clusters' items instead of the whole catalog — approximate (items
+/// outside every shared co-cluster are unreachable) but much cheaper on
+/// sparse affiliation structures; CandidateOverlapAtM reports the
+/// exact-vs-candidate agreement.
 struct CoClusterCandidateIndex {
+  /// Factor-entry threshold above which a row belongs to a co-cluster.
   double threshold = 0.6;
   /// items_per_dim[c] = items affiliated with co-cluster c, ascending.
   std::vector<std::vector<uint32_t>> items_per_dim;
@@ -62,22 +69,24 @@ struct CoClusterCandidateIndex {
   size_t max_candidate_items = 0;
 };
 
-/// Builds the candidate index from a fitted model. `max_dims` behaves like
-/// CoClusterOptions::max_dims (0 = all factor dimensions; pass config.k
-/// for models trained with use_biases). Fails if `threshold` <= 0.
+/// \brief Builds the candidate index from a fitted model. `max_dims`
+/// behaves like CoClusterOptions::max_dims (0 = all factor dimensions;
+/// pass config.k for models trained with use_biases). Fails if
+/// `threshold` <= 0.
 Result<CoClusterCandidateIndex> BuildCoClusterCandidateIndex(
     const OcularModel& model, double threshold = 0.6, uint32_t max_dims = 0);
 
-/// Exact blocked serve: the top-m items for `u` (excluding
+/// \brief Exact blocked serve: the top-m items for `u` (excluding
 /// `exclude_sorted`, ascending ids), scored tile-by-tile through
 /// Recommender::ScoreBlock with threshold-pruned heap selection. Returns a
-/// best-first span into ws->heap, valid until the workspace is reused.
+/// best-first span into ws->selection, valid until the workspace is
+/// reused.
 std::span<const ScoredItem> ServeTopM(const Recommender& rec, uint32_t u,
                                       std::span<const uint32_t> exclude_sorted,
                                       const ServeOptions& options,
                                       ServeWorkspace* ws);
 
-/// Candidate-mode serve: like ServeTopM but scores only the items
+/// \brief Candidate-mode serve: like ServeTopM but scores only the items
 /// co-clustered with `u` under `index`. Users outside every co-cluster get
 /// an empty list.
 std::span<const ScoredItem> ServeTopMCandidates(
@@ -85,9 +94,10 @@ std::span<const ScoredItem> ServeTopMCandidates(
     std::span<const uint32_t> exclude_sorted, const ServeOptions& options,
     const CoClusterCandidateIndex& index, ServeWorkspace* ws);
 
-/// Mean per-user overlap |exact top-m ∩ candidate top-m| / |exact top-m|
-/// over users with a non-empty exact list (excluding each user's `train`
-/// row) — the exact-vs-candidate recall report for a pruning threshold.
+/// \brief Mean per-user overlap |exact top-m ∩ candidate top-m| / |exact
+/// top-m| over users with a non-empty exact list (excluding each user's
+/// `train` row) — the exact-vs-candidate recall report for a pruning
+/// threshold.
 Result<double> CandidateOverlapAtM(const Recommender& rec,
                                    const CsrMatrix& train,
                                    const CoClusterCandidateIndex& index,

@@ -1,0 +1,89 @@
+#ifndef OCULAR_SERVING_STORE_RECOMMENDER_H_
+#define OCULAR_SERVING_STORE_RECOMMENDER_H_
+
+#include <cmath>
+#include <string>
+
+#include "core/model_store.h"
+#include "eval/recommender.h"
+#include "sparse/linalg.h"
+
+namespace ocular {
+
+/// \brief Recommender view over an mmapped ModelStore — the serving
+/// adapter of the binary model path.
+///
+/// Construction is O(1) and copies nothing: ScoreBlock/RawScoreBlock run
+/// vec::AffinityBlock directly over the store's mmapped K x n_i serving
+/// section (the same kernel, on the same transposed layout, that
+/// OcularModelRecommender builds in memory — so rankings are bit-identical
+/// to the in-memory path). The score map is chosen from the file's
+/// BinaryModelKind, which is what lets one daemon serve OCuLaR and the
+/// factor baselines through a single code path. Does not own the store;
+/// the caller keeps it alive (ServableModel in serving/registry.h pairs
+/// the two).
+class StoreRecommender : public Recommender {
+ public:
+  /// \brief Wraps an open store. The store must outlive the recommender.
+  explicit StoreRecommender(const ModelStore& store)
+      : store_(&store),
+        probability_map_(store.meta().kind ==
+                         BinaryModelKind::kOcularProbability) {}
+
+  /// \brief The algorithm tag recorded in the file ("OCuLaR", "wALS", ...).
+  std::string name() const override { return store_->meta().algorithm; }
+
+  /// \brief Always fails: the store is a pre-fitted artifact.
+  Status Fit(const CsrMatrix& /*interactions*/) override {
+    return Status::FailedPrecondition(
+        "StoreRecommender serves a pre-fitted model file");
+  }
+
+  /// \brief Per-pair score straight off the mapped factor rows.
+  double Score(uint32_t u, uint32_t i) const override {
+    const double affinity = vec::Dot(store_->user_factors().Row(u),
+                                     store_->item_factors().Row(i));
+    return probability_map_ ? -std::expm1(-affinity) : affinity;
+  }
+
+  /// \brief Blocked scoring over the mapped serving-layout section.
+  void ScoreBlock(uint32_t u, uint32_t item_begin, uint32_t item_end,
+                  std::span<double> out) const override {
+    (void)item_end;
+    vec::AffinityBlock(store_->user_factors().Row(u),
+                       store_->item_factors_t(), item_begin, out);
+    if (probability_map_) {
+      for (double& s : out) s = -std::expm1(-s);
+    }
+  }
+
+  /// \brief Raw ranking kernel: the affinity itself (the probability map,
+  /// when present, is strictly increasing and deferred to ScoreFromRaw).
+  void RawScoreBlock(uint32_t u, uint32_t item_begin, uint32_t item_end,
+                     std::span<double> out) const override {
+    (void)item_end;
+    vec::AffinityBlock(store_->user_factors().Row(u),
+                       store_->item_factors_t(), item_begin, out);
+  }
+
+  /// \brief Maps a kept raw affinity to the public score.
+  double ScoreFromRaw(double raw) const override {
+    return probability_map_ ? -std::expm1(-raw) : raw;
+  }
+
+  /// \brief Users of the mapped model.
+  uint32_t num_users() const override { return store_->num_users(); }
+  /// \brief Items of the mapped model.
+  uint32_t num_items() const override { return store_->num_items(); }
+
+  /// \brief The underlying store.
+  const ModelStore& store() const { return *store_; }
+
+ private:
+  const ModelStore* store_;
+  bool probability_map_;
+};
+
+}  // namespace ocular
+
+#endif  // OCULAR_SERVING_STORE_RECOMMENDER_H_

@@ -64,6 +64,39 @@ class DenseMatrix {
   std::vector<double> data_;
 };
 
+/// Non-owning row-major view of a matrix of doubles — the read-side
+/// counterpart of DenseMatrix. A DenseMatrix converts implicitly, so
+/// kernels written against the view accept both owned matrices and
+/// borrowed storage (e.g. the mmapped factor sections a ModelStore serves
+/// straight out of the page cache, core/model_store.h). The viewed memory
+/// must outlive the view.
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+  ConstMatrixView(const double* data, uint32_t rows, uint32_t cols)
+      : data_(data), rows_(rows), cols_(cols) {}
+  /// Implicit: any DenseMatrix is viewable.
+  ConstMatrixView(const DenseMatrix& m)  // NOLINT(runtime/explicit)
+      : data_(m.data()), rows_(m.rows()), cols_(m.cols()) {}
+
+  uint32_t rows() const { return rows_; }
+  uint32_t cols() const { return cols_; }
+  size_t size() const { return static_cast<size_t>(rows_) * cols_; }
+
+  double At(uint32_t r, uint32_t c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  std::span<const double> Row(uint32_t r) const {
+    return {data_ + static_cast<size_t>(r) * cols_, cols_};
+  }
+  const double* data() const { return data_; }
+
+ private:
+  const double* data_ = nullptr;
+  uint32_t rows_ = 0;
+  uint32_t cols_ = 0;
+};
+
 namespace vec {
 
 /// <a, b> for equal-length spans.

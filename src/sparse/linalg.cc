@@ -150,7 +150,7 @@ void AxpyRun(double alpha, const double* x, double* y, size_t len) {
 
 }  // namespace
 
-void AffinityBlock(std::span<const double> u_row, const DenseMatrix& f_t,
+void AffinityBlock(std::span<const double> u_row, ConstMatrixView f_t,
                    uint32_t item_begin, std::span<double> out) {
   std::fill(out.begin(), out.end(), 0.0);
   const size_t len = out.size();

@@ -63,13 +63,15 @@ double DotAndSquaredNorm(std::span<const double> a, std::span<const double> b,
                          double* a_squared_norm);
 
 /// out[j] = <u_row, column item_begin + j of f_t> for j in [0, out.size()),
-/// where `f_t` is the TransposedCopy (K x n) of an n x K factor matrix.
-/// Accumulates dimension-by-dimension in ascending c, so each out[j] sums
-/// in exactly the order of per-item vec::Dot over the row-major factors —
-/// the result is bit-identical to the pair-at-a-time Score path. Zero user
+/// where `f_t` is the TransposedCopy (K x n) of an n x K factor matrix —
+/// owned (DenseMatrix converts implicitly) or borrowed (e.g. the mmapped
+/// serving-layout section of a ModelStore). Accumulates
+/// dimension-by-dimension in ascending c, so each out[j] sums in exactly
+/// the order of per-item vec::Dot over the row-major factors — the result
+/// is bit-identical to the pair-at-a-time Score path. Zero user
 /// coordinates are skipped (adding 0 * f is exact), which makes the cost
 /// proportional to the user's *active* co-cluster affiliations.
-void AffinityBlock(std::span<const double> u_row, const DenseMatrix& f_t,
+void AffinityBlock(std::span<const double> u_row, ConstMatrixView f_t,
                    uint32_t item_begin, std::span<double> out);
 
 }  // namespace vec

@@ -1,0 +1,264 @@
+// Tests for the serving daemon layer: ModelRegistry load/get/atomic
+// hot-reload, the RequestServer JSON line protocol, SIGHUP-driven reload,
+// stats reporting, and bit-identical agreement between a served top-M
+// request and the offline RecommendForAllUsers batch artifact.
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/model_store.h"
+#include "core/ocular_recommender.h"
+#include "serving/batch.h"
+#include "serving/daemon.h"
+#include "serving/registry.h"
+#include "test_util.h"
+
+namespace ocular {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Trains a small OCuLaR model on a deterministic matrix and writes it as
+/// a binary v2 file. Returns the in-memory fit for oracle comparisons.
+struct DaemonFixture {
+  CsrMatrix train;
+  OcularConfig config;
+  OcularModel model;
+  std::string model_path;
+
+  static DaemonFixture Make(const std::string& file, uint64_t seed = 11,
+                            uint32_t sweeps = 6) {
+    DaemonFixture f;
+    f.train = test::RandomCsr(50, 30, 400, 11);
+    f.config.k = 5;
+    f.config.lambda = 0.5;
+    f.config.max_sweeps = sweeps;
+    f.config.seed = seed;
+    OcularTrainer trainer(f.config);
+    f.model = trainer.Fit(f.train).value().model;
+    f.model_path = TempPath(file);
+    EXPECT_TRUE(SaveModelBinary(f.model, f.config, f.model_path).ok());
+    return f;
+  }
+
+  std::shared_ptr<const CsrMatrix> shared_train() const {
+    return std::make_shared<const CsrMatrix>(train);
+  }
+};
+
+TEST(ModelRegistryTest, LoadGetAndNames) {
+  DaemonFixture f = DaemonFixture::Make("registry_a.oclr");
+  ModelRegistry registry;
+  EXPECT_EQ(registry.Get("default"), nullptr);
+  ASSERT_TRUE(registry.Load("default", f.model_path, f.shared_train()).ok());
+  ASSERT_TRUE(registry.Load("alt", f.model_path).ok());
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.Names(), (std::vector<std::string>{"alt", "default"}));
+
+  auto model = registry.Get("default");
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->store.num_users(), 50u);
+  EXPECT_EQ(model->recommender->name(), "OCuLaR");
+  // Exclusions come from the bound matrix; "alt" has none.
+  EXPECT_EQ(model->ExcludeRow(0).size(), f.train.Row(0).size());
+  EXPECT_TRUE(registry.Get("alt")->ExcludeRow(0).empty());
+
+  // Loading a missing path fails and leaves the registry untouched.
+  EXPECT_FALSE(registry.Load("default", "/nonexistent.oclr").ok());
+  EXPECT_NE(registry.Get("default"), nullptr);
+  std::remove(f.model_path.c_str());
+}
+
+TEST(ModelRegistryTest, ReloadSwapsAtomicallyAndRetiresOldMapping) {
+  DaemonFixture f = DaemonFixture::Make("registry_reload.oclr");
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Load("m", f.model_path, f.shared_train()).ok());
+
+  // A request in flight pins the old generation.
+  auto old_model = registry.Get("m");
+  const double old_score = old_model->recommender->Score(0, 0);
+
+  // Retrain with another seed and overwrite the file in place.
+  DaemonFixture f2 = DaemonFixture::Make("registry_reload.oclr", /*seed=*/99);
+  ASSERT_TRUE(registry.ReloadAll().ok());
+
+  auto new_model = registry.Get("m");
+  ASSERT_NE(new_model, nullptr);
+  EXPECT_NE(new_model.get(), old_model.get());
+  // New generation serves the new factors...
+  EXPECT_EQ(new_model->recommender->Score(0, 0),
+            OcularModelRecommender(f2.model).Score(0, 0));
+  // ...while the drained-but-held old generation still serves the old ones
+  // (its mapping is retired only when this shared_ptr drops).
+  EXPECT_EQ(old_model->recommender->Score(0, 0), old_score);
+  // Exclusion matrix is shared across generations, not re-read.
+  EXPECT_EQ(new_model->train.get(), old_model->train.get());
+
+  // A reload with the file gone keeps the previous generation serving.
+  std::remove(f.model_path.c_str());
+  EXPECT_FALSE(registry.ReloadAll().ok());
+  EXPECT_EQ(registry.Get("m").get(), new_model.get());
+}
+
+TEST(RequestServerTest, ServedTopMIsBitIdenticalToBatchEngine) {
+  DaemonFixture f = DaemonFixture::Make("daemon_parity.oclr");
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Load("default", f.model_path, f.shared_train()).ok());
+  RequestServer::Options options;
+  options.serve.m = 8;
+  RequestServer server(&registry, options);
+
+  // The offline bulk artifact on the same model: in-memory recommender,
+  // same exclusions, same m.
+  OcularModelRecommender memory_rec(f.model);
+  BatchOptions batch;
+  batch.m = 8;
+  batch.skip_cold_users = false;
+  auto bulk = RecommendForAllUsers(memory_rec, f.train, batch);
+  ASSERT_TRUE(bulk.ok());
+
+  for (uint32_t u = 0; u < f.train.num_rows(); ++u) {
+    auto served = server.Recommend("default", u, options.serve);
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    const auto& oracle = bulk->recommendations[u];
+    ASSERT_EQ(served->size(), oracle.size()) << "u=" << u;
+    for (size_t r = 0; r < oracle.size(); ++r) {
+      ASSERT_EQ((*served)[r].item, oracle[r].item) << "u=" << u;
+      ASSERT_EQ((*served)[r].score, oracle[r].score) << "u=" << u;
+    }
+  }
+  std::remove(f.model_path.c_str());
+}
+
+TEST(RequestServerTest, LineProtocol) {
+  DaemonFixture f = DaemonFixture::Make("daemon_proto.oclr");
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Load("default", f.model_path, f.shared_train()).ok());
+  RequestServer server(&registry);
+
+  // A recommend round trip, parsed back with the JSON parser.
+  auto reply =
+      JsonValue::Parse(server.HandleLine(R"({"cmd":"recommend","user":3,"m":4})"));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_TRUE(reply->Find("ok")->boolean());
+  EXPECT_EQ(reply->Find("user")->number(), 3.0);
+  const auto& items = reply->Find("items")->array();
+  ASSERT_EQ(items.size(), 4u);
+  for (size_t r = 1; r < items.size(); ++r) {
+    EXPECT_GE(items[r - 1].Find("score")->number(),
+              items[r].Find("score")->number());
+  }
+
+  // cmd defaults to recommend.
+  auto bare = JsonValue::Parse(server.HandleLine(R"({"user":0})"));
+  ASSERT_TRUE(bare.ok());
+  EXPECT_TRUE(bare->Find("ok")->boolean());
+
+  // An explicit exclude overrides the training row.
+  auto excl = JsonValue::Parse(server.HandleLine(
+      R"({"user":3,"m":1,"exclude":[)" +
+      std::to_string(items[0].Find("item")->number()) + "]}"));
+  ASSERT_TRUE(excl.ok());
+  EXPECT_NE(excl->Find("items")->array()[0].Find("item")->number(),
+            items[0].Find("item")->number());
+
+  // Errors answer ok:false and never kill the loop.
+  for (const std::string bad : {
+           std::string("this is not json"),
+           std::string(R"([1,2,3])"),
+           std::string(R"({"cmd":"recommend"})"),          // missing user
+           std::string(R"({"user":1e9})"),                 // out of range
+           std::string(R"({"user":2,"model":"absent"})"),  // unknown model
+           std::string(R"({"cmd":"frobnicate"})"),         // unknown verb
+       }) {
+    auto err = JsonValue::Parse(server.HandleLine(bad));
+    ASSERT_TRUE(err.ok()) << bad;
+    EXPECT_FALSE(err->Find("ok")->boolean()) << bad;
+    EXPECT_NE(err->Find("error"), nullptr) << bad;
+  }
+
+  // models verb reports the registry contents.
+  auto models = JsonValue::Parse(server.HandleLine(R"({"cmd":"models"})"));
+  ASSERT_TRUE(models.ok());
+  ASSERT_EQ(models->Find("models")->array().size(), 1u);
+  EXPECT_EQ(models->Find("models")->array()[0].Find("algorithm")->string(),
+            "OCuLaR");
+
+  // stats counts every request including the failed ones.
+  auto stats = JsonValue::Parse(server.HandleLine(R"({"cmd":"stats"})"));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->Find("ok")->boolean());
+  EXPECT_GE(stats->Find("requests_served")->number(), 10.0);
+  EXPECT_GE(stats->Find("errors")->number(), 6.0);
+  EXPECT_GE(stats->Find("p99_latency_us")->number(),
+            stats->Find("p50_latency_us")->number());
+  std::remove(f.model_path.c_str());
+}
+
+TEST(RequestServerTest, ReloadVerbAndSighupBothHotReload) {
+  DaemonFixture f = DaemonFixture::Make("daemon_reload.oclr");
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Load("default", f.model_path, f.shared_train()).ok());
+  RequestServer server(&registry);
+
+  const std::string before =
+      server.HandleLine(R"({"user":1,"m":5})");
+
+  // Overwrite the file with a differently-seeded model; verb-driven reload.
+  DaemonFixture f2 = DaemonFixture::Make("daemon_reload.oclr", /*seed=*/123);
+  auto reload = JsonValue::Parse(server.HandleLine(R"({"cmd":"reload"})"));
+  ASSERT_TRUE(reload.ok());
+  EXPECT_TRUE(reload->Find("ok")->boolean());
+  const std::string after = server.HandleLine(R"({"user":1,"m":5})");
+  EXPECT_NE(before, after) << "reload must pick up the new factors";
+
+  // SIGHUP latches a pending reload; ConsumePendingReload applies it once.
+  RequestServer::InstallReloadSignalHandler();
+  EXPECT_FALSE(server.ConsumePendingReload());
+  ASSERT_EQ(::raise(SIGHUP), 0);
+  EXPECT_TRUE(server.ConsumePendingReload());
+  EXPECT_FALSE(server.ConsumePendingReload());
+  EXPECT_EQ(server.Stats().reloads, 2u);
+  // Identical file contents -> identical answers after the SIGHUP swap.
+  EXPECT_EQ(server.HandleLine(R"({"user":1,"m":5})"), after);
+  std::remove(f.model_path.c_str());
+}
+
+TEST(RequestServerTest, StdioLoopServesUntilQuit) {
+  DaemonFixture f = DaemonFixture::Make("daemon_stdio.oclr");
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Load("default", f.model_path, f.shared_train()).ok());
+  RequestServer server(&registry);
+
+  std::istringstream in(
+      "{\"user\":0,\"m\":3}\n"
+      "\n"  // blank lines are skipped
+      "{\"cmd\":\"stats\"}\n"
+      "{\"cmd\":\"quit\"}\n"
+      "{\"user\":1}\n");  // never reached
+  std::ostringstream out;
+  server.RunStdioLoop(in, out);
+  EXPECT_TRUE(server.quit_requested());
+
+  std::istringstream lines(out.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    auto parsed = JsonValue::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    EXPECT_TRUE(parsed->Find("ok")->boolean());
+  }
+  EXPECT_EQ(count, 3) << "quit must end the loop before the 4th request";
+  std::remove(f.model_path.c_str());
+}
+
+}  // namespace
+}  // namespace ocular

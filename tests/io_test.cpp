@@ -126,6 +126,75 @@ TEST(JsonWriterTest, ArrayOfObjects) {
   EXPECT_EQ(w.str(), R"([{"i":0},{"i":1}])");
 }
 
+// ------------------------------------------------------------ JSON parse
+
+TEST(JsonValueTest, ParsesNestedDocument) {
+  auto v = JsonValue::Parse(
+      R"({"cmd":"recommend","user":3,"m":10,"opts":{"min_score":0.5},)"
+      R"("exclude":[1,2,3],"fast":true,"note":null})");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  ASSERT_TRUE(v->is_object());
+  EXPECT_EQ(v->Find("cmd")->string(), "recommend");
+  EXPECT_EQ(v->Find("user")->number(), 3.0);
+  EXPECT_DOUBLE_EQ(v->Find("opts")->Find("min_score")->number(), 0.5);
+  ASSERT_TRUE(v->Find("exclude")->is_array());
+  EXPECT_EQ(v->Find("exclude")->array().size(), 3u);
+  EXPECT_EQ(v->Find("exclude")->array()[2].number(), 3.0);
+  EXPECT_TRUE(v->Find("fast")->boolean());
+  EXPECT_TRUE(v->Find("note")->is_null());
+  EXPECT_EQ(v->Find("absent"), nullptr);
+}
+
+TEST(JsonValueTest, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("label");
+  w.String("a\"b\\c\nd\te");
+  w.Key("scores");
+  w.BeginArray();
+  w.Double(0.25);
+  w.Double(-1.5e-3);
+  w.EndArray();
+  w.EndObject();
+  auto v = JsonValue::Parse(w.str());
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->Find("label")->string(), "a\"b\\c\nd\te");
+  EXPECT_DOUBLE_EQ(v->Find("scores")->array()[0].number(), 0.25);
+  EXPECT_DOUBLE_EQ(v->Find("scores")->array()[1].number(), -1.5e-3);
+}
+
+TEST(JsonValueTest, ParsesNumbersAndEscapes) {
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("-0.5e2")->number(), -50.0);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("0")->number(), 0.0);
+  EXPECT_EQ(JsonValue::Parse(R"("\u0041\u00e9")")->string(), "A\xc3\xa9");
+  EXPECT_EQ(JsonValue::Parse(R"("\/")")->string(), "/");
+  EXPECT_TRUE(JsonValue::Parse("  true  ")->boolean());
+}
+
+TEST(JsonValueTest, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",           "{",         "[1,2",        "{\"a\":}",  "{\"a\" 1}",
+      "{'a':1}",    "01",        "1.",          "--1",       "1e",
+      "tru",        "nul",       "\"unterminated", "\"bad\\q\"",
+      "{\"a\":1}x", "[1,,2]",    "\"\\u12\"",   "[1] []",
+  };
+  for (const char* doc : bad) {
+    EXPECT_TRUE(JsonValue::Parse(doc).status().IsParseError())
+        << "accepted: " << doc;
+  }
+  // Nesting bomb is bounded, not stack-overflowed.
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_TRUE(JsonValue::Parse(deep).status().IsParseError());
+}
+
+TEST(JsonValueTest, DuplicateKeysFirstWins) {
+  auto v = JsonValue::Parse(R"({"a":1,"a":2})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Find("a")->number(), 1.0);
+  EXPECT_EQ(v->members().size(), 2u);
+}
+
 // -------------------------------------------------------------- Model IO
 
 TEST(ModelIoTest, RoundTripsExactly) {

@@ -1,0 +1,393 @@
+// Tests for the binary model format v2 and the mmap-backed zero-copy
+// ModelStore: exact round trips, corruption/truncation rejection, v1 -> v2
+// conversion equivalence, serving parity of StoreRecommender against the
+// in-memory recommenders (bit-identical), and the zero-copy guarantee
+// (operator-new byte accounting across ModelStore::Open).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <string>
+
+#include "baselines/wals.h"
+#include "core/model_io.h"
+#include "core/model_store.h"
+#include "core/ocular_recommender.h"
+#include "serving/score_engine.h"
+#include "serving/store_recommender.h"
+#include "sparse/linalg.h"
+#include "test_util.h"
+
+// --------------------------------------------- allocation byte accounting
+// Same operator-new hook pattern as tests/perf_kernel_test.cpp and
+// tests/score_engine_test.cpp, extended to count BYTES: the zero-copy test
+// asserts that opening a megabyte-scale model allocates only header-scale
+// heap (the factor matrices stay in the mapping).
+
+namespace {
+std::atomic<uint64_t> g_alloc_bytes{0};
+
+void* CountedAlloc(std::size_t size) {
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace ocular {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// A small fitted OCuLaR model + config, deterministic.
+struct TrainedModel {
+  OcularModel model;
+  OcularConfig config;
+};
+
+TrainedModel TrainSmallModel(bool use_biases = false, uint64_t seed = 7) {
+  OcularConfig cfg;
+  cfg.k = 6;
+  cfg.lambda = 0.5;
+  cfg.max_sweeps = 6;
+  cfg.seed = seed;
+  cfg.use_biases = use_biases;
+  OcularTrainer trainer(cfg);
+  auto fit = trainer.Fit(test::RandomCsr(60, 40, 600, seed)).value();
+  return {std::move(fit.model), cfg};
+}
+
+bool SameMatrix(ConstMatrixView view, const DenseMatrix& m) {
+  return view.rows() == m.rows() && view.cols() == m.cols() &&
+         std::memcmp(view.data(), m.data(), m.size() * sizeof(double)) == 0;
+}
+
+TEST(ModelStoreTest, BinaryRoundTripIsExact) {
+  TrainedModel t = TrainSmallModel();
+  const std::string path = TempPath("round_trip.oclr");
+  ASSERT_TRUE(SaveModelBinary(t.model, t.config, path).ok());
+  ASSERT_TRUE(IsBinaryModelFile(path));
+
+  auto store = ModelStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ(store->num_users(), t.model.num_users());
+  EXPECT_EQ(store->num_items(), t.model.num_items());
+  EXPECT_EQ(store->k(), t.model.k());
+  EXPECT_EQ(store->meta().kind, BinaryModelKind::kOcularProbability);
+  EXPECT_EQ(store->meta().algorithm, "OCuLaR");
+  EXPECT_DOUBLE_EQ(store->meta().lambda, t.config.lambda);
+  EXPECT_FALSE(store->meta().use_biases);
+  EXPECT_FALSE(store->meta().relative_variant);
+
+  EXPECT_TRUE(SameMatrix(store->user_factors(), t.model.user_factors()));
+  EXPECT_TRUE(SameMatrix(store->item_factors(), t.model.item_factors()));
+  // The serving-layout section equals the in-memory transposed copy the
+  // recommenders build — the basis of bit-identical serving.
+  EXPECT_TRUE(SameMatrix(store->item_factors_t(),
+                         TransposedCopy(t.model.item_factors())));
+  EXPECT_TRUE(store->VerifyChecksums().ok());
+  std::remove(path.c_str());
+}
+
+TEST(ModelStoreTest, BiasAndRelativeVariantSurviveTheHeader) {
+  TrainedModel t = TrainSmallModel(/*use_biases=*/true);
+  t.config.variant = OcularVariant::kRelative;
+  const std::string path = TempPath("bias_model.oclr");
+  ASSERT_TRUE(SaveModelBinary(t.model, t.config, path).ok());
+  auto store = ModelStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_TRUE(store->meta().use_biases);
+  EXPECT_TRUE(store->meta().relative_variant);
+  EXPECT_EQ(store->meta().algorithm, "R-OCuLaR");
+  EXPECT_EQ(store->k(), t.config.TotalDims());
+
+  auto loaded = store->MaterializeOcular();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->config.k, t.config.k);
+  EXPECT_TRUE(loaded->config.use_biases);
+  EXPECT_EQ(loaded->config.variant, OcularVariant::kRelative);
+  EXPECT_EQ(loaded->model.user_factors(), t.model.user_factors());
+  EXPECT_EQ(loaded->model.item_factors(), t.model.item_factors());
+  std::remove(path.c_str());
+}
+
+TEST(ModelStoreTest, StoreServingIsBitIdenticalToInMemory) {
+  TrainedModel t = TrainSmallModel();
+  const CsrMatrix train = test::RandomCsr(60, 40, 600, 7);
+  const std::string path = TempPath("parity.oclr");
+  ASSERT_TRUE(SaveModelBinary(t.model, t.config, path).ok());
+  auto store = ModelStore::Open(path);
+  ASSERT_TRUE(store.ok());
+
+  OcularModelRecommender memory_rec(t.model);
+  StoreRecommender store_rec(*store);
+  ASSERT_EQ(store_rec.name(), "OCuLaR");
+  ASSERT_EQ(store_rec.num_users(), memory_rec.num_users());
+  ASSERT_EQ(store_rec.num_items(), memory_rec.num_items());
+
+  // Per-pair and blocked scores: exactly equal, not just close.
+  std::vector<double> mem_tile(store_rec.num_items());
+  std::vector<double> store_tile(store_rec.num_items());
+  for (uint32_t u = 0; u < store_rec.num_users(); ++u) {
+    memory_rec.ScoreBlock(u, 0, memory_rec.num_items(), mem_tile);
+    store_rec.ScoreBlock(u, 0, store_rec.num_items(), store_tile);
+    for (uint32_t i = 0; i < store_rec.num_items(); ++i) {
+      ASSERT_EQ(mem_tile[i], store_tile[i]) << "u=" << u << " i=" << i;
+      ASSERT_EQ(memory_rec.Score(u, i), store_rec.Score(u, i));
+    }
+  }
+
+  // Served rankings: identical items AND scores.
+  ServeOptions options;
+  options.m = 10;
+  ServeWorkspace mem_ws, store_ws;
+  mem_ws.Reserve(options.m, options.block_items);
+  store_ws.Reserve(options.m, options.block_items);
+  for (uint32_t u = 0; u < store_rec.num_users(); ++u) {
+    auto mem_top = ServeTopM(memory_rec, u, train.Row(u), options, &mem_ws);
+    auto store_top =
+        ServeTopM(store_rec, u, train.Row(u), options, &store_ws);
+    ASSERT_EQ(mem_top.size(), store_top.size()) << "u=" << u;
+    for (size_t r = 0; r < mem_top.size(); ++r) {
+      ASSERT_EQ(mem_top[r].item, store_top[r].item) << "u=" << u;
+      ASSERT_EQ(mem_top[r].score, store_top[r].score) << "u=" << u;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelStoreTest, TextToBinaryConversionIsEquivalent) {
+  TrainedModel t = TrainSmallModel();
+  const std::string text_path = TempPath("convert.txt");
+  const std::string bin_path = TempPath("convert.oclr");
+  ASSERT_TRUE(SaveModel(t.model, t.config, text_path).ok());
+  ASSERT_TRUE(ConvertTextModelToBinary(text_path, bin_path).ok());
+
+  auto from_text = LoadModel(text_path);
+  auto store = ModelStore::Open(bin_path);
+  ASSERT_TRUE(from_text.ok());
+  ASSERT_TRUE(store.ok());
+  // "%.17g" text round-trips doubles exactly, so text -> binary equals the
+  // original model bit for bit.
+  EXPECT_TRUE(
+      SameMatrix(store->user_factors(), from_text->model.user_factors()));
+  EXPECT_TRUE(
+      SameMatrix(store->item_factors(), from_text->model.item_factors()));
+  EXPECT_TRUE(SameMatrix(store->user_factors(), t.model.user_factors()));
+
+  // LoadModelAuto sniffs both formats and agrees with itself.
+  auto auto_text = LoadModelAuto(text_path);
+  auto auto_bin = LoadModelAuto(bin_path);
+  ASSERT_TRUE(auto_text.ok());
+  ASSERT_TRUE(auto_bin.ok());
+  EXPECT_EQ(auto_text->model.user_factors(), auto_bin->model.user_factors());
+  EXPECT_EQ(auto_text->model.item_factors(), auto_bin->model.item_factors());
+  EXPECT_EQ(auto_text->config.k, auto_bin->config.k);
+  std::remove(text_path.c_str());
+  std::remove(bin_path.c_str());
+}
+
+TEST(ModelStoreTest, RejectsForeignAndTruncatedFiles) {
+  const std::string path = TempPath("bad.oclr");
+  // Not a model file at all.
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "definitely not a model";
+  }
+  EXPECT_TRUE(ModelStore::Open(path).status().IsParseError());
+
+  // A valid file truncated at various points.
+  TrainedModel t = TrainSmallModel();
+  const std::string good_path = TempPath("good.oclr");
+  ASSERT_TRUE(SaveModelBinary(t.model, t.config, good_path).ok());
+  std::ifstream in(good_path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  for (size_t keep : {size_t{10}, size_t{100}, bytes.size() / 2,
+                      bytes.size() - 1}) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    out.close();
+    EXPECT_TRUE(ModelStore::Open(path).status().IsParseError())
+        << "truncated to " << keep << " of " << bytes.size() << " bytes";
+  }
+
+  // Unsupported future version.
+  {
+    std::string v3 = bytes;
+    v3[4] = 3;  // version field
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(v3.data(), static_cast<std::streamsize>(v3.size()));
+  }
+  EXPECT_TRUE(ModelStore::Open(path).status().IsParseError());
+
+  // Hostile header: dimensions whose byte product would wrap a size_t
+  // (n_u = 2^30, k = 2^31 -> 2^64 bytes) must be rejected up front, not
+  // pass the per-section length checks via overflow.
+  {
+    std::string hostile = bytes;
+    const uint32_t huge_k = 1u << 31;
+    const uint32_t huge_users = 1u << 30;
+    std::memcpy(&hostile[16], &huge_k, sizeof(huge_k));
+    std::memcpy(&hostile[20], &huge_users, sizeof(huge_users));
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(hostile.data(), static_cast<std::streamsize>(hostile.size()));
+  }
+  EXPECT_TRUE(ModelStore::Open(path).status().IsParseError());
+
+  // Missing file -> IOError, not ParseError.
+  EXPECT_TRUE(ModelStore::Open("/nonexistent/model.oclr").status().IsIOError());
+  std::remove(path.c_str());
+  std::remove(good_path.c_str());
+}
+
+TEST(ModelStoreTest, ChecksumMismatchIsDetected) {
+  TrainedModel t = TrainSmallModel();
+  const std::string path = TempPath("corrupt.oclr");
+  ASSERT_TRUE(SaveModelBinary(t.model, t.config, path).ok());
+
+  // Flip one byte deep inside a factor section.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(-17, std::ios::end);
+    char b;
+    f.read(&b, 1);
+    f.seekp(-17, std::ios::end);
+    b = static_cast<char>(b ^ 0x40);
+    f.write(&b, 1);
+  }
+  // Default open verifies checksums and rejects.
+  EXPECT_TRUE(ModelStore::Open(path).status().IsParseError());
+
+  // A trusting open succeeds in O(header); the explicit verify still
+  // catches the corruption.
+  ModelStoreOptions trusting;
+  trusting.verify_checksums = false;
+  auto store = ModelStore::Open(path, trusting);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_TRUE(store->VerifyChecksums().IsParseError());
+  std::remove(path.c_str());
+}
+
+TEST(ModelStoreTest, OpenIsZeroCopy) {
+  // Large enough that an accidental factor copy dwarfs the bound: three
+  // sections of 2000x32, 1200x32 and 32x1200 doubles ~= 1.1 MB.
+  OcularConfig cfg;
+  cfg.k = 32;
+  cfg.lambda = 1.0;
+  Rng rng = test::MakeRng();
+  DenseMatrix fu(2000, 32), fi(1200, 32);
+  fu.FillUniform(&rng, 0.0, 1.0);
+  fi.FillUniform(&rng, 0.0, 1.0);
+  OcularModel model(std::move(fu), std::move(fi));
+  const std::string path = TempPath("zero_copy.oclr");
+  ASSERT_TRUE(SaveModelBinary(model, cfg, path).ok());
+
+  const uint64_t before = g_alloc_bytes.load(std::memory_order_relaxed);
+  auto store = ModelStore::Open(path);  // checksum verify on: reads, no copies
+  const uint64_t allocated =
+      g_alloc_bytes.load(std::memory_order_relaxed) - before;
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  const size_t factor_bytes =
+      (model.user_factors().size() + 2 * model.item_factors().size()) *
+      sizeof(double);
+  ASSERT_GT(factor_bytes, 1000000u);
+  // O(header) heap: path strings and the Result plumbing, nowhere near a
+  // factor section. (A single copied matrix would trip this by 10x+.)
+  EXPECT_LT(allocated, 64 * 1024u)
+      << "ModelStore::Open allocated " << allocated
+      << " bytes for a model with " << factor_bytes << " factor bytes";
+
+  // Serving out of the store allocates nothing once the workspace is warm.
+  StoreRecommender rec(*store);
+  ServeOptions options;
+  options.m = 10;
+  ServeWorkspace ws;
+  ws.Reserve(options.m, options.block_items);
+  (void)ServeTopM(rec, 0, {}, options, &ws);  // warm-up
+  const uint64_t serve_before = g_alloc_bytes.load(std::memory_order_relaxed);
+  for (uint32_t u = 1; u < 40; ++u) {
+    (void)ServeTopM(rec, u, {}, options, &ws);
+  }
+  EXPECT_EQ(g_alloc_bytes.load(std::memory_order_relaxed), serve_before)
+      << "steady-state mmap serving must not allocate";
+  std::remove(path.c_str());
+}
+
+TEST(ModelStoreTest, BaselineFactorsServeThroughTheSameStore) {
+  const CsrMatrix train = test::TinyBlocksCsr();
+  WalsConfig cfg;
+  cfg.k = 4;
+  cfg.iterations = 3;
+  WalsRecommender wals(cfg);
+  ASSERT_TRUE(wals.Fit(train).ok());
+
+  const std::string path = TempPath("wals.oclr");
+  ASSERT_TRUE(wals.SaveBinary(path).ok());
+  auto store = ModelStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ(store->meta().kind, BinaryModelKind::kDotProduct);
+  EXPECT_EQ(store->meta().algorithm, "wALS");
+
+  StoreRecommender store_rec(*store);
+  EXPECT_EQ(store_rec.name(), "wALS");
+  ServeOptions options;
+  options.m = 5;
+  ServeWorkspace ws_a, ws_b;
+  ws_a.Reserve(options.m, options.block_items);
+  ws_b.Reserve(options.m, options.block_items);
+  for (uint32_t u = 0; u < wals.num_users(); ++u) {
+    auto direct = ServeTopM(wals, u, train.Row(u), options, &ws_a);
+    auto mapped = ServeTopM(store_rec, u, train.Row(u), options, &ws_b);
+    ASSERT_EQ(direct.size(), mapped.size());
+    for (size_t r = 0; r < direct.size(); ++r) {
+      EXPECT_EQ(direct[r].item, mapped[r].item);
+      EXPECT_EQ(direct[r].score, mapped[r].score);
+    }
+  }
+  // Dot-product models cannot materialize as OCuLaR.
+  EXPECT_TRUE(store->MaterializeOcular().status().IsFailedPrecondition());
+  std::remove(path.c_str());
+}
+
+TEST(ModelStoreTest, SaveValidation) {
+  TrainedModel t = TrainSmallModel();
+  // Config/model dim mismatch (lost use_biases flag) is rejected.
+  OcularConfig wrong = t.config;
+  wrong.k = t.config.k + 1;
+  EXPECT_TRUE(SaveModelBinary(t.model, wrong, TempPath("never.oclr"))
+                  .IsInvalidArgument());
+  // Overlong algorithm tag.
+  BinaryModelMeta meta;
+  meta.k = 2;
+  meta.algorithm = "a-very-long-algorithm-tag";
+  EXPECT_TRUE(SaveFactorsBinary(meta, DenseMatrix(2, 2, 0.5),
+                                DenseMatrix(2, 2, 0.5), TempPath("never.oclr"))
+                  .IsInvalidArgument());
+  // Factor/k mismatch.
+  meta.algorithm = "x";
+  meta.k = 3;
+  EXPECT_TRUE(SaveFactorsBinary(meta, DenseMatrix(2, 2, 0.5),
+                                DenseMatrix(2, 2, 0.5), TempPath("never.oclr"))
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ocular

@@ -7,6 +7,8 @@
 //   recommend  top-M recommendations for a user (or an ad-hoc history)
 //   explain    co-cluster rationale for a (user, item) pair
 //   evaluate   train/test split evaluation (recall@M, MAP@M, AUC)
+//   convert    v1 text model <-> binary v2 (.oclr) model file
+//   serve      resident model server (same engine as ocular_served)
 //
 // Examples:
 //   ocular synth --dataset=b2b --scale=0.02 --output=/tmp/b2b.tsv
@@ -30,6 +32,7 @@
 #include "core/explain.h"
 #include "core/fold_in.h"
 #include "core/model_io.h"
+#include "core/model_store.h"
 #include "core/ocular_recommender.h"
 #include "data/loaders.h"
 #include "data/split.h"
@@ -37,6 +40,7 @@
 #include "data/synthetic.h"
 #include "eval/metrics.h"
 #include "serving/score_engine.h"
+#include "tools/serve_main.h"
 
 namespace ocular {
 namespace {
@@ -55,6 +59,9 @@ commands:
   explain    --model=FILE --input=FILE --user=N --item=N [--json]
   evaluate   --input=FILE [--k=N] [--lambda=L] [--m=N]
              [--train-fraction=F] [--seed=N] [--format=...]
+  convert    --in=FILE --out=FILE [--to=binary|text]
+  serve      --models=name=path[,...] [--datasets=name=path[,...]]
+             [--port=N] [--m=N]
 )";
 
 Result<Dataset> LoadInput(const Flags& flags) {
@@ -161,7 +168,8 @@ int CmdTrain(const Flags& flags) {
 }
 
 int CmdRecommend(const Flags& flags) {
-  auto loaded = LoadModel(flags.GetString("model"));
+  // Accepts v1 text and binary v2 model files alike.
+  auto loaded = LoadModelAuto(flags.GetString("model"));
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
     return 1;
@@ -244,7 +252,7 @@ int CmdRecommend(const Flags& flags) {
 }
 
 int CmdExplain(const Flags& flags) {
-  auto loaded = LoadModel(flags.GetString("model"));
+  auto loaded = LoadModelAuto(flags.GetString("model"));
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
     return 1;
@@ -311,6 +319,46 @@ int CmdEvaluate(const Flags& flags) {
   return 0;
 }
 
+int CmdConvert(const Flags& flags) {
+  auto in = flags.RequireString("in");
+  auto out = flags.RequireString("out");
+  if (!in.ok() || !out.ok()) {
+    std::fprintf(stderr, "convert needs --in=FILE and --out=FILE\n");
+    return 1;
+  }
+  const std::string to = flags.GetString("to", "binary");
+  Status st;
+  if (to == "binary") {
+    if (IsBinaryModelFile(*in)) {
+      std::fprintf(stderr, "%s is already a binary model file\n",
+                   in->c_str());
+      return 1;
+    }
+    st = ConvertTextModelToBinary(*in, *out);
+  } else if (to == "text") {
+    auto store = ModelStore::Open(*in);
+    if (!store.ok()) {
+      std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+      return 1;
+    }
+    auto loaded = store->MaterializeOcular();
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    st = SaveModel(loaded->model, loaded->config, *out);
+  } else {
+    std::fprintf(stderr, "--to must be 'binary' or 'text'\n");
+    return 1;
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out->c_str());
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr, "%s", kUsage);
@@ -324,6 +372,8 @@ int Run(int argc, char** argv) {
   if (command == "recommend") return CmdRecommend(flags);
   if (command == "explain") return CmdExplain(flags);
   if (command == "evaluate") return CmdEvaluate(flags);
+  if (command == "convert") return CmdConvert(flags);
+  if (command == "serve") return RunServeCommand(flags);
   std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(), kUsage);
   return 2;
 }

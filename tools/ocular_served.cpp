@@ -1,0 +1,47 @@
+// ocular_served — long-running model server for OCuLaR binary models.
+//
+// Holds one or more mmapped binary v2 models resident (ModelRegistry) and
+// answers newline-delimited JSON requests through the blocked scoring
+// engine, over stdin/stdout by default or a loopback TCP port with
+// --port=N. SIGHUP hot-reloads every model file atomically; in-flight
+// requests finish on the old mapping.
+//
+// Examples:
+//   ocular_served --models=default=/models/b2b.oclr \
+//       --datasets=default=/data/b2b.tsv
+//   ocular_served --models=a=/models/a.oclr,b=/models/b.oclr --port=7700
+//
+//   $ echo '{"cmd":"recommend","user":3,"m":5}' | ocular_served \
+//       --models=default=/models/b2b.oclr
+//   {"ok":true,"model":"default","user":3,"items":[...]}
+//
+// See docs/OPERATIONS.md for the full train -> save -> serve -> hot-reload
+// walkthrough and the protocol reference in src/serving/daemon.h.
+
+#include "tools/serve_main.h"
+
+namespace ocular {
+namespace {
+
+constexpr char kUsage[] = R"(usage: ocular_served --models=name=path[,...]
+        [--datasets=name=path[,...]] [--delimiter=C] [--port=N] [--m=N]
+
+Serves binary v2 (.oclr) model files; convert v1 text models first with
+`ocular_cli convert`. Requests are one JSON object per line:
+  {"cmd":"recommend","model":"default","user":3,"m":10}
+  {"cmd":"models"} | {"cmd":"stats"} | {"cmd":"reload"} | {"cmd":"quit"}
+)";
+
+int Run(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  if (!flags.Has("models")) {
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+  return RunServeCommand(flags);
+}
+
+}  // namespace
+}  // namespace ocular
+
+int main(int argc, char** argv) { return ocular::Run(argc, argv); }

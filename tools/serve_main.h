@@ -1,0 +1,122 @@
+// Shared driver of the `ocular_served` binary and the `ocular_cli serve`
+// subcommand: parses --models/--datasets specs, fills a ModelRegistry, and
+// runs the RequestServer over stdio or TCP.
+//
+// Flags:
+//   --models=name=path[,name=path...]    binary v2 model files (required)
+//   --datasets=name=path[,...]           optional per-model exclusion data
+//   --delimiter=C                        dataset delimiter (default tab)
+//   --port=N                             TCP on 127.0.0.1:N (default stdio)
+//   --m=N                                default top-M per request (50)
+//
+// The process installs the SIGHUP hot-reload handler before serving.
+
+#ifndef OCULAR_TOOLS_SERVE_MAIN_H_
+#define OCULAR_TOOLS_SERVE_MAIN_H_
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/strings.h"
+#include "data/loaders.h"
+#include "serving/daemon.h"
+#include "serving/registry.h"
+
+namespace ocular {
+
+/// Splits "name=path[,name=path...]" into pairs (first '=' delimits).
+inline Result<std::vector<std::pair<std::string, std::string>>>
+ParseNamePathSpecs(const std::string& specs) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (std::string_view spec : Split(specs, ',')) {
+    const size_t eq = spec.find('=');
+    if (eq == std::string_view::npos || eq == 0 || eq + 1 == spec.size()) {
+      return Status::InvalidArgument("malformed spec '" + std::string(spec) +
+                                     "' (expected name=path)");
+    }
+    out.emplace_back(std::string(spec.substr(0, eq)),
+                     std::string(spec.substr(eq + 1)));
+  }
+  return out;
+}
+
+/// Loads every --models (and --datasets) entry into `registry`.
+inline Status LoadRegistryFromFlags(const Flags& flags,
+                                    ModelRegistry* registry) {
+  OCULAR_ASSIGN_OR_RETURN(std::string models_spec,
+                          flags.RequireString("models"));
+  OCULAR_ASSIGN_OR_RETURN(auto model_specs, ParseNamePathSpecs(models_spec));
+
+  std::vector<std::pair<std::string, std::string>> dataset_specs;
+  if (flags.Has("datasets")) {
+    OCULAR_ASSIGN_OR_RETURN(dataset_specs,
+                            ParseNamePathSpecs(flags.GetString("datasets")));
+  }
+  for (const auto& [name, model_path] : model_specs) {
+    std::shared_ptr<const CsrMatrix> train;
+    for (const auto& [data_name, data_path] : dataset_specs) {
+      if (data_name != name) continue;
+      CsvOptions opts;
+      const std::string delim = flags.GetString("delimiter", "\t");
+      opts.delimiter = delim.empty() ? '\t' : delim[0];
+      // Keep raw ids so dataset row u IS model/request user u — compact
+      // remapping would silently bind exclusions to the wrong users.
+      opts.compact_ids = flags.GetBool("compact-ids", false);
+      OCULAR_ASSIGN_OR_RETURN(Dataset ds, LoadCsv(data_path, opts));
+      train = std::make_shared<const CsrMatrix>(ds.interactions());
+      break;
+    }
+    OCULAR_RETURN_IF_ERROR(registry->Load(name, model_path, std::move(train)));
+  }
+  return Status::OK();
+}
+
+/// Full serve command: registry + SIGHUP handler + stdio/TCP loop.
+/// Returns a process exit code.
+inline int RunServeCommand(const Flags& flags) {
+  ModelRegistry registry;
+  Status st = LoadRegistryFromFlags(flags, &registry);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  RequestServer::Options options;
+  options.serve.m = static_cast<uint32_t>(flags.GetInt("m", 50));
+  RequestServer server(&registry, options);
+  RequestServer::InstallReloadSignalHandler();
+
+  const int64_t port = flags.GetInt("port", 0);
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "--port must be in [1, 65535] (0 = stdio)\n");
+    return 1;
+  }
+  for (const std::string& name : registry.Names()) {
+    auto model = registry.Get(name);
+    std::fprintf(stderr, "loaded '%s': %s %u users x %u items, K=%u (%zu MB)\n",
+                 name.c_str(), model->store.meta().algorithm.c_str(),
+                 model->store.num_users(), model->store.num_items(),
+                 model->store.k(), model->store.mapped_bytes() >> 20);
+  }
+  if (port > 0) {
+    std::fprintf(stderr, "serving on 127.0.0.1:%lld (SIGHUP reloads)\n",
+                 static_cast<long long>(port));
+    st = server.RunTcpLoop(static_cast<uint16_t>(port));
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  } else {
+    std::fprintf(stderr, "serving on stdin/stdout (SIGHUP reloads)\n");
+    server.RunStdioLoop(std::cin, std::cout);
+  }
+  return 0;
+}
+
+}  // namespace ocular
+
+#endif  // OCULAR_TOOLS_SERVE_MAIN_H_
