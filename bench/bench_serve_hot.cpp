@@ -6,6 +6,7 @@
 //   bench_serve_hot [--scale=1.0] [--k=50] [--m=50] [--reps=3] [--warmup=1]
 //                   [--sweeps=6] [--seed=1] [--json] [--out=BENCH_serve.json]
 //                   [--min-speedup=X] [--baseline=path/to/BENCH.json]
+//                   [--candidate-threshold=0.6] [--candidate-relative=0.5]
 //
 // The legacy side is a faithful reproduction of the pre-refactor bulk
 // path: per user, a freshly heap-allocated score vector filled through the
@@ -18,7 +19,9 @@
 // Both paths must produce identical ranked lists (item-exact, scores to
 // 1e-12) — the bench aborts otherwise. Candidate mode (co-cluster pruning)
 // is timed and its exact-vs-candidate overlap reported for information; it
-// is approximate and takes no part in the speedup gate.
+// is approximate and takes no part in the speedup gate. Membership uses
+// the relative row-max rule by default (--candidate-relative; the absolute
+// --candidate-threshold floor alone collapses at K=50 — overlap 0.25).
 //
 // --json writes a machine-readable record (see README "Performance") to
 // --out. --min-speedup fails (exit 2) below the floor; --baseline fails
@@ -157,7 +160,8 @@ bool SameLists(const std::vector<std::vector<ScoredItem>>& a,
 
 ServeBenchResult RunServeBench(const OcularRecommender& rec,
                                const CsrMatrix& r, uint32_t m, uint32_t reps,
-                               uint32_t warmup) {
+                               uint32_t warmup,
+                               const CandidateIndexOptions& candidates) {
   BatchOptions opts;
   opts.m = m;
   ServeBenchResult out;
@@ -194,9 +198,14 @@ ServeBenchResult RunServeBench(const OcularRecommender& rec,
                 std::max(out.engine_seconds_per_pass, 1e-12);
 
   // Candidate mode, for information: pruned serving time + exact overlap.
+  // Membership is RELATIVE (entry >= fraction * row max) rather than the
+  // old absolute 0.6 floor: with the affinity mass spread over K=50
+  // dimensions every entry is small, and the absolute rule dropped most
+  // rows out of every co-cluster (overlap@50 was 0.25 on this workload;
+  // see CandidateIndexOptions).
   {
     const auto index =
-        BuildCoClusterCandidateIndex(rec.model(), /*threshold=*/0.6).value();
+        BuildCoClusterCandidateIndex(rec.model(), candidates).value();
     BatchOptions copts = opts;
     copts.candidates = &index;
     (void)RecommendForAllUsers(rec, r, copts).value();  // warmup
@@ -214,7 +223,8 @@ ServeBenchResult RunServeBench(const OcularRecommender& rec,
 }
 
 std::string ToJson(const ServeBenchResult& res, const CsrMatrix& r,
-                   uint32_t k, uint32_t m, double scale) {
+                   uint32_t k, uint32_t m, double scale,
+                   const CandidateIndexOptions& candidates) {
   JsonWriter w;
   w.BeginObject();
   w.Key("bench");
@@ -262,6 +272,10 @@ std::string ToJson(const ServeBenchResult& res, const CsrMatrix& r,
   w.Double(res.candidate_seconds_per_pass);
   w.Key("overlap");
   w.Double(res.candidate_overlap);
+  w.Key("threshold");
+  w.Double(candidates.threshold);
+  w.Key("relative");
+  w.Double(candidates.relative);
   w.EndObject();
   w.EndObject();
   return w.str();
@@ -300,7 +314,13 @@ int Main(int argc, char** argv) {
                 watch.ElapsedSeconds());
   }
 
-  const ServeBenchResult res = RunServeBench(rec, r, m, reps, warmup);
+  CandidateIndexOptions candidates;
+  candidates.threshold =
+      FlagDouble(argc, argv, "candidate-threshold", 0.6);
+  candidates.relative = FlagDouble(argc, argv, "candidate-relative", 0.5);
+
+  const ServeBenchResult res =
+      RunServeBench(rec, r, m, reps, warmup, candidates);
   if (!res.lists_identical) {
     std::fprintf(stderr,
                  "FAIL: engine ranked lists differ from the per-pair path "
@@ -322,7 +342,7 @@ int Main(int argc, char** argv) {
   if (FlagBool(argc, argv, "json")) {
     const std::string out_path =
         FlagString(argc, argv, "out", "BENCH_serve.json");
-    const std::string json = ToJson(res, r, k, m, scale);
+    const std::string json = ToJson(res, r, k, m, scale, candidates);
     if (!WriteTextFile(out_path, json + "\n")) return 1;
     std::printf("  wrote %s\n", out_path.c_str());
   }

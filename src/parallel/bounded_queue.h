@@ -1,0 +1,88 @@
+#ifndef OCULAR_PARALLEL_BOUNDED_QUEUE_H_
+#define OCULAR_PARALLEL_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace ocular {
+
+/// Bounded multi-producer multi-consumer FIFO handoff queue.
+///
+/// This is the backpressure primitive of the concurrent serving daemon:
+/// the listener thread TryPush()es accepted connections and *load-sheds*
+/// (answers an overload error and closes) when the queue is full instead
+/// of letting the backlog grow without bound; worker threads block in
+/// Pop() until a connection (or shutdown) arrives. Close() wakes every
+/// waiter; Pop() then drains the remaining items before reporting
+/// shutdown, so nothing accepted is silently dropped.
+///
+/// Plain mutex + condition variables — the queue hands off at connection
+/// granularity (thousands per second at most), not per request, so
+/// lock-free cleverness would buy nothing and cost TSan/ASan clarity.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// A queue that holds at most `capacity` items (at least 1).
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues without blocking. Returns false when the queue is full or
+  /// closed — the caller sheds the item.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_pop_.notify_one();
+    return true;
+  }
+
+  /// Dequeues the oldest item, blocking while the queue is open and
+  /// empty. Returns false only when the queue is closed AND drained —
+  /// the consumer's signal to exit.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_pop_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Closes the queue: TryPush() starts failing, blocked Pop()s wake.
+  /// Items already queued remain poppable. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_pop_.notify_all();
+  }
+
+  /// Items currently queued (racy by nature; for stats and tests).
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  /// The capacity the queue was built with.
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_pop_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace ocular
+
+#endif  // OCULAR_PARALLEL_BOUNDED_QUEUE_H_

@@ -1,25 +1,29 @@
 #include "serving/daemon.h"
 
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
-#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <thread>
+
+#include "parallel/bounded_queue.h"
+#include "serving/net_util.h"
 
 namespace ocular {
 
 namespace {
 
 // SIGHUP latch. A signal handler may only touch async-signal-safe state;
-// the actual reload runs on the serving thread between requests.
+// the actual reload runs on a serving thread between requests.
 std::atomic<bool> g_pending_reload{false};
 
 void OnSighup(int /*signum*/) {
@@ -49,15 +53,43 @@ double NowMicros() {
       .count();
 }
 
+size_t ResolveWorkerCount(size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
 }  // namespace
+
+double MergedPercentile(std::vector<double>* samples, double p) {
+  if (samples->empty()) return 0.0;
+  std::sort(samples->begin(), samples->end());
+  const size_t idx = std::min(
+      samples->size() - 1,
+      static_cast<size_t>(p * static_cast<double>(samples->size() - 1)));
+  return (*samples)[idx];
+}
 
 RequestServer::RequestServer(ModelRegistry* registry)
     : RequestServer(registry, Options()) {}
 
 RequestServer::RequestServer(ModelRegistry* registry, Options options)
-    : registry_(registry), options_(options) {
-  latency_ring_.resize(std::max<size_t>(options_.latency_window, 1), 0.0);
-  workspace_.Reserve(options_.serve.m, options_.serve.block_items);
+    : registry_(registry),
+      options_(options),
+      num_tcp_workers_(ResolveWorkerCount(options.num_workers)) {
+  // TCP pool slots plus the inline slot for HandleLine/stdio callers.
+  // The slot VECTOR must be complete here — Stats() iterates it lock-free
+  // from any thread, so it can never grow later — but only the inline
+  // slot pre-sizes its serving scratch: pool slots warm up when (and if)
+  // RunTcpLoop actually starts their threads, so stdio/library users
+  // don't pay for a pool they never run.
+  workers_.reserve(num_tcp_workers_ + 1);
+  for (size_t w = 0; w < num_tcp_workers_ + 1; ++w) {
+    workers_.push_back(std::make_unique<WorkerState>(
+        std::max<size_t>(options_.latency_window, 1)));
+  }
+  InlineWorker()->workspace.Reserve(options_.serve.m,
+                                    options_.serve.block_items);
 }
 
 void RequestServer::InstallReloadSignalHandler() {
@@ -83,15 +115,38 @@ bool RequestServer::ConsumePendingReload() {
                  status.ToString().c_str());
     return true;
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++reloads_;
+  reloads_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
-Result<std::vector<ScoredItem>> RequestServer::Recommend(
-    const std::string& model_name, uint32_t user, const ServeOptions& options,
+void RequestServer::RefreshLeases(WorkerState* w) {
+  const uint64_t generation = registry_->generation();
+  if (generation != w->seen_generation) {
+    w->leases.clear();
+    w->seen_generation = generation;
+  }
+}
+
+std::shared_ptr<const ServableModel> RequestServer::LeaseModel(
+    WorkerState* w, const std::string& name) {
+  // Lock-free fast path: the lease survives until the registry publishes
+  // a new generation, at which point this worker drops its cache and
+  // re-resolves — draining onto the new model without a global pause.
+  RefreshLeases(w);
+  auto it = w->leases.find(name);
+  if (it != w->leases.end()) return it->second;
+  std::shared_ptr<const ServableModel> model = registry_->Get(name);
+  if (model != nullptr) w->leases.emplace(name, model);
+  return model;
+}
+
+Result<std::vector<ScoredItem>> RequestServer::RecommendOn(
+    WorkerState* w, const std::string& model_name, uint32_t user,
+    const ServeOptions& options,
     const std::vector<uint32_t>* exclude_override) {
-  std::shared_ptr<const ServableModel> model = registry_->Get(model_name);
+  // Resolved exactly once per request: the whole answer comes from one
+  // model generation even if a hot swap lands mid-request.
+  std::shared_ptr<const ServableModel> model = LeaseModel(w, model_name);
   if (model == nullptr) {
     return Status::NotFound("no model named '" + model_name + "'");
   }
@@ -101,93 +156,106 @@ Result<std::vector<ScoredItem>> RequestServer::Recommend(
                               std::to_string(model->store.num_users()) +
                               " users)");
   }
-  std::span<const uint32_t> exclude = exclude_override != nullptr
-                                          ? std::span<const uint32_t>(*exclude_override)
-                                          : model->ExcludeRow(user);
+  std::span<const uint32_t> exclude =
+      exclude_override != nullptr ? std::span<const uint32_t>(*exclude_override)
+                                  : model->ExcludeRow(user);
+  // More than the whole catalog is the whole catalog: clamping keeps a
+  // hostile {"m":4000000000} from forcing a selection-buffer reservation
+  // sized to the request instead of to the model.
+  ServeOptions bounded = options;
+  bounded.m = std::min(bounded.m, model->store.num_items());
   auto ranked =
-      ServeTopM(*model->recommender, user, exclude, options, &workspace_);
+      ServeTopM(*model->recommender, user, exclude, bounded, &w->workspace);
   return std::vector<ScoredItem>(ranked.begin(), ranked.end());
 }
 
-std::string RequestServer::ErrorReply(const std::string& message) {
-  JsonWriter w;
-  w.BeginObject();
-  w.Key("ok");
-  w.Bool(false);
-  w.Key("error");
-  w.String(message);
-  w.EndObject();
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++errors_;
-  return w.str();
+Result<std::vector<ScoredItem>> RequestServer::Recommend(
+    const std::string& model_name, uint32_t user, const ServeOptions& options,
+    const std::vector<uint32_t>* exclude_override) {
+  return RecommendOn(InlineWorker(), model_name, user, options,
+                     exclude_override);
 }
 
-std::string RequestServer::HandleRecommend(const JsonValue& request) {
+std::string RequestServer::ErrorReply(WorkerState* w,
+                                      const std::string& message) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("ok");
+  writer.Bool(false);
+  writer.Key("error");
+  writer.String(message);
+  writer.EndObject();
+  w->errors.fetch_add(1, std::memory_order_relaxed);
+  return writer.str();
+}
+
+std::string RequestServer::HandleRecommend(WorkerState* w,
+                                           const JsonValue& request) {
   std::string model_name = "default";
   if (const JsonValue* m = request.Find("model"); m != nullptr) {
-    if (!m->is_string()) return ErrorReply("'model' must be a string");
+    if (!m->is_string()) return ErrorReply(w, "'model' must be a string");
     model_name = m->string();
   }
   auto user = GetUIntField(request, "user", 0, UINT32_MAX);
-  if (!user.ok()) return ErrorReply(user.status().message());
+  if (!user.ok()) return ErrorReply(w, user.status().message());
   if (request.Find("user") == nullptr) {
-    return ErrorReply("'user' is required");
+    return ErrorReply(w, "'user' is required");
   }
   auto m = GetUIntField(request, "m", options_.serve.m, UINT32_MAX);
-  if (!m.ok()) return ErrorReply(m.status().message());
+  if (!m.ok()) return ErrorReply(w, m.status().message());
 
   ServeOptions serve = options_.serve;
   serve.m = static_cast<uint32_t>(*m);
   if (const JsonValue* ms = request.Find("min_score"); ms != nullptr) {
-    if (!ms->is_number()) return ErrorReply("'min_score' must be a number");
+    if (!ms->is_number()) return ErrorReply(w, "'min_score' must be a number");
     serve.min_score = ms->number();
   }
 
   const std::vector<uint32_t>* exclude_override = nullptr;
   if (const JsonValue* ex = request.Find("exclude"); ex != nullptr) {
     if (!ex->is_array()) {
-      return ErrorReply("'exclude' must be an array of item ids");
+      return ErrorReply(w, "'exclude' must be an array of item ids");
     }
-    exclude_scratch_.clear();
+    w->exclude_scratch.clear();
     for (const JsonValue& e : ex->array()) {
       if (!e.is_number() || e.number() < 0.0 ||
           e.number() != std::floor(e.number()) || e.number() > UINT32_MAX) {
-        return ErrorReply("'exclude' entries must be item ids");
+        return ErrorReply(w, "'exclude' entries must be item ids");
       }
-      exclude_scratch_.push_back(static_cast<uint32_t>(e.number()));
+      w->exclude_scratch.push_back(static_cast<uint32_t>(e.number()));
     }
-    std::sort(exclude_scratch_.begin(), exclude_scratch_.end());
-    exclude_scratch_.erase(
-        std::unique(exclude_scratch_.begin(), exclude_scratch_.end()),
-        exclude_scratch_.end());
-    exclude_override = &exclude_scratch_;
+    std::sort(w->exclude_scratch.begin(), w->exclude_scratch.end());
+    w->exclude_scratch.erase(
+        std::unique(w->exclude_scratch.begin(), w->exclude_scratch.end()),
+        w->exclude_scratch.end());
+    exclude_override = &w->exclude_scratch;
   }
 
-  auto ranked = Recommend(model_name, static_cast<uint32_t>(*user), serve,
-                          exclude_override);
-  if (!ranked.ok()) return ErrorReply(ranked.status().ToString());
+  auto ranked = RecommendOn(w, model_name, static_cast<uint32_t>(*user), serve,
+                            exclude_override);
+  if (!ranked.ok()) return ErrorReply(w, ranked.status().ToString());
 
-  JsonWriter w;
-  w.BeginObject();
-  w.Key("ok");
-  w.Bool(true);
-  w.Key("model");
-  w.String(model_name);
-  w.Key("user");
-  w.UInt(*user);
-  w.Key("items");
-  w.BeginArray();
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("ok");
+  writer.Bool(true);
+  writer.Key("model");
+  writer.String(model_name);
+  writer.Key("user");
+  writer.UInt(*user);
+  writer.Key("items");
+  writer.BeginArray();
   for (const ScoredItem& si : *ranked) {
-    w.BeginObject();
-    w.Key("item");
-    w.UInt(si.item);
-    w.Key("score");
-    w.Double(si.score);
-    w.EndObject();
+    writer.BeginObject();
+    writer.Key("item");
+    writer.UInt(si.item);
+    writer.Key("score");
+    writer.Double(si.score);
+    writer.EndObject();
   }
-  w.EndArray();
-  w.EndObject();
-  return w.str();
+  writer.EndArray();
+  writer.EndObject();
+  return writer.str();
 }
 
 std::string RequestServer::HandleModels() {
@@ -230,12 +298,16 @@ std::string RequestServer::HandleStats() {
   w.Bool(true);
   w.Key("models_loaded");
   w.UInt(snapshot.models_loaded);
+  w.Key("workers");
+  w.UInt(snapshot.workers);
   w.Key("requests_served");
   w.UInt(snapshot.requests_served);
   w.Key("errors");
   w.UInt(snapshot.errors);
   w.Key("reloads");
   w.UInt(snapshot.reloads);
+  w.Key("connections_shed");
+  w.UInt(snapshot.connections_shed);
   w.Key("p50_latency_us");
   w.Double(snapshot.p50_latency_us);
   w.Key("p99_latency_us");
@@ -244,31 +316,36 @@ std::string RequestServer::HandleStats() {
   return w.str();
 }
 
-std::string RequestServer::HandleReload() {
+std::string RequestServer::HandleReload(WorkerState* w) {
   Status status = registry_->ReloadAll();
-  if (!status.ok()) return ErrorReply(status.ToString());
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++reloads_;
-  }
-  JsonWriter w;
-  w.BeginObject();
-  w.Key("ok");
-  w.Bool(true);
-  w.Key("reloaded");
-  w.UInt(registry_->size());
-  w.EndObject();
-  return w.str();
+  if (!status.ok()) return ErrorReply(w, status.ToString());
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("ok");
+  writer.Bool(true);
+  writer.Key("reloaded");
+  writer.UInt(registry_->size());
+  writer.EndObject();
+  return writer.str();
 }
 
 std::string RequestServer::HandleLine(const std::string& line) {
+  bool quit = false;
+  std::string reply = HandleLineOn(InlineWorker(), line, &quit);
+  if (quit) quit_requested_ = true;
+  return reply;
+}
+
+std::string RequestServer::HandleLineOn(WorkerState* w,
+                                        const std::string& line, bool* quit) {
   const double start_us = NowMicros();
   std::string reply;
   auto parsed = JsonValue::Parse(line);
   if (!parsed.ok()) {
-    reply = ErrorReply(parsed.status().ToString());
+    reply = ErrorReply(w, parsed.status().ToString());
   } else if (!parsed->is_object()) {
-    reply = ErrorReply("request must be a JSON object");
+    reply = ErrorReply(w, "request must be a JSON object");
   } else {
     std::string cmd = "recommend";
     bool bad_cmd = false;
@@ -280,70 +357,48 @@ std::string RequestServer::HandleLine(const std::string& line) {
       }
     }
     if (bad_cmd) {
-      reply = ErrorReply("'cmd' must be a string");
+      reply = ErrorReply(w, "'cmd' must be a string");
     } else if (cmd == "recommend") {
-      reply = HandleRecommend(*parsed);
+      reply = HandleRecommend(w, *parsed);
     } else if (cmd == "models") {
       reply = HandleModels();
     } else if (cmd == "stats") {
       reply = HandleStats();
     } else if (cmd == "reload") {
-      reply = HandleReload();
+      reply = HandleReload(w);
     } else if (cmd == "quit") {
-      quit_requested_ = true;
-      JsonWriter w;
-      w.BeginObject();
-      w.Key("ok");
-      w.Bool(true);
-      w.Key("bye");
-      w.Bool(true);
-      w.EndObject();
-      reply = w.str();
+      *quit = true;
+      JsonWriter writer;
+      writer.BeginObject();
+      writer.Key("ok");
+      writer.Bool(true);
+      writer.Key("bye");
+      writer.Bool(true);
+      writer.EndObject();
+      reply = writer.str();
     } else {
-      reply = ErrorReply("unknown cmd '" + cmd + "'");
+      reply = ErrorReply(w, "unknown cmd '" + cmd + "'");
     }
   }
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++requests_served_;
-  }
-  RecordLatency(NowMicros() - start_us);
+  w->requests.fetch_add(1, std::memory_order_relaxed);
+  w->latency.Record(NowMicros() - start_us);
   return reply;
-}
-
-void RequestServer::RecordLatency(double micros) {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  latency_ring_[latency_next_] = micros;
-  latency_next_ = (latency_next_ + 1) % latency_ring_.size();
-  latency_count_ = std::min(latency_count_ + 1, latency_ring_.size());
 }
 
 DaemonStatsSnapshot RequestServer::Stats() const {
   DaemonStatsSnapshot snapshot;
   snapshot.models_loaded = registry_->size();
+  snapshot.workers = num_tcp_workers_;
+  snapshot.reloads = reloads_.load(std::memory_order_relaxed);
+  snapshot.connections_shed = shed_.load(std::memory_order_relaxed);
   std::vector<double> window;
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    snapshot.requests_served = requests_served_;
-    snapshot.errors = errors_;
-    snapshot.reloads = reloads_;
-    window.assign(latency_ring_.begin(),
-                  latency_ring_.begin() +
-                      static_cast<std::ptrdiff_t>(latency_count_));
+  for (const auto& w : workers_) {
+    snapshot.requests_served += w->requests.load(std::memory_order_relaxed);
+    snapshot.errors += w->errors.load(std::memory_order_relaxed);
+    w->latency.AppendWindowTo(&window);
   }
-  if (!window.empty()) {
-    auto percentile = [&window](double p) {
-      const size_t idx = std::min(
-          window.size() - 1,
-          static_cast<size_t>(p * static_cast<double>(window.size() - 1)));
-      std::nth_element(window.begin(),
-                       window.begin() + static_cast<std::ptrdiff_t>(idx),
-                       window.end());
-      return window[idx];
-    };
-    snapshot.p50_latency_us = percentile(0.50);
-    snapshot.p99_latency_us = percentile(0.99);
-  }
+  snapshot.p50_latency_us = MergedPercentile(&window, 0.50);
+  snapshot.p99_latency_us = MergedPercentile(&window, 0.99);
   return snapshot;
 }
 
@@ -380,17 +435,29 @@ void RequestServer::RunStdioLoop(std::istream& in, std::ostream& out) {
   }
 }
 
-void RequestServer::ServeConnection(int fd) {
+void RequestServer::ServeConnection(int fd, WorkerState* w) {
   // Framing bound against hostile clients: a "line" that exceeds this
   // without a newline drops the connection instead of growing the buffer
   // without limit. Generous for real requests (a full-catalog exclude
   // list is well under this).
   constexpr size_t kMaxRequestBytes = 4 << 20;
+  // Replies go out as one batched write per pipelined burst, so Nagle
+  // has little to coalesce — disable it so the final partial segment of
+  // a batch is never held hostage to the peer's delayed ACK.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   std::string buffer;
-  char chunk[4096];
+  char chunk[16384];
   bool connection_quit = false;
   while (!connection_quit) {
     ConsumePendingReload();
+    // Drop stale model leases BEFORE parking in read(): a worker idling
+    // on a quiet connection must not pin a reloaded-away generation's
+    // mapping while it waits. (A reload landing while already blocked is
+    // picked up here on the next wake, or by LeaseModel on the next
+    // request — the residual pin lasts only until this worker's next
+    // read returns.)
+    RefreshLeases(w);
     const ssize_t n = ::read(fd, chunk, sizeof(chunk));
     if (n < 0) {
       if (errno == EINTR) continue;  // signal (e.g. SIGHUP) — poll and retry
@@ -402,40 +469,71 @@ void RequestServer::ServeConnection(int fd) {
     // request size.
     const size_t old_size = buffer.size();
     buffer.append(chunk, static_cast<size_t>(n));
+    // Request pipelining: a client may send many requests back-to-back
+    // without waiting for answers. Every complete line in the buffer is
+    // answered now and the replies go out batched — k pipelined requests
+    // cost one read plus a handful of writes, not k syscall rounds. The
+    // batch is flushed whenever it crosses kReplyFlushBytes so a burst
+    // of tiny requests with huge answers (a full-catalog `m`) cannot
+    // amplify into an unbounded per-worker buffer the way accumulating
+    // a whole burst would; the old write-per-reply path bounded peak
+    // memory to one reply, this bounds it to one flush window.
+    constexpr size_t kReplyFlushBytes = 256 << 10;
+    w->reply_batch.clear();
+    bool write_failed = false;
     size_t start = 0;
     size_t newline = buffer.find('\n', old_size);
-    for (; newline != std::string::npos && !connection_quit;
+    for (; newline != std::string::npos && !connection_quit && !write_failed;
          newline = buffer.find('\n', start)) {
       std::string line = buffer.substr(start, newline - start);
       start = newline + 1;
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
-      std::string reply = HandleLine(line);
-      reply.push_back('\n');
-      size_t sent = 0;
-      while (sent < reply.size()) {
-        const ssize_t w =
-            ::write(fd, reply.data() + sent, reply.size() - sent);
-        if (w < 0) {
-          if (errno == EINTR) continue;
-          connection_quit = true;
-          break;
-        }
-        sent += static_cast<size_t>(w);
+      bool quit = false;
+      w->reply_batch += HandleLineOn(w, line, &quit);
+      w->reply_batch.push_back('\n');
+      if (w->reply_batch.size() >= kReplyFlushBytes) {
+        write_failed =
+            !net::SendAll(fd, w->reply_batch.data(), w->reply_batch.size());
+        w->reply_batch.clear();
       }
-      if (quit_requested_) {
-        // `quit` ends the connection; the next client gets a fresh session.
-        quit_requested_ = false;
-        connection_quit = true;
-      }
+      // `quit` ends the connection (after its reply is flushed); the
+      // server and its other connections keep going.
+      if (quit) connection_quit = true;
     }
     buffer.erase(0, start);  // keep the newline-free tail
+    if (write_failed ||
+        (!w->reply_batch.empty() &&
+         !net::SendAll(fd, w->reply_batch.data(), w->reply_batch.size()))) {
+      break;
+    }
     if (buffer.size() > kMaxRequestBytes) {
-      const std::string reply = ErrorReply("request line too long") + "\n";
-      (void)!::write(fd, reply.data(), reply.size());
+      const std::string reply = ErrorReply(w, "request line too long") + "\n";
+      (void)net::SendAll(fd, reply.data(), reply.size());
       break;
     }
   }
+  ::close(fd);
+  // A worker parked on the accept queue must not pin any generation.
+  w->leases.clear();
+}
+
+void RequestServer::ShedConnection(int fd) {
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  // 503-style overload reply: well-formed JSON so clients can tell
+  // "server full, retry later" apart from a request error, written
+  // best-effort (the peer may already be gone) before the close.
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ok");
+  w.Bool(false);
+  w.Key("error");
+  w.String("server overloaded: accept queue full, retry later");
+  w.Key("code");
+  w.UInt(503);
+  w.EndObject();
+  const std::string reply = w.str() + "\n";
+  (void)net::SendAll(fd, reply.data(), reply.size());
   ::close(fd);
 }
 
@@ -459,28 +557,60 @@ Status RequestServer::RunTcpLoop(uint16_t port, uint64_t max_connections) {
     ::close(listener);
     return st;
   }
-  if (::listen(listener, 16) != 0) {
+  if (::listen(listener, SOMAXCONN) != 0) {
     const Status st =
         Status::IOError(std::string("listen: ") + std::strerror(errno));
     ::close(listener);
     return st;
   }
-  uint64_t served = 0;
-  while (max_connections == 0 || served < max_connections) {
+  {
+    // Publish the (possibly kernel-assigned) port only after listen()
+    // succeeded: a client that observes it can connect right away.
+    struct sockaddr_in bound;
+    socklen_t len = sizeof(bound);
+    uint16_t actual = port;
+    if (::getsockname(listener, reinterpret_cast<struct sockaddr*>(&bound),
+                      &len) == 0) {
+      actual = ntohs(bound.sin_port);
+    }
+    bound_port_.store(actual, std::memory_order_release);
+  }
+
+  // The fixed shared-nothing pool: each worker blocks on the bounded
+  // accept queue and serves whole connections out of its own slot.
+  BoundedQueue<int> pending(options_.accept_queue);
+  std::vector<std::thread> pool;
+  pool.reserve(num_tcp_workers_);
+  for (size_t i = 0; i < num_tcp_workers_; ++i) {
+    WorkerState* w = workers_[i].get();
+    pool.emplace_back([this, &pending, w] {
+      w->workspace.Reserve(options_.serve.m, options_.serve.block_items);
+      int fd = -1;
+      while (pending.Pop(&fd)) ServeConnection(fd, w);
+    });
+  }
+
+  Status status = Status::OK();
+  uint64_t accepted = 0;
+  while (max_connections == 0 || accepted < max_connections) {
     ConsumePendingReload();
     const int conn = ::accept(listener, nullptr, nullptr);
     if (conn < 0) {
       if (errno == EINTR) continue;  // SIGHUP — apply reload, keep accepting
-      const Status st =
+      status =
           Status::IOError(std::string("accept: ") + std::strerror(errno));
-      ::close(listener);
-      return st;
+      break;
     }
-    ServeConnection(conn);
-    ++served;
+    ++accepted;
+    // Backpressure: a full queue means every worker is busy AND the
+    // waiting room is full — shed instead of queueing without bound.
+    if (!pending.TryPush(conn)) ShedConnection(conn);
   }
+  pending.Close();  // workers drain what's queued, then exit
+  for (std::thread& t : pool) t.join();
+  bound_port_.store(0, std::memory_order_release);
   ::close(listener);
-  return Status::OK();
+  return status;
 }
 
 }  // namespace ocular

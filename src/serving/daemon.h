@@ -1,10 +1,13 @@
 #ifndef OCULAR_SERVING_DAEMON_H_
 #define OCULAR_SERVING_DAEMON_H_
 
+#include <atomic>
 #include <cstdint>
 #include <istream>
-#include <mutex>
+#include <map>
+#include <memory>
 #include <ostream>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -16,21 +19,71 @@
 namespace ocular {
 
 /// \brief Point-in-time serving statistics, as reported by the `stats`
-/// verb.
+/// verb. Counters are merged across the per-worker shards at snapshot
+/// time; percentiles are exact over the union of the per-worker latency
+/// windows (see MergedPercentile).
 struct DaemonStatsSnapshot {
-  /// Requests answered (including failed ones).
+  /// Requests answered (including failed ones), summed over workers.
   uint64_t requests_served = 0;
-  /// Requests answered with "ok": false.
+  /// Requests answered with "ok": false, summed over workers.
   uint64_t errors = 0;
   /// Hot reloads performed (SIGHUP or `reload` verb).
   uint64_t reloads = 0;
+  /// Connections refused with an overload error because the accept queue
+  /// was full (load shedding).
+  uint64_t connections_shed = 0;
   /// Models currently loaded.
   size_t models_loaded = 0;
-  /// Median request latency over the recent window, microseconds.
+  /// Worker threads serving the TCP loop.
+  size_t workers = 0;
+  /// Median request latency over the merged recent window, microseconds.
   double p50_latency_us = 0.0;
-  /// 99th-percentile request latency over the recent window, microseconds.
+  /// 99th-percentile request latency over the merged window, microseconds.
   double p99_latency_us = 0.0;
 };
+
+/// \brief Fixed-window latency ring with a single writer (the owning
+/// worker) and lock-free readers (the stats snapshot). The writer stamps
+/// samples with relaxed stores and publishes the count with release; a
+/// reader acquires the count and copies the published prefix. A sample
+/// being overwritten concurrently yields one stale-but-valid value in the
+/// snapshot — fine for percentile reporting, and race-free by
+/// construction (every access is atomic).
+class LatencyRing {
+ public:
+  /// \brief A ring holding the `window` most recent samples (at least 1).
+  explicit LatencyRing(size_t window)
+      : samples_(window == 0 ? 1 : window) {}
+
+  /// Records one sample. Single-writer: only the owning worker calls this.
+  void Record(double micros) {
+    const uint64_t n = count_.load(std::memory_order_relaxed);
+    samples_[n % samples_.size()].store(micros, std::memory_order_relaxed);
+    count_.store(n + 1, std::memory_order_release);
+  }
+
+  /// Appends the current window (up to `window` most recent samples, in
+  /// no particular order) to `out`. Safe from any thread.
+  void AppendWindowTo(std::vector<double>* out) const {
+    const uint64_t published = count_.load(std::memory_order_acquire);
+    const uint64_t n =
+        published < samples_.size() ? published : samples_.size();
+    for (uint64_t i = 0; i < n; ++i) {
+      out->push_back(samples_[i].load(std::memory_order_relaxed));
+    }
+  }
+
+ private:
+  std::vector<std::atomic<double>> samples_;
+  std::atomic<uint64_t> count_{0};  // total ever recorded
+};
+
+/// \brief Exact percentile of `samples` (modified in place: sorted).
+/// Nearest-rank on the sorted merged window — index floor(p * (n - 1)) —
+/// the same convention the single-ring daemon used, now applied AFTER
+/// merging the per-worker windows so concurrency cannot skew the report
+/// (averaging per-worker percentiles would). Returns 0 for an empty set.
+double MergedPercentile(std::vector<double>* samples, double p);
 
 /// \brief The request-serving core of the long-running daemon
 /// (tools/ocular_served.cpp and the `ocular_cli serve` subcommand).
@@ -44,18 +97,34 @@ struct DaemonStatsSnapshot {
 ///   {"cmd":"models"}      — loaded models and their shapes
 ///   {"cmd":"stats"}       — DaemonStatsSnapshot as JSON
 ///   {"cmd":"reload"}      — hot-reload every model (same path as SIGHUP)
-///   {"cmd":"quit"}        — end the session
+///   {"cmd":"quit"}        — end the session (TCP: ends the connection)
 ///
 /// Responses always carry "ok"; failures add "error" and never kill the
 /// loop. `recommend` serves through the PR 3 blocked engine (ServeTopM)
-/// out of a reusable ServeWorkspace, excluding the user's training row by
-/// default (an explicit "exclude" array overrides it). Rankings are
-/// bit-identical to RecommendForAllUsers on the same model and exclusions.
+/// out of a reusable per-worker ServeWorkspace, excluding the user's
+/// training row by default (an explicit "exclude" array overrides it).
+/// Rankings are bit-identical to RecommendForAllUsers on the same model
+/// and exclusions, from every worker.
 ///
-/// Hot reload: InstallReloadSignalHandler() latches SIGHUP into a flag the
-/// loops poll between requests; the swap itself is
-/// ModelRegistry::ReloadAll, so in-flight requests drain on the old
-/// mapping. See docs/OPERATIONS.md for the walkthrough.
+/// Concurrency (PR 5): RunTcpLoop is a listener thread feeding a fixed
+/// pool of `Options::num_workers` shared-nothing worker threads through a
+/// bounded accept queue. Each worker owns its ServeWorkspace, its latency
+/// ring, and a cached shared_ptr lease on the current model generation
+/// (re-resolved lock-free when ModelRegistry::generation() moves), so the
+/// steady-state request path touches no shared mutable state. When the
+/// accept queue is full the listener *load-sheds*: the connection gets a
+/// 503-style `{"ok":false,"error":...,"code":503}` line and is closed
+/// instead of queueing without bound. Within a connection requests are
+/// pipelined: every complete line in the read buffer is answered and the
+/// replies are flushed as one batched write.
+///
+/// Hot reload: InstallReloadSignalHandler() latches SIGHUP into a flag
+/// that listener and workers poll between accepts/reads; the swap itself
+/// is ModelRegistry::ReloadAll, so in-flight requests drain on the old
+/// mapping and workers pick up the new generation at their next request —
+/// no stop-the-world pause, and no request ever observes a torn model
+/// (each request resolves its model lease exactly once). See
+/// docs/OPERATIONS.md for the walkthrough.
 class RequestServer {
  public:
   /// \brief Tunables of a server instance.
@@ -63,8 +132,13 @@ class RequestServer {
     /// Per-request serving defaults (m, min_score, tile size); a request's
     /// own fields override m and min_score.
     ServeOptions serve;
-    /// Latency samples kept for the p50/p99 report (ring buffer).
+    /// Latency samples kept per worker for the p50/p99 report.
     size_t latency_window = 4096;
+    /// TCP worker threads (0 = one per hardware thread, at least 1).
+    size_t num_workers = 0;
+    /// Accepted connections that may wait for a worker before the
+    /// listener starts shedding load with 503-style replies.
+    size_t accept_queue = 128;
   };
 
   /// \brief Serves the models of `registry` (not owned; must outlive the
@@ -76,34 +150,52 @@ class RequestServer {
 
   /// \brief Answers one JSON request line with one JSON response line
   /// (no trailing newline). Never throws; malformed input yields an
-  /// "ok": false response.
+  /// "ok": false response. Serves on the caller's inline worker slot —
+  /// NOT safe to call concurrently with itself or RunStdioLoop (the TCP
+  /// pool uses separate per-worker slots and may run concurrently).
   std::string HandleLine(const std::string& line);
 
   /// \brief The `recommend` verb's structured core: top-`options.m` items
   /// for `user` of model `model_name` through the blocked scoring engine.
   /// `exclude_override` (ascending ids), when non-null, replaces the
-  /// model's default training-row exclusion.
+  /// model's default training-row exclusion. Same thread-affinity rules
+  /// as HandleLine.
   Result<std::vector<ScoredItem>> Recommend(
       const std::string& model_name, uint32_t user, const ServeOptions& options,
       const std::vector<uint32_t>* exclude_override = nullptr);
 
   /// \brief Reads request lines from `in` until EOF or a `quit` verb,
   /// writing one response line each to `out` (flushed per line; pending
-  /// SIGHUP reloads are applied between requests).
+  /// SIGHUP reloads are applied between requests). Single-threaded.
   void RunStdioLoop(std::istream& in, std::ostream& out);
 
-  /// \brief Listens on 127.0.0.1:`port` and serves one connection at a
-  /// time with the same line protocol (a `quit` verb or client EOF ends
-  /// the connection, not the server). Returns only on a socket setup
-  /// error or after `max_connections` > 0 connections (0 = serve
-  /// forever) — the latter is how tests bound the loop.
+  /// \brief Listens on 127.0.0.1:`port` (0 = kernel-assigned; see
+  /// bound_port()) with backlog SOMAXCONN and serves connections on the
+  /// worker pool with the same line protocol (a `quit` verb or client EOF
+  /// ends that connection, not the server). Returns only on a socket
+  /// setup/accept error or after `max_connections` > 0 accepted
+  /// connections (0 = serve forever) — the latter is how tests and the
+  /// bench bound the loop; queued connections still drain before it
+  /// returns.
   Status RunTcpLoop(uint16_t port, uint64_t max_connections = 0);
 
-  /// \brief Current counters + latency percentiles.
+  /// \brief The port RunTcpLoop is listening on, or 0 when it is not.
+  /// With port=0 this is how callers learn the kernel-assigned port;
+  /// it is published after listen() succeeds, so a client that reads a
+  /// nonzero value can connect immediately.
+  uint16_t bound_port() const {
+    return bound_port_.load(std::memory_order_acquire);
+  }
+
+  /// \brief Current counters + exact merged latency percentiles.
   DaemonStatsSnapshot Stats() const;
 
-  /// \brief True once a handled request asked to quit.
+  /// \brief True once a handled request asked to quit (stdio path).
   bool quit_requested() const { return quit_requested_; }
+
+  /// \brief Worker threads the TCP loop will run (Options::num_workers
+  /// resolved against the hardware).
+  size_t num_workers() const { return num_tcp_workers_; }
 
   /// \brief Installs the process-wide SIGHUP handler that requests a
   /// hot reload (idempotent; async-signal-safe handler, it only sets a
@@ -112,30 +204,64 @@ class RequestServer {
 
   /// \brief Applies a pending SIGHUP reload if one is latched; returns
   /// whether a reload ran. Also callable directly (the `reload` verb).
+  /// Thread-safe: the latch guarantees exactly one thread runs the swap.
   bool ConsumePendingReload();
 
  private:
-  std::string HandleRecommend(const JsonValue& request);
+  /// Everything one serving thread owns: scratch buffers, its latency
+  /// shard, and its cached model leases. Shared-nothing — exactly one
+  /// thread touches a slot's non-atomic members at any time; the atomics
+  /// are read lock-free by Stats(). Cacheline-aligned so adjacent
+  /// workers' counters do not false-share.
+  struct alignas(64) WorkerState {
+    explicit WorkerState(size_t latency_window) : latency(latency_window) {}
+
+    ServeWorkspace workspace;
+    std::vector<uint32_t> exclude_scratch;
+    std::string reply_batch;  // pipelined replies, one write per batch
+
+    /// Model leases cached against the registry generation: a request
+    /// resolves its model once, so a concurrent hot swap can never hand
+    /// it factors from two generations.
+    uint64_t seen_generation = 0;
+    std::map<std::string, std::shared_ptr<const ServableModel>> leases;
+
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> errors{0};
+    LatencyRing latency;
+  };
+
+  WorkerState* InlineWorker() { return workers_.back().get(); }
+  void RefreshLeases(WorkerState* w);
+  std::shared_ptr<const ServableModel> LeaseModel(WorkerState* w,
+                                                  const std::string& name);
+  Result<std::vector<ScoredItem>> RecommendOn(
+      WorkerState* w, const std::string& model_name, uint32_t user,
+      const ServeOptions& options,
+      const std::vector<uint32_t>* exclude_override);
+  std::string HandleLineOn(WorkerState* w, const std::string& line,
+                           bool* quit);
+  std::string HandleRecommend(WorkerState* w, const JsonValue& request);
   std::string HandleModels();
   std::string HandleStats();
-  std::string HandleReload();
-  std::string ErrorReply(const std::string& message);
-  void RecordLatency(double micros);
-  void ServeConnection(int fd);
+  std::string HandleReload(WorkerState* w);
+  std::string ErrorReply(WorkerState* w, const std::string& message);
+  void ServeConnection(int fd, WorkerState* w);
+  void ShedConnection(int fd);
 
   ModelRegistry* registry_;
   Options options_;
-  ServeWorkspace workspace_;
-  std::vector<uint32_t> exclude_scratch_;
+  size_t num_tcp_workers_ = 1;
   bool quit_requested_ = false;
 
-  mutable std::mutex stats_mu_;
-  uint64_t requests_served_ = 0;
-  uint64_t errors_ = 0;
-  uint64_t reloads_ = 0;
-  std::vector<double> latency_ring_;  // microseconds
-  size_t latency_next_ = 0;
-  size_t latency_count_ = 0;
+  /// Slots [0, num_tcp_workers_) belong to the TCP pool; the extra slot
+  /// at the back serves HandleLine/Recommend/RunStdioLoop callers. The
+  /// vector itself is immutable after construction.
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+
+  std::atomic<uint64_t> reloads_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint16_t> bound_port_{0};
 };
 
 }  // namespace ocular

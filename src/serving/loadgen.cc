@@ -1,0 +1,187 @@
+#include "serving/loadgen.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/strings.h"
+#include "common/timer.h"
+#include "serving/daemon.h"  // MergedPercentile
+#include "serving/net_util.h"
+
+namespace ocular {
+
+namespace {
+
+double NowMicros() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One client's connection state and tally.
+struct ClientRun {
+  int fd = -1;
+  uint64_t ok_replies = 0;
+  uint64_t error_replies = 0;
+  std::vector<double> latencies_us;
+  Status status = Status::OK();
+};
+
+Status ConnectLoopback(uint16_t port, int* out_fd) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  // The workload is many small request lines; without NODELAY, Nagle
+  // delays partial batches behind unacked data and the measurement turns
+  // into a timer artifact.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status st = Status::IOError(std::string("connect 127.0.0.1:") +
+                                      std::to_string(port) + ": " +
+                                      std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  *out_fd = fd;
+  return Status::OK();
+}
+
+void RunClient(const LoadGenOptions& options, uint32_t client_index,
+               ClientRun* run) {
+  std::string read_buffer;
+  std::string batch;
+  std::string line;
+  run->latencies_us.reserve(options.requests_per_client);
+  // Offset clients into the user space so concurrent connections serve
+  // different rows (a co-prime stride avoids aliasing when clients
+  // divides num_users).
+  uint64_t user_cursor =
+      options.num_users == 0
+          ? 0
+          : (static_cast<uint64_t>(client_index) * 7919) % options.num_users;
+  uint64_t remaining = options.requests_per_client;
+  std::vector<uint32_t> batch_users;
+  while (remaining > 0) {
+    const uint32_t depth = static_cast<uint32_t>(std::min<uint64_t>(
+        std::max<uint32_t>(options.pipeline, 1), remaining));
+    batch.clear();
+    batch_users.clear();
+    for (uint32_t p = 0; p < depth; ++p) {
+      const uint32_t user = static_cast<uint32_t>(user_cursor);
+      user_cursor = options.num_users == 0
+                        ? user_cursor + 1
+                        : (user_cursor + 1) % options.num_users;
+      batch += "{\"cmd\":\"recommend\",\"model\":\"" + options.model +
+               "\",\"user\":" + std::to_string(user) +
+               ",\"m\":" + std::to_string(options.m) + "}\n";
+      batch_users.push_back(user);
+    }
+    const double sent_us = NowMicros();
+    if (!net::SendAll(run->fd, batch.data(), batch.size())) {
+      run->status = Status::IOError("write failed mid-run");
+      ::close(run->fd);
+      run->fd = -1;
+      return;
+    }
+    for (uint32_t p = 0; p < depth; ++p) {
+      if (!net::ReadLine(run->fd, &read_buffer, &line)) {
+        run->status = Status::IOError(
+            "connection closed before all replies arrived (" +
+            std::to_string(remaining) + " outstanding)");
+        ::close(run->fd);
+        run->fd = -1;
+        return;
+      }
+      run->latencies_us.push_back(NowMicros() - sent_us);
+      if (StartsWith(line, "{\"ok\":true")) {
+        ++run->ok_replies;
+      } else {
+        ++run->error_replies;
+      }
+      if (options.on_reply) options.on_reply(batch_users[p], line);
+      --remaining;
+    }
+  }
+  // Close as soon as this client is done: a daemon worker may be blocked
+  // in read() on this connection, and with fewer workers than clients it
+  // must move on to the next queued connection without waiting for the
+  // whole fleet to finish.
+  ::close(run->fd);
+  run->fd = -1;
+}
+
+}  // namespace
+
+Result<LoadGenResult> RunLoadGen(const LoadGenOptions& options) {
+  if (options.port == 0) {
+    return Status::InvalidArgument("loadgen needs a nonzero port");
+  }
+  if (options.clients == 0 || options.requests_per_client == 0) {
+    return Status::InvalidArgument(
+        "loadgen needs at least one client and one request");
+  }
+  std::vector<ClientRun> runs(options.clients);
+  // Every exit path below must release the fleet's sockets — a failed
+  // run must not leak fds into a long-lived caller.
+  const auto close_all = [&runs] {
+    for (ClientRun& run : runs) {
+      if (run.fd >= 0) ::close(run.fd);
+      run.fd = -1;
+    }
+  };
+  // Connect everything before the clock starts: connection setup is not
+  // the thing being measured, and a late connect would undercount
+  // concurrency for part of the run.
+  for (uint32_t c = 0; c < options.clients; ++c) {
+    const Status st = ConnectLoopback(options.port, &runs[c].fd);
+    if (!st.ok()) {
+      close_all();
+      return st;
+    }
+  }
+
+  Stopwatch watch;
+  std::vector<std::thread> threads;
+  threads.reserve(options.clients);
+  for (uint32_t c = 0; c < options.clients; ++c) {
+    threads.emplace_back(RunClient, std::cref(options), c, &runs[c]);
+  }
+  for (std::thread& t : threads) t.join();
+  const double seconds = watch.ElapsedSeconds();
+
+  LoadGenResult result;
+  std::vector<double> latencies;
+  close_all();  // every client thread has joined; fds are all idle now
+  for (ClientRun& run : runs) {
+    if (!run.status.ok()) return run.status;
+    result.ok_replies += run.ok_replies;
+    result.error_replies += run.error_replies;
+    latencies.insert(latencies.end(), run.latencies_us.begin(),
+                     run.latencies_us.end());
+  }
+  result.requests = result.ok_replies + result.error_replies;
+  result.seconds = seconds;
+  result.requests_per_second =
+      seconds > 0.0 ? static_cast<double>(result.requests) / seconds : 0.0;
+  result.p50_latency_us = MergedPercentile(&latencies, 0.50);
+  result.p99_latency_us = MergedPercentile(&latencies, 0.99);
+  return result;
+}
+
+}  // namespace ocular

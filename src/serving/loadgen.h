@@ -1,0 +1,119 @@
+#ifndef OCULAR_SERVING_LOADGEN_H_
+#define OCULAR_SERVING_LOADGEN_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "eval/recommender.h"
+
+namespace ocular {
+
+/// \file
+/// \brief Multi-connection loopback load generator for the serving
+/// daemon — the client side of bench/bench_daemon_hot.cpp and the
+/// `ocular_cli loadtest` subcommand. Drives C concurrent TCP clients,
+/// each pipelining batches of `recommend` requests over its own
+/// persistent connection, and reports throughput plus per-request
+/// latency percentiles.
+
+/// \brief Load shape and target of one generator run.
+struct LoadGenOptions {
+  /// Daemon port on 127.0.0.1 (required, nonzero).
+  uint16_t port = 0;
+  /// Concurrent client connections.
+  uint32_t clients = 8;
+  /// Requests each client sends over its connection.
+  uint64_t requests_per_client = 1000;
+  /// Requests written back-to-back before reading the replies (request
+  /// pipelining depth; 1 = strict request/response ping-pong). Keep the
+  /// batch well under the kernel socket buffers (the CLI caps this at
+  /// 512): the client writes a whole batch before reading, so a batch
+  /// that cannot be buffered deadlocks against a server blocked on its
+  /// own replies.
+  uint32_t pipeline = 16;
+  /// Top-M requested per call.
+  uint32_t m = 50;
+  /// Users are cycled round-robin over [0, num_users), offset per client
+  /// so concurrent clients hit different rows.
+  uint32_t num_users = 1;
+  /// Model name sent with every request.
+  std::string model = "default";
+  /// Optional per-reply hook (request user, raw reply line, still
+  /// newline-free). Called from client threads — must be thread-safe.
+  /// Leave unset for pure throughput measurement.
+  std::function<void(uint32_t user, const std::string& line)> on_reply;
+};
+
+/// \brief What a load-generator run measured.
+struct LoadGenResult {
+  /// Requests sent (= replies received; the run fails otherwise).
+  uint64_t requests = 0;
+  /// Replies that began with {"ok":true.
+  uint64_t ok_replies = 0;
+  /// Replies that did not (request errors, shed connections).
+  uint64_t error_replies = 0;
+  /// Wall clock from first byte sent to last reply read.
+  double seconds = 0.0;
+  /// requests / seconds.
+  double requests_per_second = 0.0;
+  /// Client-observed median per-request latency, microseconds. A
+  /// pipelined request's latency runs from its batch's write to its own
+  /// reply, so depths > 1 report queueing delay too — that is the
+  /// service time a real pipelining client experiences.
+  double p50_latency_us = 0.0;
+  /// Client-observed 99th-percentile latency, microseconds (same
+  /// batch-write-to-reply convention as p50_latency_us).
+  double p99_latency_us = 0.0;
+};
+
+/// \brief Runs the load against a daemon already listening on
+/// 127.0.0.1:`options.port`. Returns an error if any connection cannot
+/// be established or dies before its replies arrive.
+Result<LoadGenResult> RunLoadGen(const LoadGenOptions& options);
+
+/// \brief Renders `value` exactly as the daemon's JSON writer does and
+/// parses it back: the double a client actually observes on the wire.
+/// Pass oracle scores through this before an exact comparison against a
+/// parsed reply — the single definition of the wire-precision contract
+/// shared by daemon_test and bench_daemon_hot.
+inline double WireRoundTripDouble(double value) {
+  JsonWriter w;
+  w.Double(value);
+  return JsonValue::Parse(w.str())->number();
+}
+
+/// \brief True when `line` is an `"ok":true` recommend reply whose
+/// ranked items match `expect` exactly — item ids bit-identical and
+/// scores identical after the WireRoundTripDouble rendering both sides
+/// pass through. This is the bit-identical-serving check the concurrent
+/// daemon tests and the daemon bench both apply to every reply.
+inline bool ReplyMatchesRanked(const std::string& line,
+                               std::span<const ScoredItem> expect) {
+  auto parsed = JsonValue::Parse(line);
+  if (!parsed.ok()) return false;
+  const JsonValue* ok = parsed->Find("ok");
+  if (ok == nullptr || !ok->boolean()) return false;
+  const JsonValue* items = parsed->Find("items");
+  if (items == nullptr || !items->is_array()) return false;
+  if (items->array().size() != expect.size()) return false;
+  for (size_t r = 0; r < expect.size(); ++r) {
+    const JsonValue& entry = items->array()[r];
+    const JsonValue* item = entry.Find("item");
+    const JsonValue* score = entry.Find("score");
+    if (item == nullptr || score == nullptr) return false;
+    if (item->number() != static_cast<double>(expect[r].item) ||
+        score->number() != WireRoundTripDouble(expect[r].score)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ocular
+
+#endif  // OCULAR_SERVING_LOADGEN_H_

@@ -1,0 +1,63 @@
+#ifndef OCULAR_SERVING_NET_UTIL_H_
+#define OCULAR_SERVING_NET_UTIL_H_
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <string>
+
+namespace ocular {
+namespace net {
+
+/// \file
+/// \brief The two socket loops everything in the serving stack shares:
+/// write-fully and read-one-line. One definition so EINTR handling,
+/// MSG_NOSIGNAL, and framing can never drift apart between the daemon
+/// (serving/daemon.cc), the load generator (serving/loadgen.cc), and the
+/// daemon bench.
+
+/// \brief send(2)s until `size` bytes of `data` are out; false on a
+/// non-EINTR error. MSG_NOSIGNAL: a peer that disconnected must surface
+/// as EPIPE on this call, never as a process-killing SIGPIPE.
+inline bool SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t w = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+/// \brief Reads one newline-terminated line into `*line` (newline
+/// stripped), buffering surplus bytes in `*buffer` across calls. False
+/// on EOF or a non-EINTR error.
+inline bool ReadLine(int fd, std::string* buffer, std::string* line) {
+  for (;;) {
+    const size_t newline = buffer->find('\n');
+    if (newline != std::string::npos) {
+      line->assign(*buffer, 0, newline);
+      buffer->erase(0, newline + 1);
+      return true;
+    }
+    char chunk[16384];
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace net
+}  // namespace ocular
+
+#endif  // OCULAR_SERVING_NET_UTIL_H_

@@ -34,6 +34,7 @@ Status ModelRegistry::Load(const std::string& name,
                           BuildServable(name, model_path, std::move(train)));
   std::lock_guard<std::mutex> lock(mu_);
   models_[name] = std::move(servable);
+  generation_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
@@ -63,6 +64,7 @@ Status ModelRegistry::ReloadAll() {
     }
     std::lock_guard<std::mutex> lock(mu_);
     models_[old_model->name] = std::move(rebuilt).value();
+    generation_.fetch_add(1, std::memory_order_acq_rel);
   }
   return first_error;
 }

@@ -1,6 +1,8 @@
 #ifndef OCULAR_SERVING_REGISTRY_H_
 #define OCULAR_SERVING_REGISTRY_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -79,9 +81,20 @@ class ModelRegistry {
   /// \brief Number of registered models.
   size_t size() const;
 
+  /// \brief Monotonic publication counter, bumped on every successful
+  /// Load() and on each model swapped by ReloadAll(). Serving workers
+  /// cache their Get() leases and re-resolve only when this moves, so
+  /// the steady-state request path never touches the registry mutex
+  /// while hot reloads still propagate promptly (each worker drains onto
+  /// the new generation at its next request).
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<const ServableModel>> models_;
+  std::atomic<uint64_t> generation_{1};
 };
 
 }  // namespace ocular

@@ -17,30 +17,68 @@ double SelectionThreshold(const ServeOptions& options) {
 
 }  // namespace
 
-Result<CoClusterCandidateIndex> BuildCoClusterCandidateIndex(
-    const OcularModel& model, double threshold, uint32_t max_dims) {
-  if (threshold <= 0.0) {
-    return Status::InvalidArgument("candidate threshold must be positive");
+namespace {
+
+/// Per-row membership rule: STRICTLY above the absolute threshold (the
+/// historical `>` semantics of the threshold-only overload), or at/above
+/// the relative floor `relative * row_max` (`>=`, so a row's maximal
+/// entry always admits itself at relative = 1). Returns the pair
+/// (absolute cutoff or +inf, relative cutoff or +inf); a row whose
+/// largest entry is ~0 belongs nowhere under either rule.
+struct MembershipCutoffs {
+  double absolute = std::numeric_limits<double>::infinity();
+  double relative = std::numeric_limits<double>::infinity();
+
+  bool Admits(double v) const { return v > absolute || v >= relative; }
+};
+
+MembershipCutoffs RowCutoffs(std::span<const double> row,
+                             const CandidateIndexOptions& options) {
+  MembershipCutoffs cut;
+  if (options.threshold > 0.0) cut.absolute = options.threshold;
+  if (options.relative > 0.0) {
+    double row_max = 0.0;
+    for (double v : row) row_max = std::max(row_max, v);
+    if (row_max > 0.0) cut.relative = options.relative * row_max;
   }
-  const uint32_t dims =
-      max_dims == 0 ? model.k() : std::min(max_dims, model.k());
+  return cut;
+}
+
+}  // namespace
+
+Result<CoClusterCandidateIndex> BuildCoClusterCandidateIndex(
+    const OcularModel& model, const CandidateIndexOptions& options) {
+  if (options.threshold <= 0.0 && options.relative <= 0.0) {
+    return Status::InvalidArgument(
+        "candidate membership needs a positive absolute threshold or a "
+        "relative fraction");
+  }
+  if (options.relative < 0.0 || options.relative > 1.0) {
+    return Status::InvalidArgument(
+        "candidate relative fraction must be in (0, 1]");
+  }
+  const uint32_t dims = options.max_dims == 0
+                            ? model.k()
+                            : std::min(options.max_dims, model.k());
   CoClusterCandidateIndex index;
-  index.threshold = threshold;
+  index.options = options;
   index.items_per_dim.resize(dims);
   index.dims_per_user.resize(model.num_users());
   const DenseMatrix& fi = model.item_factors();
   for (uint32_t i = 0; i < fi.rows(); ++i) {
     auto row = fi.Row(i);
+    const MembershipCutoffs cut = RowCutoffs(row.subspan(0, dims), options);
     for (uint32_t c = 0; c < dims; ++c) {
-      if (row[c] > threshold) index.items_per_dim[c].push_back(i);
+      if (cut.Admits(row[c])) index.items_per_dim[c].push_back(i);
     }
   }
   const DenseMatrix& fu = model.user_factors();
   for (uint32_t u = 0; u < fu.rows(); ++u) {
     auto row = fu.Row(u);
+    const MembershipCutoffs cut = RowCutoffs(row.subspan(0, dims), options);
     size_t gathered = 0;
     for (uint32_t c = 0; c < dims; ++c) {
-      if (row[c] > threshold) {
+      if (cut.Admits(row[c])) {
         index.dims_per_user[u].push_back(c);
         gathered += index.items_per_dim[c].size();
       }
@@ -48,6 +86,14 @@ Result<CoClusterCandidateIndex> BuildCoClusterCandidateIndex(
     index.max_candidate_items = std::max(index.max_candidate_items, gathered);
   }
   return index;
+}
+
+Result<CoClusterCandidateIndex> BuildCoClusterCandidateIndex(
+    const OcularModel& model, double threshold, uint32_t max_dims) {
+  CandidateIndexOptions options;
+  options.threshold = threshold;
+  options.max_dims = max_dims;
+  return BuildCoClusterCandidateIndex(model, options);
 }
 
 std::span<const ScoredItem> ServeTopM(const Recommender& rec, uint32_t u,

@@ -49,17 +49,41 @@ struct ServeWorkspace {
   }
 };
 
+/// \brief Membership rule of the co-cluster candidate index.
+///
+/// A row (user or item) belongs to co-cluster c when its factor entry
+/// clears the ABSOLUTE floor (`threshold`) or — when `relative` > 0 —
+/// the RELATIVE floor `relative * max_entry(row)`. The absolute rule
+/// alone degrades as K grows: with the same affinity mass spread over
+/// more dimensions, every entry shrinks and rows fall out of every
+/// co-cluster (measured on the two-block serve bench: overlap@50 of 0.25
+/// at K=50 under the 0.6 absolute rule). The relative rule tracks each
+/// row's own scale, so multi-cluster memberships survive at any K.
+struct CandidateIndexOptions {
+  /// Absolute factor-entry floor: an entry STRICTLY above it is a member
+  /// (the historical `>` rule; ignored when <= 0 and `relative` is set).
+  double threshold = 0.6;
+  /// Relative floor as a fraction of the row's largest entry, in (0, 1]:
+  /// an entry at or above `relative * row_max` is a member (`>=`, so the
+  /// row's maximal entry always admits itself at 1.0). 0 disables the
+  /// relative rule (absolute-only, the historical behavior).
+  double relative = 0.0;
+  /// Factor dimensions considered, like CoClusterOptions::max_dims
+  /// (0 = all; pass config.k for models trained with use_biases).
+  uint32_t max_dims = 0;
+};
+
 /// \brief OCuLaR-specific candidate pruning index (Section IV-C: a user is
 /// only plausibly interested in items it shares a co-cluster with).
-/// Dimension c is a co-cluster; membership means the factor entry exceeds
-/// `threshold`. Candidate serving scores only the union of the user's
-/// co-clusters' items instead of the whole catalog — approximate (items
-/// outside every shared co-cluster are unreachable) but much cheaper on
-/// sparse affiliation structures; CandidateOverlapAtM reports the
+/// Dimension c is a co-cluster; membership per CandidateIndexOptions.
+/// Candidate serving scores only the union of the user's co-clusters'
+/// items instead of the whole catalog — approximate (items outside every
+/// shared co-cluster are unreachable) but much cheaper on sparse
+/// affiliation structures; CandidateOverlapAtM reports the
 /// exact-vs-candidate agreement.
 struct CoClusterCandidateIndex {
-  /// Factor-entry threshold above which a row belongs to a co-cluster.
-  double threshold = 0.6;
+  /// The membership rule the index was built with.
+  CandidateIndexOptions options;
   /// items_per_dim[c] = items affiliated with co-cluster c, ascending.
   std::vector<std::vector<uint32_t>> items_per_dim;
   /// dims_per_user[u] = co-clusters user u belongs to, ascending.
@@ -69,10 +93,14 @@ struct CoClusterCandidateIndex {
   size_t max_candidate_items = 0;
 };
 
-/// \brief Builds the candidate index from a fitted model. `max_dims`
-/// behaves like CoClusterOptions::max_dims (0 = all factor dimensions;
-/// pass config.k for models trained with use_biases). Fails if
-/// `threshold` <= 0.
+/// \brief Builds the candidate index from a fitted model under the given
+/// membership rule. Fails unless at least one of
+/// `options.threshold` > 0 / `options.relative` in (0, 1] holds.
+Result<CoClusterCandidateIndex> BuildCoClusterCandidateIndex(
+    const OcularModel& model, const CandidateIndexOptions& options);
+
+/// \brief Absolute-threshold convenience overload (the historical
+/// signature): membership = factor entry > `threshold`.
 Result<CoClusterCandidateIndex> BuildCoClusterCandidateIndex(
     const OcularModel& model, double threshold = 0.6, uint32_t max_dims = 0);
 

@@ -140,8 +140,20 @@ namespace {
 // Runtime-dispatched clone of the serving Axpy pass: the AVX2 variant runs
 // the same mul-then-add per element 4-wide (no FMA flag, so no contraction
 // — results stay bit-identical to the baseline), selected once at load
-// time via ifunc on platforms that support it.
-#if defined(__x86_64__) && defined(__ELF__) && defined(__GNUC__)
+// time via ifunc on platforms that support it. ThreadSanitizer cannot
+// intercept ifunc resolvers (the resolver runs before the runtime is up
+// and segfaults), so TSan builds take the plain auto-vectorized path —
+// GCC spells the detection __SANITIZE_THREAD__, Clang __has_feature.
+#if !defined(OCULAR_TSAN_BUILD) && defined(__SANITIZE_THREAD__)
+#define OCULAR_TSAN_BUILD 1
+#endif
+#if !defined(OCULAR_TSAN_BUILD) && defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define OCULAR_TSAN_BUILD 1
+#endif
+#endif
+#if defined(__x86_64__) && defined(__ELF__) && defined(__GNUC__) && \
+    !defined(OCULAR_TSAN_BUILD)
 __attribute__((target_clones("default", "avx2")))
 #endif
 void AxpyRun(double alpha, const double* x, double* y, size_t len) {

@@ -1,20 +1,37 @@
 // Tests for the serving daemon layer: ModelRegistry load/get/atomic
 // hot-reload, the RequestServer JSON line protocol, SIGHUP-driven reload,
 // stats reporting, and bit-identical agreement between a served top-M
-// request and the offline RecommendForAllUsers batch artifact.
+// request and the offline RecommendForAllUsers batch artifact — including
+// the PR 5 concurrent core: simultaneous TCP clients on the worker pool,
+// SIGHUP reload under load (no torn models), accept-queue load shedding,
+// exact merged latency percentiles, and the loopback load generator.
 
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstring>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/model_store.h"
 #include "core/ocular_recommender.h"
 #include "serving/batch.h"
 #include "serving/daemon.h"
+#include "serving/loadgen.h"
+#include "serving/net_util.h"
 #include "serving/registry.h"
 #include "test_util.h"
 
@@ -257,6 +274,370 @@ TEST(RequestServerTest, StdioLoopServesUntilQuit) {
     EXPECT_TRUE(parsed->Find("ok")->boolean());
   }
   EXPECT_EQ(count, 3) << "quit must end the loop before the 4th request";
+  std::remove(f.model_path.c_str());
+}
+
+// ------------------------------------------------ latency percentiles
+
+TEST(LatencyStatsTest, MergedPercentileIsExactOnKnownSequence) {
+  // 1..100 in scrambled order: p50 must be the 50th smallest (index
+  // floor(0.5 * 99) = 49 -> value 50), p99 the 99th (index 98 -> 99).
+  std::vector<double> window;
+  for (int v = 100; v >= 1; --v) window.push_back(v);
+  EXPECT_EQ(MergedPercentile(&window, 0.50), 50.0);
+  EXPECT_EQ(MergedPercentile(&window, 0.99), 99.0);
+  EXPECT_EQ(MergedPercentile(&window, 0.0), 1.0);
+  EXPECT_EQ(MergedPercentile(&window, 1.0), 100.0);
+  std::vector<double> empty;
+  EXPECT_EQ(MergedPercentile(&empty, 0.5), 0.0);
+  std::vector<double> one{7.5};
+  EXPECT_EQ(MergedPercentile(&one, 0.99), 7.5);
+}
+
+TEST(LatencyStatsTest, PerWorkerRingsMergeToTheExactGlobalPercentile) {
+  // The same 1..100 sequence striped across 4 worker rings must report
+  // the same exact percentiles as a single ring would — merging the
+  // windows BEFORE selecting is what makes the concurrent report exact
+  // (averaging per-ring percentiles would give 50.5 here, not 50).
+  std::deque<LatencyRing> rings;  // deque: LatencyRing holds atomics
+  for (int w = 0; w < 4; ++w) rings.emplace_back(64);
+  for (int v = 1; v <= 100; ++v) rings[v % 4].Record(v);
+  std::vector<double> merged;
+  for (const LatencyRing& ring : rings) ring.AppendWindowTo(&merged);
+  ASSERT_EQ(merged.size(), 100u);
+  EXPECT_EQ(MergedPercentile(&merged, 0.50), 50.0);
+  EXPECT_EQ(MergedPercentile(&merged, 0.99), 99.0);
+}
+
+TEST(LatencyStatsTest, RingKeepsOnlyTheMostRecentWindow) {
+  LatencyRing ring(4);
+  for (int v = 1; v <= 6; ++v) ring.Record(v);
+  std::vector<double> window;
+  ring.AppendWindowTo(&window);
+  std::sort(window.begin(), window.end());
+  EXPECT_EQ(window, (std::vector<double>{3.0, 4.0, 5.0, 6.0}));
+}
+
+// ---------------------------------------------- concurrent TCP serving
+
+/// Waits (bounded) for RunTcpLoop on `serve_thread` to publish its
+/// listening port. Returns 0 — after reaping the thread — when the loop
+/// failed socket setup instead of listening, so callers can ASSERT and
+/// fail the test rather than spin forever.
+uint16_t WaitForPort(const RequestServer& server, std::thread* serve_thread) {
+  for (int ms = 0; ms < 10000; ++ms) {
+    const uint16_t port = server.bound_port();
+    if (port != 0) return port;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  if (serve_thread->joinable()) serve_thread->join();
+  return 0;
+}
+
+/// The shared wire-exactness check (serving/loadgen.h) under the name
+/// the assertions below read naturally with.
+bool ReplyMatches(const std::string& line,
+                  const std::vector<ScoredItem>& expect) {
+  return ReplyMatchesRanked(line, expect);
+}
+
+/// The offline oracle for `model` under `train` exclusions at top-`m`.
+std::vector<std::vector<ScoredItem>> Oracle(const OcularModel& model,
+                                            const CsrMatrix& train,
+                                            uint32_t m) {
+  OcularModelRecommender rec(model);
+  BatchOptions batch;
+  batch.m = m;
+  batch.skip_cold_users = false;
+  return RecommendForAllUsers(rec, train, batch).value().recommendations;
+}
+
+TEST(ConcurrentDaemonTest, SimultaneousClientsAreBitIdenticalToBatchEngine) {
+  DaemonFixture f = DaemonFixture::Make("daemon_concurrent.oclr");
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Load("default", f.model_path, f.shared_train()).ok());
+
+  RequestServer::Options options;
+  options.serve.m = 8;
+  options.num_workers = 4;
+  RequestServer server(&registry, options);
+  EXPECT_EQ(server.num_workers(), 4u);
+
+  const auto oracle = Oracle(f.model, f.train, 8);
+
+  // 4 simultaneous pipelined clients; every client covers every user
+  // (50 requests round-robin over 50 users), so every worker slot serves
+  // rows that another worker serves too — identical answers required.
+  constexpr uint32_t kClients = 4;
+  std::thread serve_thread([&server] {
+    EXPECT_TRUE(server.RunTcpLoop(0, kClients).ok());
+  });
+  const uint16_t port = WaitForPort(server, &serve_thread);
+  ASSERT_NE(port, 0) << "RunTcpLoop never started listening";
+
+  std::atomic<uint64_t> mismatches{0};
+  LoadGenOptions load;
+  load.port = port;
+  load.clients = kClients;
+  load.requests_per_client = 50;
+  load.pipeline = 8;
+  load.m = 8;
+  load.num_users = f.train.num_rows();
+  load.on_reply = [&](uint32_t user, const std::string& line) {
+    if (!ReplyMatches(line, oracle[user])) {
+      mismatches.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  auto result = RunLoadGen(load);
+  serve_thread.join();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->requests, kClients * 50u);
+  EXPECT_EQ(result->error_replies, 0u);
+  EXPECT_EQ(mismatches.load(), 0u)
+      << "a concurrently served reply differed from RecommendForAllUsers";
+
+  const DaemonStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.requests_served, kClients * 50u);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.workers, 4u);
+  EXPECT_GE(stats.p99_latency_us, stats.p50_latency_us);
+  std::remove(f.model_path.c_str());
+}
+
+TEST(ConcurrentDaemonTest, SighupReloadUnderLoadNeverServesATornModel) {
+  DaemonFixture f = DaemonFixture::Make("daemon_reload_load.oclr");
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Load("default", f.model_path, f.shared_train()).ok());
+  RequestServer::InstallReloadSignalHandler();
+
+  RequestServer::Options options;
+  options.serve.m = 6;
+  options.num_workers = 3;
+  RequestServer server(&registry, options);
+
+  const auto oracle_old = Oracle(f.model, f.train, 6);
+
+  constexpr uint32_t kClients = 4;
+  // Three waves of connections: all-old, reload-lands-mid-wave, all-new.
+  std::thread serve_thread([&server] {
+    EXPECT_TRUE(server.RunTcpLoop(0, 3 * kClients).ok());
+  });
+  const uint16_t port = WaitForPort(server, &serve_thread);
+  ASSERT_NE(port, 0) << "RunTcpLoop never started listening";
+
+  LoadGenOptions load;
+  load.port = port;
+  load.clients = kClients;
+  load.requests_per_client = 40;
+  load.pipeline = 4;
+  load.m = 6;
+  load.num_users = f.train.num_rows();
+
+  // Wave 1: old generation only.
+  std::atomic<uint64_t> torn{0};
+  load.on_reply = [&](uint32_t user, const std::string& line) {
+    if (!ReplyMatches(line, oracle_old[user])) {
+      torn.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  ASSERT_TRUE(RunLoadGen(load).ok());
+  EXPECT_EQ(torn.load(), 0u);
+
+  // Overwrite the artifact with a differently-seeded model and latch the
+  // reload; wave 2 runs while the swap lands. Every reply must be
+  // entirely old-generation or entirely new-generation.
+  DaemonFixture f2 =
+      DaemonFixture::Make("daemon_reload_load.oclr", /*seed=*/97);
+  const auto oracle_new = Oracle(f2.model, f.train, 6);
+  ASSERT_EQ(::raise(SIGHUP), 0);
+
+  std::atomic<uint64_t> old_seen{0};
+  std::atomic<uint64_t> new_seen{0};
+  load.on_reply = [&](uint32_t user, const std::string& line) {
+    if (ReplyMatches(line, oracle_old[user])) {
+      old_seen.fetch_add(1, std::memory_order_relaxed);
+    } else if (ReplyMatches(line, oracle_new[user])) {
+      new_seen.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      torn.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  ASSERT_TRUE(RunLoadGen(load).ok());
+  EXPECT_EQ(torn.load(), 0u)
+      << "a reply matched neither the old nor the new generation";
+  EXPECT_EQ(old_seen.load() + new_seen.load(),
+            kClients * load.requests_per_client);
+
+  // The latch is consumed by the first accept/read poll of wave 2, so by
+  // wave 3 every worker serves the new generation exclusively.
+  EXPECT_EQ(server.Stats().reloads, 1u);
+  std::atomic<uint64_t> stale{0};
+  load.on_reply = [&](uint32_t user, const std::string& line) {
+    if (!ReplyMatches(line, oracle_new[user])) {
+      stale.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  ASSERT_TRUE(RunLoadGen(load).ok());
+  EXPECT_EQ(stale.load(), 0u)
+      << "a worker kept serving the old generation after the reload";
+
+  serve_thread.join();
+  std::remove(f.model_path.c_str());
+}
+
+// ---------------------------------------------------- load shedding
+
+/// Minimal raw TCP client for the shedding and disconnect tests: these
+/// need precise control over when a connection reads and closes, which
+/// the load generator (deliberately) does not expose — it always drains
+/// its replies. The I/O itself delegates to the shared net:: loops.
+struct RawClient {
+  int fd = -1;
+  std::string buffer;
+
+  bool Connect(uint16_t port) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    return ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr)) == 0;
+  }
+  bool Send(const std::string& line) {
+    const std::string framed = line + "\n";
+    return net::SendAll(fd, framed.data(), framed.size());
+  }
+  bool ReadLine(std::string* line) { return net::ReadLine(fd, &buffer, line); }
+  void Close() {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+};
+
+TEST(ConcurrentDaemonTest, FullAcceptQueueShedsWith503StyleReply) {
+  DaemonFixture f = DaemonFixture::Make("daemon_shed.oclr");
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Load("default", f.model_path, f.shared_train()).ok());
+
+  RequestServer::Options options;
+  options.num_workers = 1;   // the one worker will be parked on client A
+  options.accept_queue = 1;  // one waiter, everything beyond is shed
+  RequestServer server(&registry, options);
+
+  std::thread serve_thread([&server] {
+    EXPECT_TRUE(server.RunTcpLoop(0, 3).ok());
+  });
+  const uint16_t port = WaitForPort(server, &serve_thread);
+  ASSERT_NE(port, 0) << "RunTcpLoop never started listening";
+
+  // A is being served (a completed round trip proves the worker owns it
+  // and is now parked in read() on the open connection).
+  RawClient a;
+  ASSERT_TRUE(a.Connect(port));
+  ASSERT_TRUE(a.Send(R"({"user":0,"m":3})"));
+  std::string line;
+  ASSERT_TRUE(a.ReadLine(&line));
+
+  // B fills the single accept-queue slot; C must be shed.
+  RawClient b;
+  ASSERT_TRUE(b.Connect(port));
+  RawClient c;
+  ASSERT_TRUE(c.Connect(port));
+  ASSERT_TRUE(c.ReadLine(&line)) << "shed connection must get a reply";
+  auto parsed = JsonValue::Parse(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  EXPECT_FALSE(parsed->Find("ok")->boolean());
+  ASSERT_NE(parsed->Find("code"), nullptr);
+  EXPECT_EQ(parsed->Find("code")->number(), 503.0);
+  EXPECT_FALSE(c.ReadLine(&line)) << "shed connection must be closed";
+  c.Close();
+
+  // Releasing A lets the worker drain B; the loop then exits (3 accepts).
+  a.Close();
+  b.Close();
+  serve_thread.join();
+  EXPECT_EQ(server.Stats().connections_shed, 1u);
+  std::remove(f.model_path.c_str());
+}
+
+TEST(ConcurrentDaemonTest, ClientVanishingWithUnreadRepliesDoesNotKillServer) {
+  DaemonFixture f = DaemonFixture::Make("daemon_sigpipe.oclr");
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Load("default", f.model_path, f.shared_train()).ok());
+  RequestServer::Options options;
+  options.num_workers = 1;
+  RequestServer server(&registry, options);
+  std::thread serve_thread([&server] {
+    EXPECT_TRUE(server.RunTcpLoop(0, 2).ok());
+  });
+  const uint16_t port = WaitForPort(server, &serve_thread);
+  ASSERT_NE(port, 0) << "RunTcpLoop never started listening";
+
+  // Hundreds of pipelined requests whose replies overflow the socket
+  // buffer, then vanish without reading any of them: the worker's
+  // batched send hits the reset connection and must surface as an error
+  // on THAT connection (MSG_NOSIGNAL), not as a process-killing SIGPIPE.
+  {
+    RawClient rude;
+    ASSERT_TRUE(rude.Connect(port));
+    std::string burst;
+    for (int i = 0; i < 400; ++i) burst += R"({"user":1,"m":30})" "\n";
+    (void)rude.Send(burst);
+    rude.Close();  // unread replies pending -> RST at the server
+  }
+
+  // The server (and its one worker) must still be alive and correct.
+  RawClient polite;
+  ASSERT_TRUE(polite.Connect(port));
+  ASSERT_TRUE(polite.Send(R"({"user":2,"m":3})"));
+  std::string line;
+  ASSERT_TRUE(polite.ReadLine(&line));
+  auto reply = JsonValue::Parse(line);
+  ASSERT_TRUE(reply.ok()) << line;
+  EXPECT_TRUE(reply->Find("ok")->boolean());
+  polite.Close();
+  serve_thread.join();
+  std::remove(f.model_path.c_str());
+}
+
+// ------------------------------------------------------ load generator
+
+TEST(LoadGenTest, DrivesAndMeasuresAConcurrentDaemon) {
+  DaemonFixture f = DaemonFixture::Make("daemon_loadgen.oclr");
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Load("default", f.model_path, f.shared_train()).ok());
+  RequestServer::Options options;
+  options.num_workers = 2;
+  RequestServer server(&registry, options);
+  std::thread serve_thread([&server] {
+    EXPECT_TRUE(server.RunTcpLoop(0, 3).ok());
+  });
+  const uint16_t port = WaitForPort(server, &serve_thread);
+  ASSERT_NE(port, 0) << "RunTcpLoop never started listening";
+
+  LoadGenOptions load;
+  load.port = port;
+  load.clients = 3;
+  load.requests_per_client = 20;
+  load.pipeline = 4;
+  load.m = 5;
+  load.num_users = f.train.num_rows();
+  auto result = RunLoadGen(load);
+  serve_thread.join();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->requests, 60u);
+  EXPECT_EQ(result->ok_replies, 60u);
+  EXPECT_EQ(result->error_replies, 0u);
+  EXPECT_GT(result->requests_per_second, 0.0);
+  EXPECT_GE(result->p99_latency_us, result->p50_latency_us);
+  EXPECT_GT(result->p50_latency_us, 0.0);
+
+  // Option validation.
+  LoadGenOptions bad;
+  EXPECT_TRUE(RunLoadGen(bad).status().IsInvalidArgument());
   std::remove(f.model_path.c_str());
 }
 

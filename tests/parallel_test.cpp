@@ -8,11 +8,14 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/ocular_trainer.h"
 #include "data/synthetic.h"
+#include "parallel/bounded_queue.h"
 #include "parallel/gradient_kernel.h"
 #include "parallel/kernel_trainer.h"
 #include "parallel/parallel_trainer.h"
@@ -264,6 +267,74 @@ TEST(ThreadPoolTest, ParallelForRangesRunsEveryRangeOnce) {
   });
   for (size_t i = 0; i < hits.size(); ++i) {
     EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+// ------------------------------------------------------- bounded queue
+
+TEST(BoundedQueueTest, FifoOrderAndCapacityBound) {
+  BoundedQueue<int> q(2);
+  EXPECT_EQ(q.capacity(), 2u);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3)) << "a full queue must shed, not grow";
+  int out = 0;
+  EXPECT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.TryPush(3));
+  EXPECT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out, 2);
+  EXPECT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out, 3);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueueTest, CloseWakesConsumersAndDrainsRemainingItems) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.TryPush(7));
+  ASSERT_TRUE(q.TryPush(8));
+  q.Close();
+  EXPECT_FALSE(q.TryPush(9)) << "closed queue must refuse new items";
+  int out = 0;
+  EXPECT_TRUE(q.Pop(&out));  // queued items still drain after Close
+  EXPECT_EQ(out, 7);
+  EXPECT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out, 8);
+  EXPECT_FALSE(q.Pop(&out)) << "drained + closed must report shutdown";
+
+  // A consumer blocked on an empty queue wakes on Close.
+  BoundedQueue<int> empty(1);
+  std::thread blocked([&empty] {
+    int v = 0;
+    EXPECT_FALSE(empty.Pop(&v));
+  });
+  empty.Close();
+  blocked.join();
+}
+
+TEST(BoundedQueueTest, HandsEveryItemToExactlyOneConsumer) {
+  constexpr int kItems = 2000;
+  constexpr int kConsumers = 4;
+  BoundedQueue<int> q(8);
+  std::vector<std::atomic<int>> seen(kItems);
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&q, &seen] {
+      int v = 0;
+      while (q.Pop(&v)) seen[v].fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  int shed = 0;
+  for (int i = 0; i < kItems; ++i) {
+    while (!q.TryPush(i)) {
+      ++shed;  // full — spin like the listener would shed; retry here
+      std::this_thread::yield();
+    }
+  }
+  q.Close();
+  for (auto& t : consumers) t.join();
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_EQ(seen[i].load(), 1) << "item " << i;
   }
 }
 

@@ -33,6 +33,7 @@
 #include "data/synthetic.h"
 #include "serving/batch.h"
 #include "serving/score_engine.h"
+#include "sparse/coo.h"
 #include "test_util.h"
 
 // ------------------------------------------------- allocation counting hook
@@ -384,6 +385,104 @@ TEST(CandidateModeTest, CandidateListsAreSubsetsOfUserCoClusters) {
           << "user " << u << " got item " << si.item
           << " outside every shared co-cluster";
     }
+  }
+}
+
+/// Two disjoint random-hole blocks, a small cousin of the serve-bench
+/// workload (bench_serve_hot's TwoBlockWorkload): big enough that an
+/// over-parameterized K spreads each block over several dimensions
+/// instead of memorizing one user per dimension.
+CsrMatrix TwoBlocksCsr(uint32_t users_per_block, uint32_t items_per_block,
+                       uint64_t seed) {
+  Rng rng(seed);
+  CooBuilder coo;
+  for (uint32_t b = 0; b < 2; ++b) {
+    for (uint32_t u = 0; u < users_per_block; ++u) {
+      for (uint32_t i = 0; i < items_per_block; ++i) {
+        if (rng.Uniform(0.0, 1.0) < 0.7) {
+          coo.Add(b * users_per_block + u, b * items_per_block + i);
+        }
+      }
+    }
+  }
+  return CsrMatrix::FromCoo(
+      coo.Finalize(2 * users_per_block, 2 * items_per_block).value());
+}
+
+TEST(CandidateModeTest, RelativeMembershipRecoversOverlapAtLargerK) {
+  // With K well above the number of planted blocks, the affinity mass
+  // spreads over many dimensions and every factor entry shrinks — the
+  // absolute 0.6 floor then drops rows out of every co-cluster (the
+  // overlap=0.25 regression BENCH_serve.json recorded at K=50). The
+  // relative row-max rule tracks each row's own scale instead.
+  const CsrMatrix r = TwoBlocksCsr(60, 40, 5);
+  OcularConfig cfg;
+  cfg.k = 12;
+  cfg.lambda = 0.5;
+  cfg.max_sweeps = 60;
+  cfg.seed = 3;
+  OcularRecommender rec(cfg);
+  ASSERT_TRUE(rec.Fit(r).ok());
+
+  CandidateIndexOptions options;
+  options.threshold = 0.6;
+  options.relative = 0.3;
+  const auto index = BuildCoClusterCandidateIndex(rec.model(), options).value();
+  EXPECT_EQ(index.options.relative, 0.3);
+  // Every user must belong to at least one co-cluster under the relative
+  // rule (each row has a maximal entry, which is always a member).
+  for (const auto& dims : index.dims_per_user) {
+    EXPECT_FALSE(dims.empty());
+  }
+
+  ServeOptions serve;
+  serve.m = 5;
+  // Score floor keeps the comparison on meaningful recommendations (the
+  // block holes), as in OverlapIsHighOnPlantedCoClusters above.
+  serve.min_score = 0.3;
+  auto overlap = CandidateOverlapAtM(rec, r, index, serve);
+  ASSERT_TRUE(overlap.ok()) << overlap.status().ToString();
+  EXPECT_GE(*overlap, 0.8)
+      << "relative membership must keep candidate pruning usable at K=12";
+
+  // And it cannot do worse than the absolute-only rule it subsumes
+  // (every absolute member stays a member).
+  const auto absolute =
+      BuildCoClusterCandidateIndex(rec.model(), /*threshold=*/0.6).value();
+  auto abs_overlap = CandidateOverlapAtM(rec, r, absolute, serve);
+  if (abs_overlap.ok()) {
+    EXPECT_GE(*overlap, *abs_overlap - 1e-12);
+  }
+}
+
+TEST(CandidateModeTest, CandidateIndexOptionValidation) {
+  const CsrMatrix r = test::TinyBlocksCsr();
+  OcularConfig cfg;
+  cfg.k = 3;
+  cfg.lambda = 0.1;
+  cfg.max_sweeps = 20;
+  OcularRecommender rec(cfg);
+  ASSERT_TRUE(rec.Fit(r).ok());
+
+  CandidateIndexOptions bad;
+  bad.threshold = 0.0;
+  bad.relative = 0.0;  // neither rule active
+  EXPECT_TRUE(BuildCoClusterCandidateIndex(rec.model(), bad)
+                  .status()
+                  .IsInvalidArgument());
+  bad.relative = 1.5;  // out of (0, 1]
+  EXPECT_TRUE(BuildCoClusterCandidateIndex(rec.model(), bad)
+                  .status()
+                  .IsInvalidArgument());
+
+  // Relative-only is a valid configuration.
+  CandidateIndexOptions rel_only;
+  rel_only.threshold = 0.0;
+  rel_only.relative = 1.0;  // only each row's maximal entries
+  auto index = BuildCoClusterCandidateIndex(rec.model(), rel_only);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  for (const auto& dims : index->dims_per_user) {
+    EXPECT_GE(dims.size(), 1u);
   }
 }
 

@@ -9,6 +9,8 @@
 //   evaluate   train/test split evaluation (recall@M, MAP@M, AUC)
 //   convert    v1 text model <-> binary v2 (.oclr) model file
 //   serve      resident model server (same engine as ocular_served)
+//   loadtest   concurrent-client throughput/latency probe of a running
+//              daemon (the same load generator bench_daemon_hot uses)
 //
 // Examples:
 //   ocular synth --dataset=b2b --scale=0.02 --output=/tmp/b2b.tsv
@@ -39,6 +41,7 @@
 #include "data/stats.h"
 #include "data/synthetic.h"
 #include "eval/metrics.h"
+#include "serving/loadgen.h"
 #include "serving/score_engine.h"
 #include "tools/serve_main.h"
 
@@ -61,7 +64,9 @@ commands:
              [--train-fraction=F] [--seed=N] [--format=...]
   convert    --in=FILE --out=FILE [--to=binary|text]
   serve      --models=name=path[,...] [--datasets=name=path[,...]]
-             [--port=N] [--m=N]
+             [--port=N] [--m=N] [--workers=N] [--accept-queue=N]
+  loadtest   --port=N [--clients=C] [--requests=R] [--pipeline=P]
+             [--users=U] [--m=N] [--model=NAME] [--json]
 )";
 
 Result<Dataset> LoadInput(const Flags& flags) {
@@ -359,6 +364,82 @@ int CmdConvert(const Flags& flags) {
   return 0;
 }
 
+int CmdLoadtest(const Flags& flags) {
+  LoadGenOptions options;
+  const int64_t port = flags.GetInt("port", 0);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "loadtest needs --port of a running daemon\n");
+    return 1;
+  }
+  options.port = static_cast<uint16_t>(port);
+  const int64_t clients = flags.GetInt("clients", 8);
+  const int64_t requests = flags.GetInt("requests", 1000);
+  const int64_t pipeline = flags.GetInt("pipeline", 16);
+  const int64_t m = flags.GetInt("m", 50);
+  const int64_t users = flags.GetInt("users", 1);
+  // --pipeline is capped so one request batch always fits in the socket
+  // buffers: the client writes the whole batch before reading, so an
+  // oversized batch would deadlock against a worker blocked writing
+  // replies the client is not yet consuming.
+  if (clients < 1 || clients > 4096 || requests < 1 ||
+      requests > 100'000'000 || pipeline < 1 || pipeline > 512 || m < 1 ||
+      m > UINT32_MAX || users < 1 || users > UINT32_MAX) {
+    std::fprintf(stderr,
+                 "loadtest flags out of range: --clients in [1, 4096], "
+                 "--pipeline in [1, 512], --requests in [1, 1e8], "
+                 "--m/--users >= 1\n");
+    return 1;
+  }
+  options.clients = static_cast<uint32_t>(clients);
+  options.requests_per_client = static_cast<uint64_t>(requests);
+  options.pipeline = static_cast<uint32_t>(pipeline);
+  options.m = static_cast<uint32_t>(m);
+  options.num_users = static_cast<uint32_t>(users);
+  options.model = flags.GetString("model", "default");
+
+  auto result = RunLoadGen(options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  if (flags.GetBool("json")) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("clients");
+    w.UInt(options.clients);
+    w.Key("pipeline");
+    w.UInt(options.pipeline);
+    w.Key("requests");
+    w.UInt(result->requests);
+    w.Key("ok_replies");
+    w.UInt(result->ok_replies);
+    w.Key("error_replies");
+    w.UInt(result->error_replies);
+    w.Key("seconds");
+    w.Double(result->seconds);
+    w.Key("requests_per_second");
+    w.Double(result->requests_per_second);
+    w.Key("p50_latency_us");
+    w.Double(result->p50_latency_us);
+    w.Key("p99_latency_us");
+    w.Double(result->p99_latency_us);
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    std::printf("%llu requests over %u clients (pipeline %u) in %.3f s\n",
+                static_cast<unsigned long long>(result->requests),
+                options.clients, options.pipeline, result->seconds);
+    std::printf("  throughput: %10.0f req/s\n", result->requests_per_second);
+    std::printf("  latency   : p50 %.1f us, p99 %.1f us\n",
+                result->p50_latency_us, result->p99_latency_us);
+    if (result->error_replies > 0) {
+      std::printf("  errors    : %llu replies answered ok:false\n",
+                  static_cast<unsigned long long>(result->error_replies));
+    }
+  }
+  return result->error_replies == 0 ? 0 : 3;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr, "%s", kUsage);
@@ -374,6 +455,7 @@ int Run(int argc, char** argv) {
   if (command == "evaluate") return CmdEvaluate(flags);
   if (command == "convert") return CmdConvert(flags);
   if (command == "serve") return RunServeCommand(flags);
+  if (command == "loadtest") return CmdLoadtest(flags);
   std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(), kUsage);
   return 2;
 }

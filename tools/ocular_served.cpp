@@ -25,11 +25,16 @@ namespace {
 
 constexpr char kUsage[] = R"(usage: ocular_served --models=name=path[,...]
         [--datasets=name=path[,...]] [--delimiter=C] [--port=N] [--m=N]
+        [--workers=N] [--accept-queue=N]
 
 Serves binary v2 (.oclr) model files; convert v1 text models first with
 `ocular_cli convert`. Requests are one JSON object per line:
   {"cmd":"recommend","model":"default","user":3,"m":10}
   {"cmd":"models"} | {"cmd":"stats"} | {"cmd":"reload"} | {"cmd":"quit"}
+
+With --port the daemon runs a listener plus --workers serving threads
+(default: one per hardware thread); connections beyond --accept-queue
+waiting for a worker are shed with a {"ok":false,...,"code":503} reply.
 )";
 
 int Run(int argc, char** argv) {

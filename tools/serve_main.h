@@ -8,11 +8,17 @@
 //   --delimiter=C                        dataset delimiter (default tab)
 //   --port=N                             TCP on 127.0.0.1:N (default stdio)
 //   --m=N                                default top-M per request (50)
+//   --workers=N                          TCP worker threads (0 = one per
+//                                        hardware thread)
+//   --accept-queue=N                     connections that may wait for a
+//                                        worker before load shedding (128)
 //
 // The process installs the SIGHUP hot-reload handler before serving.
 
 #ifndef OCULAR_TOOLS_SERVE_MAIN_H_
 #define OCULAR_TOOLS_SERVE_MAIN_H_
+
+#include <signal.h>
 
 #include <cstdio>
 #include <iostream>
@@ -87,8 +93,24 @@ inline int RunServeCommand(const Flags& flags) {
   }
   RequestServer::Options options;
   options.serve.m = static_cast<uint32_t>(flags.GetInt("m", 50));
+  const int64_t workers = flags.GetInt("workers", 0);
+  if (workers < 0 || workers > 4096) {
+    std::fprintf(stderr, "--workers must be in [0, 4096] (0 = one per "
+                         "hardware thread)\n");
+    return 1;
+  }
+  options.num_workers = static_cast<size_t>(workers);
+  const int64_t accept_queue = flags.GetInt("accept-queue", 128);
+  if (accept_queue < 1 || accept_queue > 1 << 20) {
+    std::fprintf(stderr, "--accept-queue must be in [1, 1048576]\n");
+    return 1;
+  }
+  options.accept_queue = static_cast<size_t>(accept_queue);
   RequestServer server(&registry, options);
   RequestServer::InstallReloadSignalHandler();
+  // The daemon's socket writes use MSG_NOSIGNAL, but ignore SIGPIPE
+  // process-wide too: no disconnecting client may take the server down.
+  ::signal(SIGPIPE, SIG_IGN);
 
   const int64_t port = flags.GetInt("port", 0);
   if (port < 0 || port > 65535) {
@@ -103,8 +125,10 @@ inline int RunServeCommand(const Flags& flags) {
                  model->store.k(), model->store.mapped_bytes() >> 20);
   }
   if (port > 0) {
-    std::fprintf(stderr, "serving on 127.0.0.1:%lld (SIGHUP reloads)\n",
-                 static_cast<long long>(port));
+    std::fprintf(stderr,
+                 "serving on 127.0.0.1:%lld with %zu workers "
+                 "(SIGHUP reloads)\n",
+                 static_cast<long long>(port), server.num_workers());
     st = server.RunTcpLoop(static_cast<uint16_t>(port));
     if (!st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
