@@ -1,0 +1,536 @@
+// Fold-in serving benchmark: recommend-by-history for users outside the
+// trained model, the live-catalog path PR 6 moved from the per-pair
+// ScoreFoldedUser loop onto the blocked scoring engine.
+//
+//   bench_foldin [--scale=1.0] [--k=50] [--m=50] [--sweeps=6] [--seed=1]
+//                [--histories=64] [--history-len=8]
+//                [--reps=50] [--warmup=5]
+//                [--clients=4] [--requests=200] [--pipeline=8]
+//                [--daemon-reps=3] [--daemon-warmup=1]
+//                [--json] [--out=BENCH_foldin.json]
+//                [--min-speedup=X] [--baseline=path/to/BENCH.json]
+//
+// Three measurements over one trained model:
+//
+//  1. Scoring speedup (the gated number). Each history is folded in ONCE
+//     up front; the timed region ranks that fixed factor against the
+//     catalog, so the ratio isolates what changed — per-pair
+//     ScoreFoldedUser + TopM (n_i dense dots, expm1 on every item)
+//     versus FoldedUserRecommender through RecommendBlockedInto
+//     (AffinityBlock skipping the folded factor's zero coordinates,
+//     expm1 only on selection survivors). Both sides are checked
+//     bit-identical on every history before any timing.
+//
+//  2. Daemon fold-in service (informational): a RequestServer over the
+//     saved binary model, driven by the load generator with all-history
+//     traffic (unsorted ids with duplicates, exercising the wire
+//     sanitization). A validated pass first checks every reply against
+//     the offline RecommendForHistoryInto oracle.
+//
+//  3. Update publish latency (informational): one in-daemon `update`
+//     request appending a new user, timed end to end (retrain + binary
+//     save + atomic rename + registry swap).
+//
+// --min-speedup fails (exit 2) below an absolute floor; --baseline fails
+// (exit 2) on a >40% regression of the scoring speedup after checking
+// the baseline ran the same workload shape. The ratio is algorithmic
+// (in-process, no sockets), but a fold-in request is only a few
+// microseconds, so per-request timing noise is proportionally larger
+// than in the train/serve benches — hence a margin between their 25%
+// and the daemon bench's 75% (observed same-machine spread: ~1.4x
+// between the slowest and fastest of repeated runs).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/json.h"
+#include "common/timer.h"
+#include "core/fold_in.h"
+#include "core/model_store.h"
+#include "core/ocular_recommender.h"
+#include "eval/recommender.h"
+#include "serving/daemon.h"
+#include "serving/loadgen.h"
+#include "serving/registry.h"
+#include "sparse/coo.h"
+#include "sparse/csr.h"
+
+namespace ocular {
+namespace bench {
+namespace {
+
+/// Two disjoint dense user-item blocks with random holes — the same
+/// generator as bench_serve_hot / bench_daemon_hot, so records are
+/// comparable across the serve-side benches.
+CsrMatrix TwoBlockWorkload(double scale, uint64_t seed) {
+  const auto dim = [scale](uint32_t base) {
+    return std::max(8u, static_cast<uint32_t>(base * scale));
+  };
+  const uint32_t users_per_block = dim(600);
+  const uint32_t items_per_block = dim(400);
+  const double fill = 0.7;
+  Rng rng(seed);
+  CooBuilder coo;
+  for (uint32_t b = 0; b < 2; ++b) {
+    const uint32_t u0 = b * users_per_block;
+    const uint32_t i0 = b * items_per_block;
+    for (uint32_t u = 0; u < users_per_block; ++u) {
+      for (uint32_t i = 0; i < items_per_block; ++i) {
+        if (rng.Uniform(0.0, 1.0) < fill) coo.Add(u0 + u, i0 + i);
+      }
+    }
+  }
+  return CsrMatrix::FromCoo(
+      coo.Finalize(2 * users_per_block, 2 * items_per_block).value());
+}
+
+/// Per-item interaction counts of the training matrix — the popularity
+/// ranking the daemon's registry builds for the fallback path, mirrored
+/// here so the offline oracle matches the served context exactly.
+std::vector<double> TrainPopularity(const CsrMatrix& r) {
+  std::vector<double> pop(r.num_cols(), 0.0);
+  for (uint32_t col : r.col_idx()) pop[col] += 1.0;
+  return pop;
+}
+
+struct FoldinBenchResult {
+  double perpair_us = 0.0;  ///< per-request, per-pair reference
+  double blocked_us = 0.0;  ///< per-request, blocked engine
+  double speedup = 0.0;
+  double daemon_rps = 0.0;
+  double daemon_p50_us = 0.0;
+  double daemon_p99_us = 0.0;
+  double update_total_us = 0.0;
+  double update_publish_us = 0.0;
+  bool lists_identical = false;
+  uint64_t mismatches = 0;
+  std::string first_mismatch;
+};
+
+std::string ToJson(const FoldinBenchResult& res, const CsrMatrix& r,
+                   uint32_t k, uint32_t m, double scale, uint32_t histories,
+                   uint32_t history_len, uint32_t reps, uint32_t warmup,
+                   const LoadGenOptions& load) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.String("foldin");
+  w.Key("workload");
+  w.BeginObject();
+  w.Key("kind");
+  w.String("two_block");
+  w.Key("scale");
+  w.Double(scale);
+  w.Key("users");
+  w.UInt(r.num_rows());
+  w.Key("items");
+  w.UInt(r.num_cols());
+  w.Key("nnz");
+  w.UInt(r.nnz());
+  w.Key("k");
+  w.UInt(k);
+  w.Key("m");
+  w.UInt(m);
+  w.Key("histories");
+  w.UInt(histories);
+  w.Key("history_len");
+  w.UInt(history_len);
+  w.Key("reps");
+  w.UInt(reps);
+  w.Key("warmup");
+  w.UInt(warmup);
+  w.Key("clients");
+  w.UInt(load.clients);
+  w.Key("pipeline");
+  w.UInt(load.pipeline);
+  w.EndObject();
+  w.Key("scoring");
+  w.BeginObject();
+  w.Key("perpair_us_per_request");
+  w.Double(res.perpair_us);
+  w.Key("blocked_us_per_request");
+  w.Double(res.blocked_us);
+  w.EndObject();
+  w.Key("speedup");
+  w.Double(res.speedup);
+  w.Key("daemon");
+  w.BeginObject();
+  w.Key("requests_per_second");
+  w.Double(res.daemon_rps);
+  w.Key("p50_latency_us");
+  w.Double(res.daemon_p50_us);
+  w.Key("p99_latency_us");
+  w.Double(res.daemon_p99_us);
+  w.EndObject();
+  w.Key("update");
+  w.BeginObject();
+  w.Key("total_us");
+  w.Double(res.update_total_us);
+  w.Key("publish_us");
+  w.Double(res.update_publish_us);
+  w.EndObject();
+  w.Key("lists_identical");
+  w.Bool(res.lists_identical);
+  w.EndObject();
+  return w.str();
+}
+
+int Main(int argc, char** argv) {
+  const double scale = FlagDouble(argc, argv, "scale", 1.0);
+  const uint32_t k = static_cast<uint32_t>(FlagDouble(argc, argv, "k", 50));
+  const uint32_t m = static_cast<uint32_t>(FlagDouble(argc, argv, "m", 50));
+  const uint32_t sweeps =
+      static_cast<uint32_t>(FlagDouble(argc, argv, "sweeps", 6));
+  const uint64_t seed =
+      static_cast<uint64_t>(FlagDouble(argc, argv, "seed", 1));
+  const uint32_t histories =
+      static_cast<uint32_t>(FlagDouble(argc, argv, "histories", 64));
+  const uint32_t history_len =
+      static_cast<uint32_t>(FlagDouble(argc, argv, "history-len", 8));
+  const uint32_t reps =
+      static_cast<uint32_t>(FlagDouble(argc, argv, "reps", 50));
+  const uint32_t warmup =
+      static_cast<uint32_t>(FlagDouble(argc, argv, "warmup", 5));
+  const uint32_t daemon_reps =
+      static_cast<uint32_t>(FlagDouble(argc, argv, "daemon-reps", 3));
+  const uint32_t daemon_warmup =
+      static_cast<uint32_t>(FlagDouble(argc, argv, "daemon-warmup", 1));
+
+  const CsrMatrix r = TwoBlockWorkload(scale, seed);
+  std::printf(
+      "foldin: %u users x %u items, nnz=%zu, K=%u, top-%u — %u histories "
+      "of %u, %u reps (+%u warmup)\n",
+      r.num_rows(), r.num_cols(), r.nnz(), k, m, histories, history_len,
+      reps, warmup);
+
+  OcularConfig config;
+  config.k = k;
+  config.lambda = 1.0;
+  config.max_sweeps = sweeps;
+  config.seed = seed + 1;
+  OcularRecommender rec(config);
+  {
+    Stopwatch watch;
+    OCULAR_CHECK(rec.Fit(r).ok());
+    std::printf("  trained %u sweeps in %.2f s\n",
+                static_cast<unsigned>(rec.trace().size()),
+                watch.ElapsedSeconds());
+  }
+
+  const std::vector<double> popularity = TrainPopularity(r);
+  auto ctx = MakeFoldInContext(rec.model(), config, popularity);
+  OCULAR_CHECK(ctx.ok());
+
+  // ---------------------------------------------- fold the cohort once
+  // Histories are the load generator's own deterministic traffic
+  // (unsorted, duplicated), sanitized exactly as the daemon does, then
+  // solved once; the timed loops below rank these fixed factors.
+  std::vector<std::vector<uint32_t>> cohort(histories);
+  std::vector<std::vector<double>> factors(histories);
+  FoldInOptions fold_options;
+  FoldInWorkspace fold_ws;
+  fold_ws.Reserve(ctx->dims(), history_len);
+  for (uint32_t h = 0; h < histories; ++h) {
+    cohort[h] = LoadGenHistory(h, history_len, r.num_cols());
+    SanitizeHistory(&cohort[h], r.num_cols());
+    OCULAR_CHECK(
+        FoldInUserInto(*ctx, cohort[h], fold_options, &fold_ws).ok());
+    factors[h].assign(fold_ws.f.begin(), fold_ws.f.end());
+  }
+
+  FoldinBenchResult res;
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+  const uint32_t block_items = 2048;
+
+  // ------------------------------------- parity check before any timing
+  {
+    std::vector<double> tile;
+    std::vector<ScoredItem> selection;
+    std::vector<double> scores(r.num_cols());
+    res.lists_identical = true;
+    for (uint32_t h = 0; h < histories && res.lists_identical; ++h) {
+      for (uint32_t i = 0; i < r.num_cols(); ++i) {
+        scores[i] = ScoreFoldedUser(rec.model(), factors[h], i);
+      }
+      const std::vector<ScoredItem> expect = TopM(scores, m, cohort[h]);
+      FoldedUserRecommender folded(&*ctx, factors[h]);
+      RecommendBlockedInto(folded, 0, m, cohort[h], neg_inf, block_items,
+                           &tile, &selection);
+      bool same = selection.size() == expect.size();
+      for (size_t p = 0; same && p < expect.size(); ++p) {
+        same = selection[p].item == expect[p].item &&
+               selection[p].score == expect[p].score;
+      }
+      if (!same) {
+        res.lists_identical = false;
+        ++res.mismatches;
+        res.first_mismatch =
+            "history " + std::to_string(h) +
+            ": blocked ranking differs from the per-pair reference";
+      }
+    }
+    if (!res.lists_identical) {
+      std::fprintf(stderr, "FAIL: %s\n", res.first_mismatch.c_str());
+      return 1;
+    }
+  }
+
+  // ------------------------------------------------- timed scoring race
+  {
+    std::vector<double> scores(r.num_cols());
+    std::vector<ScoredItem> sink;
+    double perpair_seconds = 0.0;
+    for (uint32_t run = 0; run < warmup + reps; ++run) {
+      Stopwatch watch;
+      for (uint32_t h = 0; h < histories; ++h) {
+        for (uint32_t i = 0; i < r.num_cols(); ++i) {
+          scores[i] = ScoreFoldedUser(rec.model(), factors[h], i);
+        }
+        sink = TopM(scores, m, cohort[h]);
+      }
+      if (run >= warmup) perpair_seconds += watch.ElapsedSeconds();
+    }
+    std::vector<double> tile;
+    std::vector<ScoredItem> selection;
+    double blocked_seconds = 0.0;
+    for (uint32_t run = 0; run < warmup + reps; ++run) {
+      Stopwatch watch;
+      for (uint32_t h = 0; h < histories; ++h) {
+        FoldedUserRecommender folded(&*ctx, factors[h]);
+        RecommendBlockedInto(folded, 0, m, cohort[h], neg_inf, block_items,
+                             &tile, &selection);
+      }
+      if (run >= warmup) blocked_seconds += watch.ElapsedSeconds();
+    }
+    const double requests = static_cast<double>(reps) * histories;
+    res.perpair_us = perpair_seconds * 1e6 / requests;
+    res.blocked_us = blocked_seconds * 1e6 / requests;
+    res.speedup = perpair_seconds / std::max(blocked_seconds, 1e-12);
+  }
+  std::printf("  per-pair : %10.1f us/request  (ScoreFoldedUser + TopM)\n",
+              res.perpair_us);
+  std::printf("  blocked  : %10.1f us/request  (engine, zero-coord "
+              "skipping, lazy expm1)\n",
+              res.blocked_us);
+  std::printf("  speedup  : %10.2fx         (identical lists)\n",
+              res.speedup);
+
+  // ----------------------------------------- daemon fold-in (informational)
+  LoadGenOptions load;
+  load.clients = static_cast<uint32_t>(FlagDouble(argc, argv, "clients", 4));
+  load.requests_per_client =
+      static_cast<uint64_t>(FlagDouble(argc, argv, "requests", 200));
+  load.pipeline =
+      static_cast<uint32_t>(FlagDouble(argc, argv, "pipeline", 8));
+  load.m = m;
+  load.num_users = r.num_rows();
+  load.history_every = 1;  // all-history traffic
+  load.history_len = history_len;
+  load.num_items = r.num_cols();
+
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string model_path =
+      std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+      "/ocular_bench_foldin.oclr";
+  OCULAR_CHECK(SaveModelBinary(rec.model(), config, model_path).ok());
+  ModelRegistry registry;
+  {
+    auto train = std::make_shared<const CsrMatrix>(r);
+    OCULAR_CHECK(registry.Load("default", model_path, train).ok());
+  }
+  RequestServer::Options server_options;
+  server_options.serve.m = m;
+  RequestServer server(&registry, server_options);
+  {
+    const uint64_t total_connections =
+        static_cast<uint64_t>(daemon_warmup + daemon_reps + 1) * load.clients;
+    std::thread serve_thread([&server, total_connections] {
+      OCULAR_CHECK(server.RunTcpLoop(0, total_connections).ok());
+    });
+    uint16_t port = 0;
+    for (int ms = 0; ms < 10000 && (port = server.bound_port()) == 0; ++ms) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    OCULAR_CHECK(port != 0);
+
+    // Validated pass: every daemon reply checked against the offline
+    // fold-in oracle over the same context (wire-exact score compare).
+    std::mutex oracle_mu;
+    std::vector<uint32_t> oracle_history;
+    FoldInWorkspace oracle_ws;
+    std::vector<double> oracle_tile;
+    std::vector<ScoredItem> oracle_selection;
+    LoadGenOptions validate = load;
+    validate.port = port;
+    validate.on_history_reply = [&](std::span<const uint32_t> history,
+                                    const std::string& line) {
+      std::lock_guard<std::mutex> lock(oracle_mu);
+      oracle_history.assign(history.begin(), history.end());
+      SanitizeHistory(&oracle_history, r.num_cols());
+      auto expect = RecommendForHistoryInto(
+          *ctx, oracle_history, m, /*min_score=*/0.0, block_items,
+          fold_options, &oracle_ws, &oracle_tile, &oracle_selection);
+      OCULAR_CHECK(expect.ok());
+      if (!ReplyMatchesRanked(line, expect->items)) {
+        ++res.mismatches;
+        if (res.first_mismatch.empty()) {
+          res.first_mismatch =
+              "daemon fold-in reply differs from the offline oracle: " +
+              line;
+        }
+      }
+    };
+    {
+      auto validated = RunLoadGen(validate);
+      OCULAR_CHECK(validated.ok());
+      res.lists_identical =
+          res.mismatches == 0 && validated->error_replies == 0;
+    }
+    double rps_sum = 0.0, p50_sum = 0.0, p99_sum = 0.0;
+    for (uint32_t run = 0;
+         run < daemon_warmup + daemon_reps && res.lists_identical; ++run) {
+      LoadGenOptions pass = load;
+      pass.port = port;
+      auto result = RunLoadGen(pass);
+      OCULAR_CHECK(result.ok());
+      OCULAR_CHECK(result->error_replies == 0);
+      if (run >= daemon_warmup) {
+        rps_sum += result->requests_per_second;
+        p50_sum += result->p50_latency_us;
+        p99_sum += result->p99_latency_us;
+      }
+    }
+    if (res.lists_identical) {
+      res.daemon_rps = rps_sum / daemon_reps;
+      res.daemon_p50_us = p50_sum / daemon_reps;
+      res.daemon_p99_us = p99_sum / daemon_reps;
+    } else {
+      for (uint64_t c = 0; c < static_cast<uint64_t>(daemon_warmup +
+                                                     daemon_reps) *
+                                   load.clients;
+           ++c) {
+        LoadGenOptions drain = load;
+        drain.port = port;
+        drain.clients = 1;
+        drain.requests_per_client = 1;
+        drain.pipeline = 1;
+        (void)RunLoadGen(drain);
+      }
+    }
+    serve_thread.join();
+  }
+  if (!res.lists_identical) {
+    std::fprintf(stderr,
+                 "FAIL: %llu daemon fold-in replies differ from the "
+                 "offline oracle; first: %s\n",
+                 static_cast<unsigned long long>(res.mismatches),
+                 res.first_mismatch.c_str());
+    std::remove(model_path.c_str());
+    return 1;
+  }
+  std::printf("  daemon   : %10.0f req/s all-history traffic  p50 %.0f us  "
+              "p99 %.0f us\n",
+              res.daemon_rps, res.daemon_p50_us, res.daemon_p99_us);
+
+  // -------------------------------------- update publish (informational)
+  {
+    const uint32_t new_user = r.num_rows();
+    std::string update = "{\"cmd\":\"update\",\"model\":\"default\","
+                         "\"sweeps\":2,\"adds\":[";
+    for (uint32_t j = 0; j < std::min(history_len, r.num_cols()); ++j) {
+      if (j > 0) update += ',';
+      update += "[" + std::to_string(new_user) + "," + std::to_string(j) +
+                "]";
+    }
+    update += "]}";
+    Stopwatch watch;
+    const std::string reply = server.HandleLine(update);
+    res.update_total_us = watch.ElapsedSeconds() * 1e6;
+    OCULAR_CHECK(reply.rfind("{\"ok\":true", 0) == 0);
+    (void)FindJsonNumber(reply, "publish_us", &res.update_publish_us);
+  }
+  std::remove(model_path.c_str());
+  std::printf("  update   : %10.0f us end-to-end (publish %.0f us)\n",
+              res.update_total_us, res.update_publish_us);
+
+  if (FlagBool(argc, argv, "json")) {
+    const std::string out_path =
+        FlagString(argc, argv, "out", "BENCH_foldin.json");
+    const std::string json = ToJson(res, r, k, m, scale, histories,
+                                    history_len, reps, warmup, load);
+    if (!WriteTextFile(out_path, json + "\n")) return 1;
+    std::printf("  wrote %s\n", out_path.c_str());
+  }
+
+  const double min_speedup = FlagDouble(argc, argv, "min-speedup", 0.0);
+  if (min_speedup > 0.0 && res.speedup < min_speedup) {
+    std::fprintf(stderr, "FAIL: speedup %.2fx below floor %.2fx\n",
+                 res.speedup, min_speedup);
+    return 2;
+  }
+
+  const std::string baseline_path = FlagString(argc, argv, "baseline", "");
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    double baseline_speedup = 0.0;
+    if (!in || !FindJsonNumber(buf.str(), "speedup", &baseline_speedup)) {
+      std::fprintf(stderr, "FAIL: cannot read speedup from baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    // The ratio only transfers between runs of the same workload shape —
+    // refuse to gate otherwise.
+    double base_scale = 0.0, base_k = 0.0, base_m = 0.0, base_nnz = 0.0;
+    double base_histories = 0.0, base_len = 0.0;
+    if (!FindJsonNumber(buf.str(), "scale", &base_scale) ||
+        !FindJsonNumber(buf.str(), "k", &base_k) ||
+        !FindJsonNumber(buf.str(), "m", &base_m) ||
+        !FindJsonNumber(buf.str(), "nnz", &base_nnz) ||
+        !FindJsonNumber(buf.str(), "histories", &base_histories) ||
+        !FindJsonNumber(buf.str(), "history_len", &base_len) ||
+        std::abs(base_scale - scale) > 1e-12 ||
+        static_cast<uint32_t>(base_k) != k ||
+        static_cast<uint32_t>(base_m) != m ||
+        static_cast<size_t>(base_nnz) != r.nnz() ||
+        static_cast<uint32_t>(base_histories) != histories ||
+        static_cast<uint32_t>(base_len) != history_len) {
+      std::fprintf(stderr,
+                   "FAIL: baseline %s records a different workload shape "
+                   "(scale=%g k=%g m=%g nnz=%.0f histories=%g "
+                   "history_len=%g vs scale=%g k=%u m=%u nnz=%zu "
+                   "histories=%u history_len=%u) — regenerate it with the "
+                   "current bench flags\n",
+                   baseline_path.c_str(), base_scale, base_k, base_m,
+                   base_nnz, base_histories, base_len, scale, k, m, r.nnz(),
+                   histories, history_len);
+      return 2;
+    }
+    const double floor = 0.60 * baseline_speedup;
+    if (res.speedup < floor) {
+      std::fprintf(stderr,
+                   "FAIL: speedup %.2fx regressed >25%% vs baseline %.2fx "
+                   "(floor %.2fx)\n",
+                   res.speedup, baseline_speedup, floor);
+      return 2;
+    }
+    std::printf("  baseline gate ok: %.2fx vs recorded %.2fx (floor %.2fx)\n",
+                res.speedup, baseline_speedup, floor);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ocular
+
+int main(int argc, char** argv) { return ocular::bench::Main(argc, argv); }

@@ -2,19 +2,103 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+
+#include "sparse/linalg.h"
 
 namespace ocular {
 
-Result<std::vector<double>> FoldInUser(const OcularModel& model,
-                                       const OcularConfig& config,
-                                       std::span<const uint32_t> history,
-                                       const FoldInOptions& options) {
+namespace {
+
+/// Shared validation of the factor views a context is built over.
+Status ValidateContextShape(ConstMatrixView items, ConstMatrixView items_t,
+                            const OcularConfig& config,
+                            std::span<const double> popularity) {
   OCULAR_RETURN_IF_ERROR(config.Validate());
-  if (config.TotalDims() != model.k()) {
+  if (config.TotalDims() != items.cols()) {
     return Status::InvalidArgument("config dimensions do not match model");
   }
+  if (items_t.rows() != items.cols() || items_t.cols() != items.rows()) {
+    return Status::InvalidArgument(
+        "items_t must be the transposed layout of items");
+  }
+  if (!popularity.empty() && popularity.size() != items.rows()) {
+    return Status::InvalidArgument(
+        "popularity must have one entry per item");
+  }
+  return Status::OK();
+}
+
+/// Fills ctx->popularity: the explicit ranking if given, else the expected
+/// affinity <Σ_u f_u, f_i> — deterministic either way.
+void FillPopularity(ConstMatrixView user_factors,
+                    std::span<const double> popularity, FoldInContext* ctx) {
+  const uint32_t n = ctx->num_items();
+  ctx->popularity.assign(popularity.begin(), popularity.end());
+  if (!ctx->popularity.empty()) return;
+  ctx->popularity.resize(n, 0.0);
+  const std::vector<double> user_sums = ColumnSums(user_factors);
+  for (uint32_t i = 0; i < n; ++i) {
+    ctx->popularity[i] = vec::Dot(user_sums, ctx->items.Row(i));
+  }
+}
+
+}  // namespace
+
+Result<FoldInContext> MakeFoldInContext(ConstMatrixView user_factors,
+                                        ConstMatrixView items,
+                                        ConstMatrixView items_t,
+                                        const OcularConfig& config,
+                                        std::span<const double> popularity) {
+  OCULAR_RETURN_IF_ERROR(
+      ValidateContextShape(items, items_t, config, popularity));
+  if (popularity.empty() && user_factors.cols() != items.cols()) {
+    return Status::InvalidArgument(
+        "user factors must match item dimensions (or pass popularity)");
+  }
+  FoldInContext ctx;
+  ctx.config = config;
+  ctx.items = items;
+  ctx.items_t = items_t;
+  ctx.item_sums = ColumnSums(items);
+  FillPopularity(user_factors, popularity, &ctx);
+  return ctx;
+}
+
+Result<FoldInContext> MakeFoldInContext(const OcularModel& model,
+                                        const OcularConfig& config,
+                                        std::span<const double> popularity) {
+  FoldInContext ctx;
+  ctx.owned_items_t = TransposedCopy(model.item_factors());
+  OCULAR_RETURN_IF_ERROR(ValidateContextShape(
+      model.item_factors(), ctx.owned_items_t, config, popularity));
+  ctx.config = config;
+  ctx.items = model.item_factors();
+  ctx.items_t = ctx.owned_items_t;
+  ctx.item_sums = ColumnSums(ctx.items);
+  FillPopularity(model.user_factors(), popularity, &ctx);
+  return ctx;
+}
+
+HistorySanitizeResult SanitizeHistory(std::vector<uint32_t>* history,
+                                      uint32_t num_items) {
+  HistorySanitizeResult res;
+  std::sort(history->begin(), history->end());
+  const auto oor =
+      std::lower_bound(history->begin(), history->end(), num_items);
+  res.dropped_out_of_range =
+      static_cast<size_t>(history->end() - oor);
+  history->erase(oor, history->end());
+  history->erase(std::unique(history->begin(), history->end()),
+                 history->end());
+  return res;
+}
+
+Status FoldInUserInto(const FoldInContext& ctx,
+                      std::span<const uint32_t> history,
+                      const FoldInOptions& options, FoldInWorkspace* ws) {
   for (size_t n = 0; n < history.size(); ++n) {
-    if (history[n] >= model.num_items()) {
+    if (history[n] >= ctx.num_items()) {
       return Status::InvalidArgument("history item out of range: " +
                                      std::to_string(history[n]));
     }
@@ -22,15 +106,17 @@ Result<std::vector<double>> FoldInUser(const OcularModel& model,
       return Status::InvalidArgument("history must be strictly ascending");
     }
   }
-  std::vector<double> f(model.k(), 0.0);
-  if (history.empty()) return f;
+  const uint32_t dims = ctx.dims();
+  const OcularConfig& config = ctx.config;
+  ws->f.assign(dims, 0.0);
+  if (history.empty()) return Status::OK();
 
   // Start from the mean of the purchased items' factors — a feasible,
   // informed initial point.
-  const DenseMatrix& items = model.item_factors();
+  std::span<double> f(ws->f);
   for (uint32_t i : history) {
-    auto row = items.Row(i);
-    for (uint32_t c = 0; c < model.k(); ++c) {
+    auto row = ctx.items.Row(i);
+    for (uint32_t c = 0; c < dims; ++c) {
       f[c] += row[c] / static_cast<double>(history.size());
     }
   }
@@ -41,32 +127,58 @@ Result<std::vector<double>> FoldInUser(const OcularModel& model,
       config.use_biases ? static_cast<int>(config.k) + 1 : -1;
   if (config.use_biases) f[config.k + 1] = 1.0;
 
-  const std::vector<double> item_sums = items.ColumnSums();
-  std::vector<double> complement(item_sums.begin(), item_sums.end());
+  ws->complement.assign(ctx.item_sums.begin(), ctx.item_sums.end());
   for (uint32_t i : history) {
-    auto row = items.Row(i);
-    for (uint32_t c = 0; c < model.k(); ++c) complement[c] -= row[c];
+    auto row = ctx.items.Row(i);
+    for (uint32_t c = 0; c < dims; ++c) ws->complement[c] -= row[c];
   }
 
-  // One workspace for the whole solve: the history block never changes, so
-  // the dot cache stays warm across steps and each step's objective comes
-  // out of the line search for free.
-  internal::BlockWorkspace ws;
-  ws.Reserve(model.k(), history.size());
+  // The workspace is reused across requests: grow the solver scratch if
+  // this history is the longest seen (no-op once warm), and invalidate the
+  // dot cache left behind by the previous solve.
+  if (ws->block.dots.size() < history.size()) {
+    ws->block.Reserve(dims, history.size());
+  }
+  ws->block.Invalidate();
 
-  double prev = internal::BlockObjective(f, history, items, complement,
-                                         config.lambda, 1.0, {});
+  // The history block never changes during the solve, so the dot cache
+  // stays warm across steps and each step's objective comes out of the
+  // line search for free.
+  double prev = internal::BlockObjective(f, history, ctx.items,
+                                         ws->complement, config.lambda, 1.0,
+                                         {});
   double step_hint = 0.0;  // accepted backtrack exponent (see ArmijoStep)
   for (uint32_t step = 0; step < options.max_steps; ++step) {
     const internal::BlockStepResult res = internal::ProjectedGradientStep(
-        f, history, items, item_sums, config.lambda, 1.0, {}, config,
-        user_frozen, &ws, &step_hint);
+        f, history, ctx.items, ctx.item_sums, config.lambda, 1.0, {}, config,
+        user_frozen, &ws->block, &step_hint);
     const double q = res.objective;
     const double rel = (prev - q) / std::max(std::abs(prev), 1e-12);
     if (rel < options.tolerance) break;
     prev = q;
   }
-  return f;
+  return Status::OK();
+}
+
+Result<std::vector<double>> FoldInUser(const OcularModel& model,
+                                       const OcularConfig& config,
+                                       std::span<const uint32_t> history,
+                                       const FoldInOptions& options) {
+  OCULAR_RETURN_IF_ERROR(config.Validate());
+  if (config.TotalDims() != model.k()) {
+    return Status::InvalidArgument("config dimensions do not match model");
+  }
+  // One-off context without the transposed copy / popularity the serving
+  // contexts carry — the solve only needs the row-major factors and sums.
+  FoldInContext ctx;
+  ctx.config = config;
+  ctx.items = model.item_factors();
+  ctx.items_t = ConstMatrixView(nullptr, model.k(), model.num_items());
+  ctx.item_sums = ColumnSums(ctx.items);
+  FoldInWorkspace ws;
+  ws.Reserve(ctx.dims(), history.size());
+  OCULAR_RETURN_IF_ERROR(FoldInUserInto(ctx, history, options, &ws));
+  return std::move(ws.f);
 }
 
 double ScoreFoldedUser(const OcularModel& model,
@@ -74,17 +186,73 @@ double ScoreFoldedUser(const OcularModel& model,
   return -std::expm1(-vec::Dot(user_factor, model.item_factors().Row(item)));
 }
 
+double FoldedUserRecommender::Score(uint32_t, uint32_t i) const {
+  return -std::expm1(-vec::Dot(f_, ctx_->items.Row(i)));
+}
+
+void FoldedUserRecommender::RawScoreBlock(uint32_t, uint32_t item_begin,
+                                          uint32_t item_end,
+                                          std::span<double> out) const {
+  (void)item_end;
+  vec::AffinityBlock(f_, ctx_->items_t, item_begin, out);
+}
+
+void FoldedUserRecommender::ScoreBlock(uint32_t u, uint32_t item_begin,
+                                       uint32_t item_end,
+                                       std::span<double> out) const {
+  RawScoreBlock(u, item_begin, item_end, out);
+  for (double& s : out) s = -std::expm1(-s);
+}
+
+double FoldedUserRecommender::ScoreFromRaw(double raw) const {
+  return -std::expm1(-raw);
+}
+
+Result<HistoryRecommendation> RecommendForHistoryInto(
+    const FoldInContext& ctx, std::span<const uint32_t> history, uint32_t m,
+    double min_score, uint32_t block_items, const FoldInOptions& options,
+    FoldInWorkspace* ws, std::vector<double>* tile,
+    std::vector<ScoredItem>* selection) {
+  m = std::min(m, ctx.num_items());
+  bool folded = !history.empty();
+  if (folded) {
+    OCULAR_RETURN_IF_ERROR(FoldInUserInto(ctx, history, options, ws));
+    // Degenerate solve (all-zero factor, e.g. history items with all-zero
+    // factors): every score is exactly 0 and top-M would return an
+    // arbitrary tie-ordered catalog prefix — fall back to popularity.
+    folded = vec::SquaredNorm(ws->f) > 0.0;
+  }
+  constexpr double kNoFloor = -std::numeric_limits<double>::infinity();
+  if (!folded) {
+    TopMInto(ctx.popularity, m, history, kNoFloor, selection);
+    return HistoryRecommendation{{selection->data(), selection->size()},
+                                 false};
+  }
+  FoldedUserRecommender rec(&ctx, ws->f);
+  // Same min_score convention (and selector) as the ServeTopM path.
+  RecommendBlockedInto(rec, 0, m, history,
+                       min_score > 0.0 ? min_score : kNoFloor, block_items,
+                       tile, selection);
+  return HistoryRecommendation{{selection->data(), selection->size()}, true};
+}
+
 Result<std::vector<ScoredItem>> RecommendForHistory(
     const OcularModel& model, const OcularConfig& config,
     std::span<const uint32_t> history, uint32_t m,
     const FoldInOptions& options) {
-  OCULAR_ASSIGN_OR_RETURN(std::vector<double> f,
-                          FoldInUser(model, config, history, options));
-  std::vector<double> scores(model.num_items());
-  for (uint32_t i = 0; i < model.num_items(); ++i) {
-    scores[i] = ScoreFoldedUser(model, f, i);
-  }
-  return TopM(scores, m, history);
+  OCULAR_ASSIGN_OR_RETURN(FoldInContext ctx,
+                          MakeFoldInContext(model, config));
+  FoldInWorkspace ws;
+  ws.Reserve(ctx.dims(), history.size());
+  std::vector<double> tile;
+  std::vector<ScoredItem> selection;
+  OCULAR_ASSIGN_OR_RETURN(
+      HistoryRecommendation rec,
+      RecommendForHistoryInto(ctx, history, m, /*min_score=*/0.0,
+                              kDefaultScoreBlockItems, options, &ws, &tile,
+                              &selection));
+  (void)rec;
+  return selection;
 }
 
 }  // namespace ocular

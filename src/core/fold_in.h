@@ -28,9 +28,91 @@ struct FoldInOptions {
   double tolerance = 1e-8;
 };
 
+/// Per-model fold-in state, built ONCE per published model generation and
+/// shared (read-only) by every fold-in request against it: the item-factor
+/// views in both layouts, the Σ_i f_i column sums the single-row solve
+/// needs, and the deterministic popularity ranking used as the fallback
+/// for histories that carry no signal. The viewed factor memory (an
+/// OcularModel or an mmapped ModelStore section) must outlive the context.
+struct FoldInContext {
+  OcularConfig config;
+  /// Item factors, n_i x dims row-major (dims == config.TotalDims()).
+  ConstMatrixView items;
+  /// Item factors transposed, dims x n_i — the serving-layout view the
+  /// blocked affinity kernel streams.
+  ConstMatrixView items_t;
+  /// ColumnSums(items): Σ_i f_i, shared by every fold-in solve.
+  std::vector<double> item_sums;
+  /// Fallback ranking scores, length n_i: interaction counts when built
+  /// from a training matrix, otherwise the expected affinity
+  /// <Σ_u f_u, f_i>. Ranked with the engine's deterministic tie-break.
+  std::vector<double> popularity;
+  /// Backing storage for `items_t` when the caller has no transposed
+  /// layout (contexts built from an OcularModel).
+  DenseMatrix owned_items_t;
+
+  uint32_t num_items() const { return items.rows(); }
+  uint32_t dims() const { return items.cols(); }
+};
+
+/// Builds a context from borrowed factor views (e.g. the mmapped sections
+/// of a ModelStore — zero copies). `popularity` (length items.rows()) is
+/// the fallback ranking source; pass empty to derive the expected-affinity
+/// ranking from `user_factors`.
+Result<FoldInContext> MakeFoldInContext(ConstMatrixView user_factors,
+                                        ConstMatrixView items,
+                                        ConstMatrixView items_t,
+                                        const OcularConfig& config,
+                                        std::span<const double> popularity = {});
+
+/// Builds a context from an in-memory model (owns a transposed copy of the
+/// item factors). The model must outlive the context.
+Result<FoldInContext> MakeFoldInContext(const OcularModel& model,
+                                        const OcularConfig& config,
+                                        std::span<const double> popularity = {});
+
+/// Statistics of one SanitizeHistory pass.
+struct HistorySanitizeResult {
+  /// Ids >= num_items removed (surfaced as a warning count in serving
+  /// stats — silently scoring a phantom item would hide client bugs).
+  size_t dropped_out_of_range = 0;
+};
+
+/// Normalizes a client-supplied history into the solver's contract: sorts
+/// ascending, drops ids outside [0, num_items), and removes duplicates —
+/// all in place, allocation-free. Wire input is untrusted; the strict
+/// FoldInUser precondition (strictly ascending, in range) is an internal
+/// invariant, not a reasonable client contract.
+HistorySanitizeResult SanitizeHistory(std::vector<uint32_t>* history,
+                                      uint32_t num_items);
+
+/// Per-request fold-in scratch. After Reserve() (or one warm-up request of
+/// maximal history length) repeated solves perform zero heap allocations.
+struct FoldInWorkspace {
+  std::vector<double> f;           ///< the folded user factor, dims
+  std::vector<double> complement;  ///< Σ_{r=0} f_i scratch, dims
+  internal::BlockWorkspace block;  ///< single-row solver scratch
+
+  void Reserve(uint32_t dims, size_t max_history) {
+    f.resize(dims);
+    complement.resize(dims);
+    block.Reserve(dims, max_history);
+  }
+};
+
+/// Allocation-free fold-in solve: computes f_u for the (sanitized:
+/// strictly ascending, in-range) `history` into ws->f. An empty history
+/// yields the all-zeros vector; RecommendForHistoryInto turns that into
+/// the popularity fallback.
+Status FoldInUserInto(const FoldInContext& ctx,
+                      std::span<const uint32_t> history,
+                      const FoldInOptions& options, FoldInWorkspace* ws);
+
 /// Computes f_u (length model.k()) for a user whose positive items are
 /// `history` (ascending item ids). Items outside [0, num_items) are
 /// rejected. An empty history yields the all-zeros vector (every score 0).
+/// Convenience wrapper over FoldInUserInto with one-off context/scratch;
+/// request-serving paths hold a FoldInContext + FoldInWorkspace instead.
 Result<std::vector<double>> FoldInUser(const OcularModel& model,
                                        const OcularConfig& config,
                                        std::span<const uint32_t> history,
@@ -40,8 +122,65 @@ Result<std::vector<double>> FoldInUser(const OcularModel& model,
 double ScoreFoldedUser(const OcularModel& model,
                        std::span<const double> user_factor, uint32_t item);
 
+/// Adapter presenting one folded-in user factor as a single-user
+/// Recommender, so the fold-in serving path runs through the SAME blocked
+/// engine (RecommendBlockedInto / ServeTopM) as every other serve path:
+/// raw ranking on the affinity <f, f_i> via the blocked kernel, the
+/// 1 - e^{-x} probability map applied only to the kept survivors.
+/// Bit-identical to the per-item ScoreFoldedUser loop (vec::AffinityBlock
+/// guarantees per-item dot equality).
+class FoldedUserRecommender : public Recommender {
+ public:
+  /// Both the context and the factor span must outlive the adapter.
+  FoldedUserRecommender(const FoldInContext* ctx, std::span<const double> f)
+      : ctx_(ctx), f_(f) {}
+
+  std::string name() const override { return "OCuLaR-foldin"; }
+  Status Fit(const CsrMatrix&) override {
+    return Status::InvalidArgument("folded-in users are not trainable");
+  }
+  double Score(uint32_t u, uint32_t i) const override;
+  void ScoreBlock(uint32_t u, uint32_t item_begin, uint32_t item_end,
+                  std::span<double> out) const override;
+  void RawScoreBlock(uint32_t u, uint32_t item_begin, uint32_t item_end,
+                     std::span<double> out) const override;
+  double ScoreFromRaw(double raw) const override;
+  uint32_t num_items() const override { return ctx_->num_items(); }
+  uint32_t num_users() const override { return 1; }
+
+ private:
+  const FoldInContext* ctx_;
+  std::span<const double> f_;
+};
+
+/// One history-based recommendation, best-first in the bound selection
+/// buffer (valid until the scratch is reused).
+struct HistoryRecommendation {
+  std::span<const ScoredItem> items;
+  /// False when the history carried no signal (empty after sanitization,
+  /// or folded to the all-zeros factor) and the deterministic popularity
+  /// fallback ranked instead — an all-zero score vector would otherwise
+  /// return an arbitrary tie-ordered prefix of the catalog.
+  bool folded = false;
+};
+
+/// Top-`m` recommendations for a SANITIZED history through the blocked
+/// engine: fold the user in (ws->f), then rank every item not in `history`
+/// exactly like ServeTopM does for stored users. `min_score` follows the
+/// ServeOptions convention (0 = unfiltered; ignored by the popularity
+/// fallback, whose scores are counts, not probabilities). `tile` and
+/// `selection` are the caller's serve scratch (a ServeWorkspace's members
+/// in the daemon). Allocation-free at steady state.
+Result<HistoryRecommendation> RecommendForHistoryInto(
+    const FoldInContext& ctx, std::span<const uint32_t> history, uint32_t m,
+    double min_score, uint32_t block_items, const FoldInOptions& options,
+    FoldInWorkspace* ws, std::vector<double>* tile,
+    std::vector<ScoredItem>* selection);
+
 /// Top-M recommendations for a purchase history: folds the user in, then
-/// ranks all items not in `history`.
+/// ranks all items not in `history`. Convenience wrapper over
+/// RecommendForHistoryInto (one-off context and scratch) — same blocked
+/// engine, same popularity fallback for empty histories.
 Result<std::vector<ScoredItem>> RecommendForHistory(
     const OcularModel& model, const OcularConfig& config,
     std::span<const uint32_t> history, uint32_t m,

@@ -24,6 +24,23 @@ DenseMatrix GrowRows(const DenseMatrix& src, uint32_t rows, double scale,
 
 }  // namespace
 
+uint64_t DeriveExpandSeed(uint32_t old_users, uint32_t old_items,
+                          uint32_t num_users, uint32_t num_items,
+                          uint32_t k) {
+  // splitmix64-style finalization of the packed shape transition: any
+  // change to either shape lands in a different stream, and repeating the
+  // same transition (replay) lands in the same one.
+  uint64_t h = (static_cast<uint64_t>(old_users) << 32) | old_items;
+  h ^= ((static_cast<uint64_t>(num_users) << 32) | num_items) +
+       0x9e3779b97f4a7c15ULL + k;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  // Stay clear of 0 so a derived seed can never alias the "derive me"
+  // sentinel when fed back through ExpandOptions.
+  return h == 0 ? 0x9e3779b97f4a7c15ULL : h;
+}
+
 Result<OcularModel> ExpandModel(const OcularModel& model, uint32_t num_users,
                                 uint32_t num_items,
                                 const ExpandOptions& options) {
@@ -34,7 +51,12 @@ Result<OcularModel> ExpandModel(const OcularModel& model, uint32_t num_users,
   if (model.k() == 0) {
     return Status::InvalidArgument("model has no factor dimensions");
   }
-  Rng rng(options.seed);
+  const uint64_t seed =
+      options.seed != 0
+          ? options.seed
+          : DeriveExpandSeed(model.num_users(), model.num_items(), num_users,
+                             num_items, model.k());
+  Rng rng(seed);
   const double scale =
       options.init_scale / std::sqrt(static_cast<double>(model.k()));
   DenseMatrix fu = GrowRows(model.user_factors(), num_users, scale, &rng);

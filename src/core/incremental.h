@@ -18,8 +18,19 @@ struct ExpandOptions {
   /// New rows are initialized iid Uniform(0, init_scale / sqrt(K)) — the
   /// same distribution the cold trainer uses.
   double init_scale = 1.0;
-  uint64_t seed = 7;
+  /// Seed of the new-row initialization stream. 0 (the default) derives
+  /// the seed from the old and new model shapes, so successive expansions
+  /// of a growing catalog draw from decorrelated streams (a constant seed
+  /// would hand every daily update batch the identical "random" rows)
+  /// while each individual call stays deterministic. Nonzero pins the
+  /// stream explicitly for reproducibility.
+  uint64_t seed = 0;
 };
+
+/// The shape-derived stream seed ExpandModel uses when options.seed == 0 —
+/// exposed so tests (and operators replaying an update) can reproduce it.
+uint64_t DeriveExpandSeed(uint32_t old_users, uint32_t old_items,
+                          uint32_t num_users, uint32_t num_items, uint32_t k);
 
 /// Returns a copy of `model` grown to (num_users, num_items); existing
 /// factors are preserved, new rows initialized randomly. Shrinking is an

@@ -59,7 +59,7 @@ void BlockWorkspace::Reserve(size_t k, size_t max_neighbors) {
 
 double BlockObjective(std::span<const double> f,
                       std::span<const uint32_t> neighbors,
-                      const DenseMatrix& other,
+                      ConstMatrixView other,
                       std::span<const double> complement_sum, double lambda,
                       double pos_weight,
                       std::span<const double> per_neighbor_weights) {
@@ -84,7 +84,7 @@ namespace {
 /// One O(deg·K) pass, no allocation.
 double EvalBlockPoint(std::span<const double> x,
                       std::span<const uint32_t> neighbors,
-                      const DenseMatrix& other,
+                      ConstMatrixView other,
                       std::span<const double> other_sums, double lambda,
                       double pos_weight,
                       std::span<const double> per_neighbor_weights,
@@ -122,7 +122,7 @@ double EvalBlockPoint(std::span<const double> x,
 /// step on the same block starts with a warm cache.
 BlockStepResult ArmijoSearch(std::span<double> f, std::span<const double> grad,
                              std::span<const uint32_t> neighbors,
-                             const DenseMatrix& other,
+                             ConstMatrixView other,
                              std::span<const double> other_sums, double lambda,
                              double pos_weight,
                              std::span<const double> per_neighbor_weights,
@@ -215,7 +215,7 @@ BlockStepResult ArmijoSearch(std::span<double> f, std::span<const double> grad,
 
 BlockStepResult ArmijoStep(std::span<double> f, std::span<const double> grad,
                            std::span<const uint32_t> neighbors,
-                           const DenseMatrix& other,
+                           ConstMatrixView other,
                            std::span<const double> other_sums, double lambda,
                            double pos_weight,
                            std::span<const double> per_neighbor_weights,
@@ -235,7 +235,7 @@ BlockStepResult ArmijoStep(std::span<double> f, std::span<const double> grad,
 
 BlockStepResult ProjectedGradientStep(
     std::span<double> f, std::span<const uint32_t> neighbors,
-    const DenseMatrix& other, std::span<const double> other_sums,
+    ConstMatrixView other, std::span<const double> other_sums,
     double lambda, double pos_weight,
     std::span<const double> per_neighbor_weights, const OcularConfig& config,
     int frozen_coord, BlockWorkspace* ws, double* step_hint) {

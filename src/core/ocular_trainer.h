@@ -185,7 +185,9 @@ struct BlockStepResult {
 ///
 /// `neighbors`   — positive counterparts of this row (users of an item, or
 ///                 items of a user);
-/// `other`       — the opposite factor matrix;
+/// `other`       — the opposite factor matrix (a borrowed view, so the
+///                 kernels run equally over an owned DenseMatrix or the
+///                 mmapped factor section of a ModelStore);
 /// `other_sums`  — column sums of `other` (Σ f over the opposite side).
 ///                 The complement Σ_{r=0} f_n is never materialized: both
 ///                 the gradient and the objective only need it through
@@ -206,7 +208,7 @@ struct BlockStepResult {
 ///                 config.initial_step.
 BlockStepResult ProjectedGradientStep(
     std::span<double> f, std::span<const uint32_t> neighbors,
-    const DenseMatrix& other, std::span<const double> other_sums,
+    ConstMatrixView other, std::span<const double> other_sums,
     double lambda, double pos_weight,
     std::span<const double> per_neighbor_weights, const OcularConfig& config,
     int frozen_coord, BlockWorkspace* ws, double* step_hint = nullptr);
@@ -218,7 +220,7 @@ BlockStepResult ProjectedGradientStep(
 /// BlockStepResult::objective.
 double BlockObjective(std::span<const double> f,
                       std::span<const uint32_t> neighbors,
-                      const DenseMatrix& other,
+                      ConstMatrixView other,
                       std::span<const double> complement_sum, double lambda,
                       double pos_weight,
                       std::span<const double> per_neighbor_weights);
@@ -244,7 +246,7 @@ double BlockObjective(std::span<const double> f,
 /// a sweep. nullptr = cold search (old behavior).
 BlockStepResult ArmijoStep(std::span<double> f, std::span<const double> grad,
                            std::span<const uint32_t> neighbors,
-                           const DenseMatrix& other,
+                           ConstMatrixView other,
                            std::span<const double> other_sums, double lambda,
                            double pos_weight,
                            std::span<const double> per_neighbor_weights,

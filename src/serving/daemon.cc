@@ -15,8 +15,12 @@
 #include <iostream>
 #include <thread>
 
+#include <cstdio>
+
+#include "core/model_store.h"
 #include "parallel/bounded_queue.h"
 #include "serving/net_util.h"
+#include "serving/render.h"
 
 namespace ocular {
 
@@ -196,11 +200,6 @@ std::string RequestServer::HandleRecommend(WorkerState* w,
     if (!m->is_string()) return ErrorReply(w, "'model' must be a string");
     model_name = m->string();
   }
-  auto user = GetUIntField(request, "user", 0, UINT32_MAX);
-  if (!user.ok()) return ErrorReply(w, user.status().message());
-  if (request.Find("user") == nullptr) {
-    return ErrorReply(w, "'user' is required");
-  }
   auto m = GetUIntField(request, "m", options_.serve.m, UINT32_MAX);
   if (!m.ok()) return ErrorReply(w, m.status().message());
 
@@ -209,6 +208,26 @@ std::string RequestServer::HandleRecommend(WorkerState* w,
   if (const JsonValue* ms = request.Find("min_score"); ms != nullptr) {
     if (!ms->is_number()) return ErrorReply(w, "'min_score' must be a number");
     serve.min_score = ms->number();
+  }
+
+  // Anonymous/new users recommend by history (fold-in) instead of by
+  // stored user id — the two addressing modes are mutually exclusive.
+  if (const JsonValue* history = request.Find("history"); history != nullptr) {
+    if (request.Find("user") != nullptr) {
+      return ErrorReply(w, "'user' and 'history' are mutually exclusive");
+    }
+    if (request.Find("exclude") != nullptr) {
+      return ErrorReply(
+          w, "'exclude' is not supported with 'history' (the history itself "
+             "is excluded)");
+    }
+    return HandleHistory(w, *history, model_name, serve);
+  }
+
+  auto user = GetUIntField(request, "user", 0, UINT32_MAX);
+  if (!user.ok()) return ErrorReply(w, user.status().message());
+  if (request.Find("user") == nullptr) {
+    return ErrorReply(w, "'user' or 'history' is required");
   }
 
   const std::vector<uint32_t>* exclude_override = nullptr;
@@ -243,17 +262,201 @@ std::string RequestServer::HandleRecommend(WorkerState* w,
   writer.String(model_name);
   writer.Key("user");
   writer.UInt(*user);
-  writer.Key("items");
-  writer.BeginArray();
-  for (const ScoredItem& si : *ranked) {
-    writer.BeginObject();
-    writer.Key("item");
-    writer.UInt(si.item);
-    writer.Key("score");
-    writer.Double(si.score);
-    writer.EndObject();
+  WriteRankedItems(&writer, *ranked);
+  writer.EndObject();
+  return writer.str();
+}
+
+std::string RequestServer::HandleHistory(WorkerState* w,
+                                         const JsonValue& history,
+                                         const std::string& model_name,
+                                         const ServeOptions& serve) {
+  if (!history.is_array()) {
+    return ErrorReply(w, "'history' must be an array of item ids");
   }
-  writer.EndArray();
+  w->history_scratch.clear();
+  for (const JsonValue& e : history.array()) {
+    if (!e.is_number() || e.number() < 0.0 ||
+        e.number() != std::floor(e.number()) || e.number() > UINT32_MAX) {
+      return ErrorReply(w, "'history' entries must be item ids");
+    }
+    w->history_scratch.push_back(static_cast<uint32_t>(e.number()));
+  }
+  // One lease for the whole request, same as the stored-user path.
+  std::shared_ptr<const ServableModel> model = LeaseModel(w, model_name);
+  if (model == nullptr) {
+    return ErrorReply(
+        w, Status::NotFound("no model named '" + model_name + "'").ToString());
+  }
+  if (model->fold_in == nullptr) {
+    return ErrorReply(w, Status::FailedPrecondition(
+                             "model '" + model_name +
+                             "' does not support fold-in (not an OCuLaR "
+                             "probability model)")
+                             .ToString());
+  }
+  const FoldInContext& ctx = *model->fold_in;
+  const HistorySanitizeResult sanitized =
+      SanitizeHistory(&w->history_scratch, ctx.num_items());
+  if (sanitized.dropped_out_of_range > 0) {
+    w->dropped_history_ids.fetch_add(sanitized.dropped_out_of_range,
+                                     std::memory_order_relaxed);
+  }
+  w->fold_in_requests.fetch_add(1, std::memory_order_relaxed);
+
+  auto rec = RecommendForHistoryInto(
+      ctx, w->history_scratch, serve.m, serve.min_score, serve.block_items,
+      options_.fold_in, &w->fold_in, &w->workspace.tile,
+      &w->workspace.selection);
+  if (!rec.ok()) return ErrorReply(w, rec.status().ToString());
+
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("ok");
+  writer.Bool(true);
+  writer.Key("model");
+  writer.String(model_name);
+  writer.Key("folded");
+  writer.Bool(rec->folded);
+  writer.Key("dropped");
+  writer.UInt(sanitized.dropped_out_of_range);
+  WriteRankedItems(&writer, rec->items);
+  writer.EndObject();
+  return writer.str();
+}
+
+Result<RequestServer::UpdateOutcome> RequestServer::ApplyUpdate(
+    WorkerState* w, const std::string& model_name,
+    const std::vector<std::pair<uint32_t, uint32_t>>& adds,
+    uint32_t num_users, uint32_t num_items, uint32_t sweeps, uint64_t seed) {
+  // One update at a time; concurrent recommends keep serving the current
+  // generation and never take this mutex.
+  std::lock_guard<std::mutex> lock(update_mu_);
+  std::shared_ptr<const ServableModel> model = LeaseModel(w, model_name);
+  if (model == nullptr) {
+    return Status::NotFound("no model named '" + model_name + "'");
+  }
+  if (model->train == nullptr) {
+    return Status::FailedPrecondition(
+        "update requires a dataset bound to model '" + model_name +
+        "' (--datasets): the interaction deltas extend the training matrix");
+  }
+  // Copy-on-write: the live mapping is never touched — the update
+  // materializes a private copy, retrains it, and publishes the result as
+  // a new generation.
+  OCULAR_ASSIGN_OR_RETURN(LoadedModel loaded, model->store.MaterializeOcular());
+
+  uint32_t users = std::max(model->store.num_users(), num_users);
+  uint32_t items = std::max(model->store.num_items(), num_items);
+  CooBuilder coo;
+  coo.Reserve(model->train->nnz() + adds.size());
+  for (auto [u, i] : model->train->ToPairs()) coo.Add(u, i);
+  for (auto [u, i] : adds) {
+    users = std::max(users, u + 1);
+    items = std::max(items, i + 1);
+    coo.Add(u, i);
+  }
+  OCULAR_ASSIGN_OR_RETURN(auto entries, coo.Finalize(users, items));
+  auto updated_train =
+      std::make_shared<const CsrMatrix>(CsrMatrix::FromCoo(entries));
+
+  OcularConfig config = loaded.config;
+  config.max_sweeps = sweeps;
+  ExpandOptions expand;
+  expand.seed = seed;  // 0 = shape-derived stream (see ExpandOptions)
+  OCULAR_ASSIGN_OR_RETURN(
+      OcularFitResult fit,
+      UpdateModel(loaded.model, *updated_train, config, expand));
+
+  // Persist write-temp + rename: a crash mid-write can never leave a torn
+  // model file behind the running mapping, and the published path stays
+  // valid for SIGHUP reloads.
+  const std::string tmp_path = model->model_path + ".update.tmp";
+  OCULAR_RETURN_IF_ERROR(SaveModelBinary(fit.model, config, tmp_path));
+  if (::rename(tmp_path.c_str(), model->model_path.c_str()) != 0) {
+    const Status st = Status::IOError("rename " + tmp_path + ": " +
+                                      std::strerror(errno));
+    ::remove(tmp_path.c_str());
+    return st;
+  }
+  // The same generation swap as SIGHUP reload: in-flight requests drain
+  // on their leased mapping, workers re-resolve lock-free.
+  OCULAR_RETURN_IF_ERROR(
+      registry_->Load(model_name, model->model_path, updated_train));
+  updates_.fetch_add(1, std::memory_order_relaxed);
+
+  UpdateOutcome outcome;
+  outcome.num_users = users;
+  outcome.num_items = items;
+  outcome.sweeps_run = fit.sweeps_run;
+  outcome.converged = fit.converged;
+  return outcome;
+}
+
+std::string RequestServer::HandleUpdate(WorkerState* w,
+                                        const JsonValue& request) {
+  std::string model_name = "default";
+  if (const JsonValue* m = request.Find("model"); m != nullptr) {
+    if (!m->is_string()) return ErrorReply(w, "'model' must be a string");
+    model_name = m->string();
+  }
+  const JsonValue* adds_field = request.Find("adds");
+  if (adds_field == nullptr || !adds_field->is_array()) {
+    return ErrorReply(w, "'adds' must be an array of [user, item] pairs");
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> adds;
+  adds.reserve(adds_field->array().size());
+  for (const JsonValue& pair : adds_field->array()) {
+    if (!pair.is_array() || pair.array().size() != 2) {
+      return ErrorReply(w, "'adds' must be an array of [user, item] pairs");
+    }
+    uint32_t ids[2];
+    for (int n = 0; n < 2; ++n) {
+      const JsonValue& v = pair.array()[n];
+      if (!v.is_number() || v.number() < 0.0 ||
+          v.number() != std::floor(v.number()) || v.number() > UINT32_MAX) {
+        return ErrorReply(w, "'adds' entries must be non-negative ids");
+      }
+      ids[n] = static_cast<uint32_t>(v.number());
+    }
+    adds.emplace_back(ids[0], ids[1]);
+  }
+  auto num_users = GetUIntField(request, "num_users", 0, UINT32_MAX);
+  if (!num_users.ok()) return ErrorReply(w, num_users.status().message());
+  auto num_items = GetUIntField(request, "num_items", 0, UINT32_MAX);
+  if (!num_items.ok()) return ErrorReply(w, num_items.status().message());
+  auto sweeps =
+      GetUIntField(request, "sweeps", options_.update_sweeps, 100000);
+  if (!sweeps.ok()) return ErrorReply(w, sweeps.status().message());
+  if (*sweeps == 0) return ErrorReply(w, "'sweeps' must be at least 1");
+  // JSON numbers are doubles: cap explicit seeds at 2^53 so every
+  // accepted value round-trips exactly.
+  auto seed = GetUIntField(request, "seed", 0, uint64_t{1} << 53);
+  if (!seed.ok()) return ErrorReply(w, seed.status().message());
+
+  const double start_us = NowMicros();
+  auto outcome = ApplyUpdate(w, model_name, adds,
+                             static_cast<uint32_t>(*num_users),
+                             static_cast<uint32_t>(*num_items),
+                             static_cast<uint32_t>(*sweeps), *seed);
+  if (!outcome.ok()) return ErrorReply(w, outcome.status().ToString());
+
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("ok");
+  writer.Bool(true);
+  writer.Key("model");
+  writer.String(model_name);
+  writer.Key("users");
+  writer.UInt(outcome->num_users);
+  writer.Key("items");
+  writer.UInt(outcome->num_items);
+  writer.Key("sweeps_run");
+  writer.UInt(outcome->sweeps_run);
+  writer.Key("converged");
+  writer.Bool(outcome->converged);
+  writer.Key("publish_us");
+  writer.Double(NowMicros() - start_us);
   writer.EndObject();
   return writer.str();
 }
@@ -308,6 +511,12 @@ std::string RequestServer::HandleStats() {
   w.UInt(snapshot.reloads);
   w.Key("connections_shed");
   w.UInt(snapshot.connections_shed);
+  w.Key("fold_in_requests");
+  w.UInt(snapshot.fold_in_requests);
+  w.Key("history_dropped_ids");
+  w.UInt(snapshot.history_dropped_ids);
+  w.Key("updates");
+  w.UInt(snapshot.updates);
   w.Key("p50_latency_us");
   w.Double(snapshot.p50_latency_us);
   w.Key("p99_latency_us");
@@ -360,6 +569,8 @@ std::string RequestServer::HandleLineOn(WorkerState* w,
       reply = ErrorReply(w, "'cmd' must be a string");
     } else if (cmd == "recommend") {
       reply = HandleRecommend(w, *parsed);
+    } else if (cmd == "update") {
+      reply = HandleUpdate(w, *parsed);
     } else if (cmd == "models") {
       reply = HandleModels();
     } else if (cmd == "stats") {
@@ -391,10 +602,15 @@ DaemonStatsSnapshot RequestServer::Stats() const {
   snapshot.workers = num_tcp_workers_;
   snapshot.reloads = reloads_.load(std::memory_order_relaxed);
   snapshot.connections_shed = shed_.load(std::memory_order_relaxed);
+  snapshot.updates = updates_.load(std::memory_order_relaxed);
   std::vector<double> window;
   for (const auto& w : workers_) {
     snapshot.requests_served += w->requests.load(std::memory_order_relaxed);
     snapshot.errors += w->errors.load(std::memory_order_relaxed);
+    snapshot.fold_in_requests +=
+        w->fold_in_requests.load(std::memory_order_relaxed);
+    snapshot.history_dropped_ids +=
+        w->dropped_history_ids.load(std::memory_order_relaxed);
     w->latency.AppendWindowTo(&window);
   }
   snapshot.p50_latency_us = MergedPercentile(&window, 0.50);

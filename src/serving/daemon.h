@@ -6,6 +6,7 @@
 #include <istream>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <span>
 #include <string>
@@ -13,6 +14,8 @@
 
 #include "common/json.h"
 #include "common/result.h"
+#include "core/fold_in.h"
+#include "core/incremental.h"
 #include "serving/registry.h"
 #include "serving/score_engine.h"
 
@@ -32,6 +35,14 @@ struct DaemonStatsSnapshot {
   /// Connections refused with an overload error because the accept queue
   /// was full (load shedding).
   uint64_t connections_shed = 0;
+  /// History-based (fold-in) recommend requests answered, summed over
+  /// workers.
+  uint64_t fold_in_requests = 0;
+  /// Out-of-range item ids dropped from client histories — the warning
+  /// counter for client catalogs drifting ahead of the served model.
+  uint64_t history_dropped_ids = 0;
+  /// In-daemon incremental updates published via the `update` verb.
+  uint64_t updates = 0;
   /// Models currently loaded.
   size_t models_loaded = 0;
   /// Worker threads serving the TCP loop.
@@ -94,6 +105,8 @@ double MergedPercentile(std::vector<double>* samples, double p);
 ///
 ///   {"cmd":"recommend","model":"default","user":3,"m":10}
 ///   {"cmd":"recommend","model":"default","user":3,"exclude":[1,7]}
+///   {"cmd":"recommend","model":"default","history":[5,1,5,9],"m":10}
+///   {"cmd":"update","model":"default","adds":[[12,3],[99,7]]}
 ///   {"cmd":"models"}      — loaded models and their shapes
 ///   {"cmd":"stats"}       — DaemonStatsSnapshot as JSON
 ///   {"cmd":"reload"}      — hot-reload every model (same path as SIGHUP)
@@ -105,6 +118,24 @@ double MergedPercentile(std::vector<double>* samples, double p);
 /// training row by default (an explicit "exclude" array overrides it).
 /// Rankings are bit-identical to RecommendForAllUsers on the same model
 /// and exclusions, from every worker.
+///
+/// Live catalog (the paper's Section VIII deployment): `recommend` with a
+/// `history` array instead of `user` serves an anonymous/new client by
+/// folding their purchase history into a user factor (core/fold_in) and
+/// ranking it through the same blocked engine — bit-identical to the
+/// offline RecommendForHistory oracle on the same model. Histories are
+/// untrusted wire input: they are sorted, deduplicated, and stripped of
+/// out-of-range ids (counted in stats) before the solve, and a history
+/// carrying no signal falls back to the deterministic popularity ranking
+/// (the reply's "folded" flag says which path answered). `update` applies
+/// interaction deltas (`adds` pairs, optionally growing the catalog) via
+/// the warm-start incremental trainer on a copy of the current model,
+/// persists the result over the model file (write-temp + rename), and
+/// publishes it through the registry generation swap — in-flight requests
+/// keep their lease, workers drain onto the new generation lock-free,
+/// exactly the SIGHUP-reload guarantees. Updates require a bound dataset
+/// (the training matrix is the delta's base) and serialize on one mutex;
+/// reads never block.
 ///
 /// Concurrency (PR 5): RunTcpLoop is a listener thread feeding a fixed
 /// pool of `Options::num_workers` shared-nothing worker threads through a
@@ -132,6 +163,12 @@ class RequestServer {
     /// Per-request serving defaults (m, min_score, tile size); a request's
     /// own fields override m and min_score.
     ServeOptions serve;
+    /// Fold-in solver settings for `history` requests.
+    FoldInOptions fold_in;
+    /// Default refresh sweeps of an `update` retrain (a request's own
+    /// "sweeps" field overrides). A handful suffices: the old factors are
+    /// already near-stationary (see core/incremental.h).
+    uint32_t update_sweeps = 5;
     /// Latency samples kept per worker for the p50/p99 report.
     size_t latency_window = 4096;
     /// TCP worker threads (0 = one per hardware thread, at least 1).
@@ -218,6 +255,8 @@ class RequestServer {
 
     ServeWorkspace workspace;
     std::vector<uint32_t> exclude_scratch;
+    std::vector<uint32_t> history_scratch;  // sanitized request history
+    FoldInWorkspace fold_in;                // per-request fold-in solve
     std::string reply_batch;  // pipelined replies, one write per batch
 
     /// Model leases cached against the registry generation: a request
@@ -228,7 +267,17 @@ class RequestServer {
 
     std::atomic<uint64_t> requests{0};
     std::atomic<uint64_t> errors{0};
+    std::atomic<uint64_t> fold_in_requests{0};
+    std::atomic<uint64_t> dropped_history_ids{0};
     LatencyRing latency;
+  };
+
+  /// What one applied `update` published.
+  struct UpdateOutcome {
+    uint32_t num_users = 0;
+    uint32_t num_items = 0;
+    uint32_t sweeps_run = 0;
+    bool converged = false;
   };
 
   WorkerState* InlineWorker() { return workers_.back().get(); }
@@ -242,6 +291,14 @@ class RequestServer {
   std::string HandleLineOn(WorkerState* w, const std::string& line,
                            bool* quit);
   std::string HandleRecommend(WorkerState* w, const JsonValue& request);
+  std::string HandleHistory(WorkerState* w, const JsonValue& history,
+                            const std::string& model_name,
+                            const ServeOptions& serve);
+  std::string HandleUpdate(WorkerState* w, const JsonValue& request);
+  Result<UpdateOutcome> ApplyUpdate(
+      WorkerState* w, const std::string& model_name,
+      const std::vector<std::pair<uint32_t, uint32_t>>& adds,
+      uint32_t num_users, uint32_t num_items, uint32_t sweeps, uint64_t seed);
   std::string HandleModels();
   std::string HandleStats();
   std::string HandleReload(WorkerState* w);
@@ -261,7 +318,12 @@ class RequestServer {
 
   std::atomic<uint64_t> reloads_{0};
   std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> updates_{0};
   std::atomic<uint16_t> bound_port_{0};
+  /// Serializes `update` rebuilds (materialize → retrain → persist →
+  /// publish). Recommends never take it: they keep serving the current
+  /// generation and drain onto the published one lease-by-lease.
+  std::mutex update_mu_;
 };
 
 }  // namespace ocular

@@ -76,13 +76,36 @@ void RunClient(const LoadGenOptions& options, uint32_t client_index,
           ? 0
           : (static_cast<uint64_t>(client_index) * 7919) % options.num_users;
   uint64_t remaining = options.requests_per_client;
+  uint64_t sent = 0;  // per-client request sequence (history cadence)
   std::vector<uint32_t> batch_users;
+  std::vector<std::vector<uint32_t>> batch_histories;  // empty = user slot
   while (remaining > 0) {
     const uint32_t depth = static_cast<uint32_t>(std::min<uint64_t>(
         std::max<uint32_t>(options.pipeline, 1), remaining));
     batch.clear();
     batch_users.clear();
+    batch_histories.clear();
     for (uint32_t p = 0; p < depth; ++p) {
+      const bool history_slot = options.history_every > 0 &&
+                                options.num_items > 0 &&
+                                sent % options.history_every == 0;
+      ++sent;
+      if (history_slot) {
+        const uint64_t cursor =
+            (static_cast<uint64_t>(client_index) << 32) | (sent - 1);
+        std::vector<uint32_t> history = LoadGenHistory(
+            cursor, options.history_len, options.num_items);
+        batch += "{\"cmd\":\"recommend\",\"model\":\"" + options.model +
+                 "\",\"history\":[";
+        for (size_t n = 0; n < history.size(); ++n) {
+          if (n > 0) batch += ',';
+          batch += std::to_string(history[n]);
+        }
+        batch += "],\"m\":" + std::to_string(options.m) + "}\n";
+        batch_users.push_back(0);
+        batch_histories.push_back(std::move(history));
+        continue;
+      }
       const uint32_t user = static_cast<uint32_t>(user_cursor);
       user_cursor = options.num_users == 0
                         ? user_cursor + 1
@@ -91,6 +114,7 @@ void RunClient(const LoadGenOptions& options, uint32_t client_index,
                "\",\"user\":" + std::to_string(user) +
                ",\"m\":" + std::to_string(options.m) + "}\n";
       batch_users.push_back(user);
+      batch_histories.emplace_back();
     }
     const double sent_us = NowMicros();
     if (!net::SendAll(run->fd, batch.data(), batch.size())) {
@@ -114,7 +138,13 @@ void RunClient(const LoadGenOptions& options, uint32_t client_index,
       } else {
         ++run->error_replies;
       }
-      if (options.on_reply) options.on_reply(batch_users[p], line);
+      if (!batch_histories[p].empty()) {
+        if (options.on_history_reply) {
+          options.on_history_reply(batch_histories[p], line);
+        }
+      } else if (options.on_reply) {
+        options.on_reply(batch_users[p], line);
+      }
       --remaining;
     }
   }
@@ -128,6 +158,26 @@ void RunClient(const LoadGenOptions& options, uint32_t client_index,
 
 }  // namespace
 
+std::vector<uint32_t> LoadGenHistory(uint64_t cursor, uint32_t len,
+                                     uint32_t num_items) {
+  std::vector<uint32_t> out;
+  if (num_items == 0) return out;
+  out.reserve(len);
+  for (uint32_t j = 0; j < len; ++j) {
+    // Stateless splitmix-style hash of (cursor, j): every request gets a
+    // distinct, reproducible id sequence with no RNG object to thread
+    // through the client fleet.
+    uint64_t h = cursor * 0x9e3779b97f4a7c15ULL +
+                 static_cast<uint64_t>(j) * 0xbf58476d1ce4e5b9ULL +
+                 0x94d049bb133111ebULL;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    out.push_back(static_cast<uint32_t>(h % num_items));
+  }
+  return out;
+}
+
 Result<LoadGenResult> RunLoadGen(const LoadGenOptions& options) {
   if (options.port == 0) {
     return Status::InvalidArgument("loadgen needs a nonzero port");
@@ -135,6 +185,11 @@ Result<LoadGenResult> RunLoadGen(const LoadGenOptions& options) {
   if (options.clients == 0 || options.requests_per_client == 0) {
     return Status::InvalidArgument(
         "loadgen needs at least one client and one request");
+  }
+  if (options.history_every > 0 && options.num_items == 0) {
+    return Status::InvalidArgument(
+        "history traffic needs num_items (the catalog generated histories "
+        "draw from)");
   }
   std::vector<ClientRun> runs(options.clients);
   // Every exit path below must release the fleet's sockets — a failed

@@ -43,10 +43,29 @@ struct LoadGenOptions {
   uint32_t num_users = 1;
   /// Model name sent with every request.
   std::string model = "default";
+  /// Mixed-verb traffic: every `history_every`-th request of a client
+  /// (counting from its first; 0 = never) carries a "history" array
+  /// instead of "user" — the fold-in path of a live catalog. Generated
+  /// histories are deterministic (LoadGenHistory), intentionally unsorted
+  /// with possible duplicates, so the run also exercises the daemon's
+  /// sanitization.
+  uint32_t history_every = 0;
+  /// Item ids per generated history.
+  uint32_t history_len = 8;
+  /// Catalog size generated histories draw from (required nonzero when
+  /// history_every > 0).
+  uint32_t num_items = 0;
   /// Optional per-reply hook (request user, raw reply line, still
   /// newline-free). Called from client threads — must be thread-safe.
-  /// Leave unset for pure throughput measurement.
+  /// Leave unset for pure throughput measurement. History requests go to
+  /// on_history_reply instead.
   std::function<void(uint32_t user, const std::string& line)> on_reply;
+  /// Optional per-reply hook for history requests: the ids exactly as
+  /// sent (unsanitized) and the raw reply line. Thread-safety rules of
+  /// on_reply apply.
+  std::function<void(std::span<const uint32_t> history,
+                     const std::string& line)>
+      on_history_reply;
 };
 
 /// \brief What a load-generator run measured.
@@ -75,6 +94,14 @@ struct LoadGenResult {
 /// 127.0.0.1:`options.port`. Returns an error if any connection cannot
 /// be established or dies before its replies arrive.
 Result<LoadGenResult> RunLoadGen(const LoadGenOptions& options);
+
+/// \brief The deterministic item ids of one generated history request:
+/// `len` ids in [0, num_items), unsorted and possibly duplicated (the
+/// daemon's sanitization is part of what the traffic exercises). `cursor`
+/// identifies the request (the generator uses client_index << 32 | seq),
+/// so oracles can replay the exact traffic a run produced.
+std::vector<uint32_t> LoadGenHistory(uint64_t cursor, uint32_t len,
+                                     uint32_t num_items);
 
 /// \brief Renders `value` exactly as the daemon's JSON writer does and
 /// parses it back: the double a client actually observes on the wire.

@@ -21,6 +21,31 @@ Result<std::shared_ptr<const ServableModel>> BuildServable(
   // Constructed after the store reaches its final address.
   servable->recommender = std::make_unique<StoreRecommender>(servable->store);
   servable->train = std::move(train);
+  if (servable->store.meta().kind == BinaryModelKind::kOcularProbability) {
+    const BinaryModelMeta& meta = servable->store.meta();
+    OcularConfig config;
+    config.use_biases = meta.use_biases;
+    config.k = meta.k - (meta.use_biases ? 2 : 0);
+    config.lambda = meta.lambda;
+    config.variant = meta.relative_variant ? OcularVariant::kRelative
+                                           : OcularVariant::kAbsolute;
+    std::vector<double> popularity;
+    if (servable->train != nullptr) {
+      // Per-item interaction counts of the bound dataset — the natural
+      // deterministic fallback ranking for signal-free histories.
+      popularity.resize(servable->store.num_items(), 0.0);
+      for (uint32_t c : servable->train->col_idx()) popularity[c] += 1.0;
+    }
+    auto ctx = MakeFoldInContext(
+        servable->store.user_factors(), servable->store.item_factors(),
+        servable->store.item_factors_t(), config, popularity);
+    // Fold-in is an optional capability: a store whose meta cannot seed a
+    // valid solver config still serves stored users.
+    if (ctx.ok()) {
+      servable->fold_in =
+          std::make_unique<FoldInContext>(std::move(ctx).value());
+    }
+  }
   return std::shared_ptr<const ServableModel>(std::move(servable));
 }
 

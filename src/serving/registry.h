@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/fold_in.h"
 #include "serving/store_recommender.h"
 #include "sparse/csr.h"
 
@@ -38,6 +39,13 @@ struct ServableModel {
   /// reloaded generations of the model — only the factor file is re-opened
   /// on reload, the interaction history is not re-read.
   std::shared_ptr<const CsrMatrix> train;
+  /// Fold-in serving state over the store's mmapped factor views, built
+  /// once per published generation (nullptr for stores that are not
+  /// OCuLaR probability models — history requests against those fail
+  /// with FailedPrecondition). The popularity fallback ranks by `train`
+  /// column degrees when a dataset is bound, else by expected affinity.
+  /// Declared after `store` so its views die before the mapping does.
+  std::unique_ptr<FoldInContext> fold_in;
 
   /// \brief The exclusion row for `u` (empty without a matrix or for users
   /// beyond it).

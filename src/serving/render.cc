@@ -16,6 +16,20 @@ char CellGlyph(const CsrMatrix& interactions, const OcularModel* model,
 
 }  // namespace
 
+void WriteRankedItems(JsonWriter* w, std::span<const ScoredItem> items) {
+  w->Key("items");
+  w->BeginArray();
+  for (const ScoredItem& si : items) {
+    w->BeginObject();
+    w->Key("item");
+    w->UInt(si.item);
+    w->Key("score");
+    w->Double(si.score);
+    w->EndObject();
+  }
+  w->EndArray();
+}
+
 std::string RenderInteractionMatrix(const CsrMatrix& interactions,
                                     const OcularModel* model,
                                     const RenderOptions& options) {

@@ -1,14 +1,23 @@
 #ifndef OCULAR_SERVING_RENDER_H_
 #define OCULAR_SERVING_RENDER_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "core/coclusters.h"
 #include "core/ocular_model.h"
+#include "eval/recommender.h"
 #include "sparse/csr.h"
 
 namespace ocular {
+
+/// Appends `"items":[{"item":..,"score":..},...]` to an open JSON object —
+/// the one wire rendering of a ranked list, shared by every reply that
+/// carries recommendations (stored-user and fold-in serving) so clients
+/// parse one shape and byte-for-byte reply comparisons stay meaningful.
+void WriteRankedItems(JsonWriter* w, std::span<const ScoredItem> items);
 
 /// Options for the ASCII matrix renderer.
 struct RenderOptions {

@@ -21,6 +21,16 @@ std::vector<double> DenseMatrix::ColumnSums() const {
   return sums;
 }
 
+std::vector<double> ColumnSums(ConstMatrixView m) {
+  std::vector<double> sums(m.cols(), 0.0);
+  const double* p = m.data();
+  for (uint32_t r = 0; r < m.rows(); ++r) {
+    for (uint32_t c = 0; c < m.cols(); ++c) sums[c] += p[c];
+    p += m.cols();
+  }
+  return sums;
+}
+
 double DenseMatrix::SquaredFrobeniusNorm() const {
   double acc = 0.0;
   for (double v : data_) acc += v * v;

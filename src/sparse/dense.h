@@ -97,6 +97,12 @@ class ConstMatrixView {
   uint32_t cols_ = 0;
 };
 
+/// Column sums of a borrowed matrix (length m.cols()). Accumulates in the
+/// exact row-major order of DenseMatrix::ColumnSums, so the two agree
+/// bit-for-bit on the same values — fold-in contexts built from an mmapped
+/// ModelStore must match ones built from an in-memory model exactly.
+std::vector<double> ColumnSums(ConstMatrixView m);
+
 namespace vec {
 
 /// <a, b> for equal-length spans.

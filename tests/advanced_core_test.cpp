@@ -96,6 +96,90 @@ TEST(FoldInTest, ValidatesInput) {
                   .IsInvalidArgument());
 }
 
+TEST(FoldInTest, SanitizeHistoryNormalizesClientInput) {
+  // Unsorted, duplicated, and partly out-of-catalog — the wire shape.
+  std::vector<uint32_t> history{9, 2, 9, 30, 0, 2, 31};
+  const HistorySanitizeResult res = SanitizeHistory(&history, 30);
+  EXPECT_EQ(history, (std::vector<uint32_t>{0, 2, 9}));
+  EXPECT_EQ(res.dropped_out_of_range, 2u);
+
+  std::vector<uint32_t> empty;
+  EXPECT_EQ(SanitizeHistory(&empty, 30).dropped_out_of_range, 0u);
+  EXPECT_TRUE(empty.empty());
+
+  std::vector<uint32_t> all_out{100, 200};
+  EXPECT_EQ(SanitizeHistory(&all_out, 30).dropped_out_of_range, 2u);
+  EXPECT_TRUE(all_out.empty());
+}
+
+TEST(FoldInTest, BlockedRecommendMatchesPerPairLoop) {
+  // RecommendForHistory now ranks through the blocked engine; the
+  // straightforward per-pair loop it replaced is the oracle — item ids
+  // and scores must stay bit-identical.
+  Dataset toy = MakePaperToyDataset();
+  OcularConfig cfg;
+  cfg.k = 3;
+  cfg.lambda = 0.05;
+  cfg.max_sweeps = 200;
+  auto fit = TrainToy(cfg);
+  const std::vector<uint32_t> history{1, 3, 5, 7};
+  const uint32_t m = 5;
+
+  auto folded = FoldInUser(fit.model, cfg, history).value();
+  std::vector<double> scores(toy.num_items());
+  for (uint32_t i = 0; i < toy.num_items(); ++i) {
+    scores[i] = ScoreFoldedUser(fit.model, folded, i);
+  }
+  const std::vector<ScoredItem> expect = TopM(scores, m, history);
+
+  auto recs = RecommendForHistory(fit.model, cfg, history, m).value();
+  ASSERT_EQ(recs.size(), expect.size());
+  for (size_t r = 0; r < expect.size(); ++r) {
+    EXPECT_EQ(recs[r].item, expect[r].item) << "rank " << r;
+    EXPECT_EQ(recs[r].score, expect[r].score) << "rank " << r;
+  }
+}
+
+TEST(FoldInTest, EmptyHistoryFallsBackToDeterministicPopularity) {
+  // A history with no signal must not return an arbitrary tie-broken
+  // prefix of an all-zero score vector: the fallback ranks by expected
+  // affinity <sum_u f_u, f_i> (no training matrix offline), and two
+  // calls agree exactly.
+  OcularConfig cfg;
+  cfg.k = 3;
+  cfg.max_sweeps = 40;
+  auto fit = TrainToy(cfg);
+
+  auto first = RecommendForHistory(fit.model, cfg, {}, 4).value();
+  auto second = RecommendForHistory(fit.model, cfg, {}, 4).value();
+  ASSERT_EQ(first.size(), 4u);
+  for (size_t r = 0; r < first.size(); ++r) {
+    EXPECT_EQ(first[r].item, second[r].item);
+    EXPECT_EQ(first[r].score, second[r].score);
+  }
+  // The ranking is the hand-computed expected-affinity TopM.
+  const std::vector<double> user_sums =
+      ColumnSums(ConstMatrixView(fit.model.user_factors()));
+  std::vector<double> expected_affinity(fit.model.num_items(), 0.0);
+  for (uint32_t i = 0; i < fit.model.num_items(); ++i) {
+    for (uint32_t c = 0; c < fit.model.item_factors().cols(); ++c) {
+      expected_affinity[i] +=
+          user_sums[c] * fit.model.item_factors().At(i, c);
+    }
+  }
+  const std::vector<ScoredItem> expect = TopM(expected_affinity, 4, {});
+  for (size_t r = 0; r < expect.size(); ++r) {
+    EXPECT_EQ(first[r].item, expect[r].item) << "rank " << r;
+    EXPECT_EQ(first[r].score, expect[r].score) << "rank " << r;
+  }
+  // A fully out-of-range history is rejected by the strict offline
+  // contract (serving sanitizes first; the core API stays strict).
+  std::vector<uint32_t> out_of_range{99};
+  EXPECT_TRUE(RecommendForHistory(fit.model, cfg, out_of_range, 4)
+                  .status()
+                  .IsInvalidArgument());
+}
+
 // ---------------------------------------------------------------- Biases
 
 TEST(BiasTest, TotalDimsAccounting) {

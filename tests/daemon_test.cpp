@@ -26,9 +26,12 @@
 #include <thread>
 #include <vector>
 
+#include "core/fold_in.h"
+#include "core/incremental.h"
 #include "core/model_store.h"
 #include "core/ocular_recommender.h"
 #include "serving/batch.h"
+#include "sparse/coo.h"
 #include "serving/daemon.h"
 #include "serving/loadgen.h"
 #include "serving/net_util.h"
@@ -637,6 +640,382 @@ TEST(LoadGenTest, DrivesAndMeasuresAConcurrentDaemon) {
 
   // Option validation.
   LoadGenOptions bad;
+  EXPECT_TRUE(RunLoadGen(bad).status().IsInvalidArgument());
+  std::remove(f.model_path.c_str());
+}
+
+// ------------------------------------------------------ fold-in serving
+
+/// The training matrix's per-item interaction counts — the popularity
+/// ranking the registry binds to a dataset-backed model.
+std::vector<double> TrainPopularity(const CsrMatrix& train) {
+  std::vector<double> pop(train.num_cols(), 0.0);
+  for (uint32_t col : train.col_idx()) pop[col] += 1.0;
+  return pop;
+}
+
+/// The offline fold-in oracle over the SAME context the daemon serves
+/// from: in-memory factors (bit-identical to the mmapped binary file),
+/// train-degree popularity, daemon-default serve/fold-in options.
+std::vector<ScoredItem> HistoryOracle(const DaemonFixture& f,
+                                      std::vector<uint32_t> history,
+                                      uint32_t m, bool* folded = nullptr) {
+  const std::vector<double> pop = TrainPopularity(f.train);
+  auto ctx = MakeFoldInContext(f.model, f.config, pop);
+  EXPECT_TRUE(ctx.ok()) << ctx.status().ToString();
+  SanitizeHistory(&history, f.train.num_cols());
+  FoldInWorkspace ws;
+  std::vector<double> tile;
+  std::vector<ScoredItem> selection;
+  const ServeOptions serve;
+  auto rec = RecommendForHistoryInto(*ctx, history, m, serve.min_score,
+                                     serve.block_items, FoldInOptions{}, &ws,
+                                     &tile, &selection);
+  EXPECT_TRUE(rec.ok()) << rec.status().ToString();
+  if (folded != nullptr) *folded = rec->folded;
+  return {rec->items.begin(), rec->items.end()};
+}
+
+TEST(FoldInServingTest, HistoryRepliesAreBitIdenticalToOfflineOracle) {
+  DaemonFixture f = DaemonFixture::Make("daemon_foldin.oclr");
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Load("default", f.model_path, f.shared_train()).ok());
+  RequestServer server(&registry);
+
+  // Unsorted input with a duplicate: the daemon must sanitize before the
+  // solve and reply exactly as the offline path over the clean history.
+  const std::string line = server.HandleLine(
+      R"({"cmd":"recommend","history":[9,2,9,0,5],"m":6})");
+  bool folded = false;
+  const auto oracle = HistoryOracle(f, {0, 2, 5, 9}, 6, &folded);
+  EXPECT_TRUE(folded);
+  EXPECT_TRUE(ReplyMatchesRanked(line, oracle)) << line;
+  auto parsed = JsonValue::Parse(line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->Find("folded")->boolean());
+  EXPECT_EQ(parsed->Find("dropped")->number(), 0.0);
+  // The history's own items never come back as recommendations.
+  for (const JsonValue& entry : parsed->Find("items")->array()) {
+    const double item = entry.Find("item")->number();
+    EXPECT_TRUE(item != 0.0 && item != 2.0 && item != 5.0 && item != 9.0);
+  }
+
+  // Out-of-range ids are dropped (counted in the reply and the stats),
+  // not fatal: the remaining ids still fold.
+  const std::string dropped_line = server.HandleLine(
+      R"({"cmd":"recommend","history":[2,9999,5,123456],"m":6})");
+  EXPECT_TRUE(ReplyMatchesRanked(dropped_line, HistoryOracle(f, {2, 5}, 6)))
+      << dropped_line;
+  auto dropped = JsonValue::Parse(dropped_line);
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(dropped->Find("dropped")->number(), 2.0);
+
+  const DaemonStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.fold_in_requests, 2u);
+  EXPECT_EQ(stats.history_dropped_ids, 2u);
+  auto stats_line =
+      JsonValue::Parse(server.HandleLine(R"({"cmd":"stats"})"));
+  ASSERT_TRUE(stats_line.ok());
+  EXPECT_EQ(stats_line->Find("fold_in_requests")->number(), 2.0);
+  EXPECT_EQ(stats_line->Find("history_dropped_ids")->number(), 2.0);
+  EXPECT_EQ(stats_line->Find("updates")->number(), 0.0);
+  std::remove(f.model_path.c_str());
+}
+
+TEST(FoldInServingTest, EmptyOrFullyOutOfRangeHistoryFallsBackToPopularity) {
+  DaemonFixture f = DaemonFixture::Make("daemon_foldin_pop.oclr");
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Load("default", f.model_path, f.shared_train()).ok());
+  RequestServer server(&registry);
+
+  // The deterministic fallback: items ranked by training interaction
+  // count, engine tie-break (lower id wins).
+  const std::vector<double> pop = TrainPopularity(f.train);
+  const std::vector<ScoredItem> expect = TopM(pop, 5, {});
+
+  const std::string empty_line =
+      server.HandleLine(R"({"cmd":"recommend","history":[],"m":5})");
+  EXPECT_TRUE(ReplyMatchesRanked(empty_line, expect)) << empty_line;
+  auto parsed = JsonValue::Parse(empty_line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->Find("folded")->boolean());
+
+  // A history whose every id is beyond the catalog sanitizes to empty and
+  // must answer the identical fallback (plus the drop count).
+  const std::string oor_line = server.HandleLine(
+      R"({"cmd":"recommend","history":[5000,6000],"m":5})");
+  EXPECT_TRUE(ReplyMatchesRanked(oor_line, expect)) << oor_line;
+  auto oor = JsonValue::Parse(oor_line);
+  ASSERT_TRUE(oor.ok());
+  EXPECT_FALSE(oor->Find("folded")->boolean());
+  EXPECT_EQ(oor->Find("dropped")->number(), 2.0);
+  std::remove(f.model_path.c_str());
+}
+
+TEST(FoldInServingTest, MalformedHistoryAndUpdateRequestsAnswerErrors) {
+  DaemonFixture f = DaemonFixture::Make("daemon_foldin_err.oclr");
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Load("default", f.model_path, f.shared_train()).ok());
+  // "nodata": same model without a bound dataset — updates must refuse.
+  ASSERT_TRUE(registry.Load("nodata", f.model_path).ok());
+  // "dot": a non-OCuLaR factor file — fold-in must refuse.
+  const std::string dot_path = TempPath("daemon_foldin_err_dot.oclr");
+  {
+    DenseMatrix users(4, 3);
+    DenseMatrix items(6, 3);
+    ASSERT_TRUE(
+        SaveDotProductFactors("wALS", 3, 0.1, users, items, dot_path).ok());
+  }
+  ASSERT_TRUE(registry.Load("dot", dot_path).ok());
+  RequestServer server(&registry);
+
+  for (const std::string bad : {
+           // fold-in shape errors
+           std::string(R"({"history":"0,1,2"})"),
+           std::string(R"({"history":[1,-2]})"),
+           std::string(R"({"history":[1.5]})"),
+           std::string(R"({"history":["a"]})"),
+           std::string(R"({"user":1,"history":[2]})"),
+           std::string(R"({"history":[2],"exclude":[3]})"),
+           std::string(R"({"history":[1],"model":"dot"})"),
+           std::string(R"({"history":[1],"model":"absent"})"),
+           // update shape errors
+           std::string(R"({"cmd":"update"})"),
+           std::string(R"({"cmd":"update","adds":[[1,2,3]]})"),
+           std::string(R"({"cmd":"update","adds":[[1,-2]]})"),
+           std::string(R"({"cmd":"update","adds":[3]})"),
+           std::string(R"({"cmd":"update","adds":[[1,2]],"sweeps":0})"),
+           std::string(R"({"cmd":"update","adds":[[1,2]],"model":"absent"})"),
+           std::string(R"({"cmd":"update","adds":[[1,2]],"model":"nodata"})"),
+       }) {
+    auto err = JsonValue::Parse(server.HandleLine(bad));
+    ASSERT_TRUE(err.ok()) << bad;
+    EXPECT_FALSE(err->Find("ok")->boolean()) << bad;
+    EXPECT_NE(err->Find("error"), nullptr) << bad;
+  }
+  // No update may have landed: same registry generation throughout.
+  EXPECT_EQ(server.Stats().updates, 0u);
+  std::remove(f.model_path.c_str());
+  std::remove(dot_path.c_str());
+}
+
+/// Replays the daemon's update pipeline offline: materialize the binary
+/// artifact, merge the training matrix with `adds`, warm-start retrain
+/// with `sweeps`. Returns the updated fit and the merged matrix — the
+/// oracle an in-daemon `update` must match bit-for-bit.
+struct OfflineUpdate {
+  OcularModel model;
+  CsrMatrix train;
+};
+OfflineUpdate ReplayUpdate(
+    const std::string& model_path,
+    const CsrMatrix& train,
+    const std::vector<std::pair<uint32_t, uint32_t>>& adds, uint32_t sweeps) {
+  auto store = ModelStore::Open(model_path);
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  auto loaded = store->MaterializeOcular();
+  EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+  uint32_t users = store->num_users();
+  uint32_t items = store->num_items();
+  CooBuilder coo;
+  for (auto [u, i] : train.ToPairs()) coo.Add(u, i);
+  for (auto [u, i] : adds) {
+    users = std::max(users, u + 1);
+    items = std::max(items, i + 1);
+    coo.Add(u, i);
+  }
+  CsrMatrix merged =
+      CsrMatrix::FromCoo(coo.Finalize(users, items).value());
+  OcularConfig config = loaded->config;
+  config.max_sweeps = sweeps;
+  auto fit = UpdateModel(loaded->model, merged, config, ExpandOptions{});
+  EXPECT_TRUE(fit.ok()) << fit.status().ToString();
+  return {std::move(fit->model), std::move(merged)};
+}
+
+TEST(FoldInServingTest, UpdateVerbPublishesANewGenerationServingNewUsers) {
+  DaemonFixture f = DaemonFixture::Make("daemon_update.oclr");
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Load("default", f.model_path, f.shared_train()).ok());
+  RequestServer::Options options;
+  options.serve.m = 5;
+  RequestServer server(&registry, options);
+
+  const auto before = registry.Get("default");
+  // New user 50 appears with three purchases; replicate offline FIRST
+  // (the daemon's publish overwrites the artifact in place).
+  const std::vector<std::pair<uint32_t, uint32_t>> adds = {
+      {50, 0}, {50, 7}, {50, 12}};
+  const OfflineUpdate oracle = ReplayUpdate(f.model_path, f.train, adds, 3);
+
+  auto reply = JsonValue::Parse(server.HandleLine(
+      R"({"cmd":"update","adds":[[50,0],[50,7],[50,12]],"sweeps":3})"));
+  ASSERT_TRUE(reply.ok());
+  ASSERT_TRUE(reply->Find("ok")->boolean()) << server.Stats().errors;
+  EXPECT_EQ(reply->Find("users")->number(), 51.0);
+  EXPECT_EQ(reply->Find("items")->number(), 30.0);
+  EXPECT_GE(reply->Find("publish_us")->number(), 0.0);
+
+  // A new generation is live: fresh registry pointer, grown shape, and
+  // the overwritten artifact stays valid for a later SIGHUP reload.
+  const auto after = registry.Get("default");
+  ASSERT_NE(after, nullptr);
+  EXPECT_NE(after.get(), before.get());
+  EXPECT_EQ(after->store.num_users(), 51u);
+  EXPECT_EQ(server.Stats().updates, 1u);
+
+  // The brand-new user is servable at once, bit-identical to the offline
+  // replay (same factors, same merged-train exclusions).
+  const auto expect = Oracle(oracle.model, oracle.train, 5);
+  const std::string served =
+      server.HandleLine(R"({"cmd":"recommend","user":50,"m":5})");
+  EXPECT_TRUE(ReplyMatchesRanked(served, expect[50])) << served;
+  // Old users keep serving the (retrained) model consistently too.
+  const std::string old_user =
+      server.HandleLine(R"({"cmd":"recommend","user":3,"m":5})");
+  EXPECT_TRUE(ReplyMatchesRanked(old_user, expect[3])) << old_user;
+  std::remove(f.model_path.c_str());
+}
+
+TEST(ConcurrentDaemonTest, UpdateUnderLoadNeverServesATornModel) {
+  DaemonFixture f = DaemonFixture::Make("daemon_update_load.oclr");
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Load("default", f.model_path, f.shared_train()).ok());
+
+  RequestServer::Options options;
+  options.serve.m = 6;
+  options.num_workers = 3;
+  RequestServer server(&registry, options);
+
+  const auto oracle_old = Oracle(f.model, f.train, 6);
+  const std::vector<std::pair<uint32_t, uint32_t>> adds = {
+      {50, 1}, {50, 4}, {51, 2}};
+  const OfflineUpdate updated = ReplayUpdate(f.model_path, f.train, adds, 2);
+  const auto oracle_new = Oracle(updated.model, updated.train, 6);
+
+  constexpr uint32_t kClients = 4;
+  // Three waves of recommend connections plus the updater's own.
+  std::thread serve_thread([&server] {
+    EXPECT_TRUE(server.RunTcpLoop(0, 3 * kClients + 1).ok());
+  });
+  const uint16_t port = WaitForPort(server, &serve_thread);
+  ASSERT_NE(port, 0) << "RunTcpLoop never started listening";
+
+  LoadGenOptions load;
+  load.port = port;
+  load.clients = kClients;
+  load.requests_per_client = 40;
+  load.pipeline = 4;
+  load.m = 6;
+  load.num_users = f.train.num_rows();  // only pre-update users queried
+
+  // Wave 1: old generation only.
+  std::atomic<uint64_t> torn{0};
+  load.on_reply = [&](uint32_t user, const std::string& line) {
+    if (!ReplyMatches(line, oracle_old[user])) {
+      torn.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  ASSERT_TRUE(RunLoadGen(load).ok());
+  EXPECT_EQ(torn.load(), 0u);
+
+  // Wave 2: the update lands mid-wave on its own connection while the
+  // fleet keeps querying. Every reply must be ENTIRELY old-generation or
+  // ENTIRELY new-generation — a mixed ranking means a torn model.
+  std::thread updater([port] {
+    RawClient u;
+    ASSERT_TRUE(u.Connect(port));
+    ASSERT_TRUE(u.Send(
+        R"({"cmd":"update","adds":[[50,1],[50,4],[51,2]],"sweeps":2})"));
+    std::string reply;
+    ASSERT_TRUE(u.ReadLine(&reply));
+    auto parsed = JsonValue::Parse(reply);
+    ASSERT_TRUE(parsed.ok()) << reply;
+    EXPECT_TRUE(parsed->Find("ok")->boolean()) << reply;
+    u.Close();
+  });
+  std::atomic<uint64_t> old_seen{0};
+  std::atomic<uint64_t> new_seen{0};
+  load.on_reply = [&](uint32_t user, const std::string& line) {
+    if (ReplyMatches(line, oracle_old[user])) {
+      old_seen.fetch_add(1, std::memory_order_relaxed);
+    } else if (ReplyMatches(line, oracle_new[user])) {
+      new_seen.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      torn.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  ASSERT_TRUE(RunLoadGen(load).ok());
+  updater.join();
+  EXPECT_EQ(torn.load(), 0u)
+      << "a reply matched neither the old nor the updated generation";
+  EXPECT_EQ(old_seen.load() + new_seen.load(),
+            kClients * load.requests_per_client);
+  EXPECT_EQ(server.Stats().updates, 1u);
+
+  // Wave 3: the update has published; every worker serves the new
+  // generation exclusively, including the just-added users.
+  std::atomic<uint64_t> stale{0};
+  load.num_users = updated.train.num_rows();
+  load.on_reply = [&](uint32_t user, const std::string& line) {
+    if (!ReplyMatches(line, oracle_new[user])) {
+      stale.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  ASSERT_TRUE(RunLoadGen(load).ok());
+  EXPECT_EQ(stale.load(), 0u)
+      << "a worker kept serving the pre-update generation";
+
+  serve_thread.join();
+  std::remove(f.model_path.c_str());
+}
+
+TEST(LoadGenTest, HistoryTrafficExercisesTheFoldInPath) {
+  DaemonFixture f = DaemonFixture::Make("daemon_loadgen_hist.oclr");
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Load("default", f.model_path, f.shared_train()).ok());
+  RequestServer::Options options;
+  options.num_workers = 2;
+  RequestServer server(&registry, options);
+  std::thread serve_thread([&server] {
+    EXPECT_TRUE(server.RunTcpLoop(0, 2).ok());
+  });
+  const uint16_t port = WaitForPort(server, &serve_thread);
+  ASSERT_NE(port, 0) << "RunTcpLoop never started listening";
+
+  std::atomic<uint64_t> history_replies{0};
+  std::atomic<uint64_t> user_replies{0};
+  LoadGenOptions load;
+  load.port = port;
+  load.clients = 2;
+  load.requests_per_client = 20;
+  load.pipeline = 4;
+  load.m = 5;
+  load.num_users = f.train.num_rows();
+  load.history_every = 2;  // every other request folds in
+  load.history_len = 5;
+  load.num_items = f.train.num_cols();
+  load.on_history_reply = [&](std::span<const uint32_t> history,
+                              const std::string& line) {
+    EXPECT_EQ(history.size(), 5u);
+    EXPECT_EQ(line.rfind("{\"ok\":true", 0), 0u) << line;
+    history_replies.fetch_add(1, std::memory_order_relaxed);
+  };
+  load.on_reply = [&](uint32_t, const std::string&) {
+    user_replies.fetch_add(1, std::memory_order_relaxed);
+  };
+  auto result = RunLoadGen(load);
+  serve_thread.join();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->error_replies, 0u);
+  EXPECT_EQ(history_replies.load(), 20u);  // every even slot of 2x20
+  EXPECT_EQ(user_replies.load(), 20u);
+  EXPECT_EQ(server.Stats().fold_in_requests, 20u);
+
+  // The generator itself is deterministic and refuses a missing catalog.
+  EXPECT_EQ(LoadGenHistory(7, 5, 30), LoadGenHistory(7, 5, 30));
+  LoadGenOptions bad = load;
+  bad.num_items = 0;
   EXPECT_TRUE(RunLoadGen(bad).status().IsInvalidArgument());
   std::remove(f.model_path.c_str());
 }

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "ocular/ocular.h"
@@ -52,6 +53,57 @@ TEST(ExpandModelTest, RefusesToShrink) {
   EXPECT_TRUE(ExpandModel(model, 3, 2).status().IsInvalidArgument());
 }
 
+TEST(ExpandModelTest, ShapeDerivedSeedIsDeterministicPerCallButDecorrelated) {
+  Rng rng(1);
+  DenseMatrix fu(3, 2), fi(2, 2);
+  fu.FillUniform(&rng, 0.1, 1.0);
+  fi.FillUniform(&rng, 0.1, 1.0);
+  OcularModel model(fu, fi);
+
+  // Same call twice: bit-identical (replayable daily update).
+  auto a = ExpandModel(model, 5, 4).value();
+  auto b = ExpandModel(model, 5, 4).value();
+  for (uint32_t u = 0; u < 5; ++u) {
+    for (uint32_t c = 0; c < 2; ++c) {
+      EXPECT_EQ(a.user_factors().At(u, c), b.user_factors().At(u, c));
+    }
+  }
+
+  // Successive expansions of a growing catalog draw from different
+  // streams: growing 5->7 must not hand the new rows the same values the
+  // 3->5 step produced (a constant seed did exactly that).
+  auto second_step = ExpandModel(a, 7, 4).value();
+  bool any_differ = false;
+  for (uint32_t n = 0; n < 2 && !any_differ; ++n) {
+    for (uint32_t c = 0; c < 2 && !any_differ; ++c) {
+      any_differ = second_step.user_factors().At(5 + n, c) !=
+                   a.user_factors().At(3 + n, c);
+    }
+  }
+  EXPECT_TRUE(any_differ)
+      << "successive expansions reused the identical init stream";
+  EXPECT_NE(DeriveExpandSeed(3, 2, 5, 4, 2), DeriveExpandSeed(5, 4, 7, 4, 2));
+
+  // An explicit seed pins the stream and differs from other seeds.
+  ExpandOptions pinned;
+  pinned.seed = 42;
+  auto p1 = ExpandModel(model, 5, 4, pinned).value();
+  auto p2 = ExpandModel(model, 5, 4, pinned).value();
+  ExpandOptions other;
+  other.seed = 43;
+  auto q = ExpandModel(model, 5, 4, other).value();
+  bool pinned_differs = false;
+  for (uint32_t u = 3; u < 5; ++u) {
+    for (uint32_t c = 0; c < 2; ++c) {
+      EXPECT_EQ(p1.user_factors().At(u, c), p2.user_factors().At(u, c));
+      pinned_differs =
+          pinned_differs ||
+          p1.user_factors().At(u, c) != q.user_factors().At(u, c);
+    }
+  }
+  EXPECT_TRUE(pinned_differs);
+}
+
 TEST(UpdateModelTest, WarmStartConvergesFasterThanCold) {
   // Train on an initial snapshot; append new users + interactions; update
   // with few sweeps and compare against cold-starting on the new data.
@@ -80,9 +132,17 @@ TEST(UpdateModelTest, WarmStartConvergesFasterThanCold) {
   auto warm = UpdateModel(fit_v1.model, v2, update_cfg).value();
   auto cold = OcularTrainer(update_cfg).Fit(v2).value();
 
-  // Warm start needs far fewer sweeps to declare convergence...
-  EXPECT_LT(warm.sweeps_run, cold.sweeps_run);
-  // ...and lands at a comparable (or better) objective.
+  // The warm-start claim is about the objective reached per sweep budget,
+  // not sweeps-until-tolerance (that count is init-stream luck: a warm run
+  // can spend many sweeps inching down a tail BELOW cold's final value).
+  // Within a third of cold's budget the warm start must already be at
+  // least as good as cold ever gets...
+  const size_t third = std::min<size_t>(warm.trace.size() - 1,
+                                        std::max(1u, cold.sweeps_run / 3));
+  EXPECT_LE(warm.trace[third].objective, cold.trace.back().objective * 1.001)
+      << "warm start after " << third << " sweeps vs cold after "
+      << cold.sweeps_run;
+  // ...and its converged objective stays comparable (or better).
   EXPECT_LE(warm.trace.back().objective,
             cold.trace.back().objective * 1.02);
   EXPECT_TRUE(warm.model.Validate().ok());

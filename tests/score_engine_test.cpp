@@ -29,6 +29,7 @@
 #include "baselines/knn.h"
 #include "baselines/wals.h"
 #include "common/rng.h"
+#include "core/fold_in.h"
 #include "core/ocular_recommender.h"
 #include "data/synthetic.h"
 #include "serving/batch.h"
@@ -293,6 +294,61 @@ TEST(ServeAllocTest, CandidateModeServesAllocateNothing) {
   }
   EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed), before)
       << "candidate gathering must stay within the reserved capacity";
+}
+
+TEST(ServeAllocTest, FoldInServesAllocateNothingInSteadyState) {
+  // The fold-in request path (sanitize -> single-row solve -> blocked
+  // ranking, including the popularity fallback) must be allocation-free
+  // once the per-worker scratch has warmed up — same contract as the
+  // stored-user serve loop above.
+  const CsrMatrix r = test::RandomCsr(60, 200, 1800, 23);
+  OcularConfig cfg;
+  cfg.k = 8;
+  cfg.lambda = 0.3;
+  cfg.max_sweeps = 10;
+  OcularRecommender rec(cfg);
+  ASSERT_TRUE(rec.Fit(r).ok());
+  auto ctx = MakeFoldInContext(rec.model(), cfg);
+  ASSERT_TRUE(ctx.ok()) << ctx.status().ToString();
+
+  constexpr size_t kMaxHistory = 12;
+  // Pre-built request stream (one empty history exercises the fallback).
+  std::vector<std::vector<uint32_t>> requests;
+  Rng rng(7);
+  for (int q = 0; q < 8; ++q) {
+    std::vector<uint32_t> history;
+    for (size_t n = 0; n < kMaxHistory; ++n) {
+      history.push_back(
+          static_cast<uint32_t>(rng.Uniform(0.0, r.num_cols())));
+    }
+    SanitizeHistory(&history, r.num_cols());
+    requests.push_back(std::move(history));
+  }
+  requests.push_back({});
+
+  const ServeOptions serve;
+  FoldInWorkspace ws;
+  ws.Reserve(ctx->dims(), kMaxHistory);
+  std::vector<double> tile;
+  std::vector<ScoredItem> selection;
+  const FoldInOptions options;
+  for (const auto& history : requests) {  // warm-up pass
+    ASSERT_TRUE(RecommendForHistoryInto(*ctx, history, 20, serve.min_score,
+                                        64, options, &ws, &tile, &selection)
+                    .ok());
+  }
+
+  const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int pass = 0; pass < 3; ++pass) {
+    for (const auto& history : requests) {
+      ASSERT_TRUE(RecommendForHistoryInto(*ctx, history, 20, serve.min_score,
+                                          64, options, &ws, &tile,
+                                          &selection)
+                      .ok());
+    }
+  }
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed), before)
+      << "the fold-in serve path must not touch the heap in steady state";
 }
 
 // ----------------------------------------------- batch determinism

@@ -65,8 +65,10 @@ commands:
   convert    --in=FILE --out=FILE [--to=binary|text]
   serve      --models=name=path[,...] [--datasets=name=path[,...]]
              [--port=N] [--m=N] [--workers=N] [--accept-queue=N]
+             [--update-sweeps=N]
   loadtest   --port=N [--clients=C] [--requests=R] [--pipeline=P]
              [--users=U] [--m=N] [--model=NAME] [--json]
+             [--history-every=N --items=I [--history-len=L]]
 )";
 
 Result<Dataset> LoadInput(const Flags& flags) {
@@ -201,9 +203,19 @@ int CmdRecommend(const Flags& flags) {
       }
       history.push_back(static_cast<uint32_t>(parsed.value()));
     }
-    std::sort(history.begin(), history.end());
-    history.erase(std::unique(history.begin(), history.end()),
-                  history.end());
+    // Same normalization the daemon applies to wire histories: sort,
+    // dedup, drop out-of-catalog ids (warned, not fatal — a stale client
+    // list should not kill the query). An empty or fully-dropped history
+    // falls back to the deterministic popularity ranking.
+    const HistorySanitizeResult sanitized =
+        SanitizeHistory(&history, loaded->model.num_items());
+    if (sanitized.dropped_out_of_range > 0) {
+      std::fprintf(stderr,
+                   "warning: dropped %zu --history ids outside the "
+                   "model's %u-item catalog\n",
+                   sanitized.dropped_out_of_range,
+                   loaded->model.num_items());
+    }
     auto recs = RecommendForHistory(loaded->model, loaded->config, history, m);
     if (!recs.ok()) {
       std::fprintf(stderr, "%s\n", recs.status().ToString().c_str());
@@ -396,6 +408,27 @@ int CmdLoadtest(const Flags& flags) {
   options.m = static_cast<uint32_t>(m);
   options.num_users = static_cast<uint32_t>(users);
   options.model = flags.GetString("model", "default");
+  // Mixed-verb traffic: --history-every=N makes every Nth request per
+  // client a fold-in "history" request over a catalog of --items ids.
+  const int64_t history_every = flags.GetInt("history-every", 0);
+  const int64_t history_len = flags.GetInt("history-len", 8);
+  const int64_t items = flags.GetInt("items", 0);
+  if (history_every < 0 || history_every > UINT32_MAX || history_len < 1 ||
+      history_len > 4096 || items < 0 || items > UINT32_MAX) {
+    std::fprintf(stderr,
+                 "loadtest history flags out of range: --history-every "
+                 ">= 0, --history-len in [1, 4096], --items >= 0\n");
+    return 1;
+  }
+  if (history_every > 0 && items == 0) {
+    std::fprintf(stderr,
+                 "--history-every needs --items=I (the catalog size "
+                 "generated histories draw from)\n");
+    return 1;
+  }
+  options.history_every = static_cast<uint32_t>(history_every);
+  options.history_len = static_cast<uint32_t>(history_len);
+  options.num_items = static_cast<uint32_t>(items);
 
   auto result = RunLoadGen(options);
   if (!result.ok()) {

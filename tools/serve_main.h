@@ -12,6 +12,9 @@
 //                                        hardware thread)
 //   --accept-queue=N                     connections that may wait for a
 //                                        worker before load shedding (128)
+//   --update-sweeps=N                    default trainer sweeps an `update`
+//                                        request runs when it does not set
+//                                        its own "sweeps" (5)
 //
 // The process installs the SIGHUP hot-reload handler before serving.
 
@@ -106,6 +109,12 @@ inline int RunServeCommand(const Flags& flags) {
     return 1;
   }
   options.accept_queue = static_cast<size_t>(accept_queue);
+  const int64_t update_sweeps = flags.GetInt("update-sweeps", 5);
+  if (update_sweeps < 1 || update_sweeps > 100000) {
+    std::fprintf(stderr, "--update-sweeps must be in [1, 100000]\n");
+    return 1;
+  }
+  options.update_sweeps = static_cast<uint32_t>(update_sweeps);
   RequestServer server(&registry, options);
   RequestServer::InstallReloadSignalHandler();
   // The daemon's socket writes use MSG_NOSIGNAL, but ignore SIGPIPE
