@@ -1,0 +1,207 @@
+#include "common/fault.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "common/strings.h"
+
+namespace ocular {
+namespace fault {
+
+namespace internal {
+std::atomic<bool> g_armed{false};
+}  // namespace internal
+
+namespace {
+
+struct PointState {
+  enum class Mode { kFirstN, kKOfN, kKill };
+  Mode mode = Mode::kFirstN;
+  // kFirstN: fail while calls < k. kOfN: fail iff calls % n < k.
+  // kKill: SIGKILL on call number k (1-based).
+  uint64_t k = 0;
+  uint64_t n = 1;
+  uint64_t calls = 0;
+  uint64_t hits = 0;
+};
+
+std::mutex& Mu() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+std::map<std::string, PointState>& Points() {
+  static auto* points = new std::map<std::string, PointState>;
+  return *points;
+}
+
+// Parses one `point=action` entry into (name, state).
+Status ParseEntry(std::string_view entry, std::string* name,
+                  PointState* state) {
+  const size_t eq = entry.find('=');
+  if (eq == std::string_view::npos || eq == 0 || eq + 1 == entry.size()) {
+    return Status::InvalidArgument("malformed fault spec entry '" +
+                                   std::string(entry) +
+                                   "' (expected point=action)");
+  }
+  *name = std::string(entry.substr(0, eq));
+  const std::string_view action = entry.substr(eq + 1);
+  *state = PointState();
+  if (action == "kill" || action.substr(0, 5) == "kill@") {
+    state->mode = PointState::Mode::kKill;
+    state->k = 1;
+    if (action.size() > 5) {
+      uint64_t call = 0;
+      for (char c : action.substr(5)) {
+        if (c < '0' || c > '9') {
+          return Status::InvalidArgument("malformed kill@C in fault spec '" +
+                                         std::string(entry) + "'");
+        }
+        call = call * 10 + static_cast<uint64_t>(c - '0');
+      }
+      if (call == 0) {
+        return Status::InvalidArgument("kill@C needs C >= 1 in '" +
+                                       std::string(entry) + "'");
+      }
+      state->k = call;
+    }
+    return Status::OK();
+  }
+  uint64_t nums[2] = {0, 1};
+  int part = 0;
+  bool digits = false;
+  for (char c : action) {
+    if (c == '/') {
+      if (part == 1 || !digits) {
+        return Status::InvalidArgument("malformed K/N in fault spec '" +
+                                       std::string(entry) + "'");
+      }
+      part = 1;
+      digits = false;
+      nums[1] = 0;
+      continue;
+    }
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("malformed count in fault spec '" +
+                                     std::string(entry) + "'");
+    }
+    nums[part] = nums[part] * 10 + static_cast<uint64_t>(c - '0');
+    digits = true;
+  }
+  if (!digits) {
+    return Status::InvalidArgument("malformed count in fault spec '" +
+                                   std::string(entry) + "'");
+  }
+  if (part == 1) {
+    if (nums[1] == 0 || nums[0] > nums[1]) {
+      return Status::InvalidArgument("K/N needs 0 <= K <= N, N >= 1 in '" +
+                                     std::string(entry) + "'");
+    }
+    state->mode = PointState::Mode::kKOfN;
+  } else {
+    state->mode = PointState::Mode::kFirstN;
+  }
+  state->k = nums[0];
+  state->n = nums[1];
+  return Status::OK();
+}
+
+// Reads OCULAR_FAULTS exactly once, at first armed-path use or Configure.
+// A static initializer (runs before main) keeps env-armed runs working
+// without any explicit init call from tools or tests.
+struct EnvInit {
+  EnvInit() {
+    const char* env = std::getenv("OCULAR_FAULTS");
+    if (env == nullptr || env[0] == '\0') return;
+    const Status st = Configure(env);
+    if (!st.ok()) {
+      // A typo'd env spec must be loud, not silently ignored: the chaos
+      // harness depends on the point actually arming.
+      std::fprintf(stderr, "OCULAR_FAULTS rejected: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+};
+EnvInit g_env_init;
+
+}  // namespace
+
+namespace internal {
+
+bool MaybeSlow(const char* point) {
+  bool kill = false;
+  bool hit = false;
+  {
+    std::lock_guard<std::mutex> lock(Mu());
+    auto it = Points().find(point);
+    if (it == Points().end()) return false;
+    PointState& s = it->second;
+    const uint64_t call = s.calls++;
+    switch (s.mode) {
+      case PointState::Mode::kFirstN:
+        hit = call < s.k;
+        break;
+      case PointState::Mode::kKOfN:
+        hit = (call % s.n) < s.k;
+        break;
+      case PointState::Mode::kKill:
+        kill = (call + 1) == s.k;
+        hit = kill;
+        break;
+    }
+    if (hit) ++s.hits;
+  }
+  if (kill) {
+    // The crash simulator: no atexit, no stream flush, no unwinding —
+    // exactly what a power cut looks like to everything already on disk.
+    ::kill(::getpid(), SIGKILL);
+  }
+  return hit;
+}
+
+}  // namespace internal
+
+Status Configure(const std::string& spec) {
+  std::map<std::string, PointState> parsed;
+  for (std::string_view entry : Split(spec, ',')) {
+    if (entry.empty()) continue;
+    std::string name;
+    PointState state;
+    OCULAR_RETURN_IF_ERROR(ParseEntry(entry, &name, &state));
+    parsed[name] = state;
+  }
+  std::lock_guard<std::mutex> lock(Mu());
+  Points() = std::move(parsed);
+  internal::g_armed.store(!Points().empty(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void Reset() {
+  std::lock_guard<std::mutex> lock(Mu());
+  Points().clear();
+  internal::g_armed.store(false, std::memory_order_relaxed);
+}
+
+uint64_t Calls(const std::string& point) {
+  std::lock_guard<std::mutex> lock(Mu());
+  auto it = Points().find(point);
+  return it == Points().end() ? 0 : it->second.calls;
+}
+
+uint64_t Hits(const std::string& point) {
+  std::lock_guard<std::mutex> lock(Mu());
+  auto it = Points().find(point);
+  return it == Points().end() ? 0 : it->second.hits;
+}
+
+Status InjectedError(const char* point) {
+  return Status::IOError(std::string("injected fault at '") + point + "'");
+}
+
+}  // namespace fault
+}  // namespace ocular

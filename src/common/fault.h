@@ -1,0 +1,80 @@
+#ifndef OCULAR_COMMON_FAULT_H_
+#define OCULAR_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace ocular {
+namespace fault {
+
+/// \file
+/// \brief Named fault-injection points for the failure-domain tests.
+///
+/// Production code asks `fault::Maybe("store.rename")` at the places a
+/// real failure could strike (disk write, fsync, rename, socket accept,
+/// socket send, update apply). When injection is disarmed — the default,
+/// and the only state production ever runs in — Maybe() is one relaxed
+/// atomic load and an always-false branch, cheap enough to leave compiled
+/// into release builds (the daemon bench gates its overhead at <= 1%).
+///
+/// Tests and the chaos CI job arm points either programmatically
+/// (`fault::Configure("store.rename=1")`) or through the environment
+/// variable `OCULAR_FAULTS`, read once at process start:
+///
+///     OCULAR_FAULTS=store.rename=1,daemon.send=1/3
+///
+/// Spec grammar, comma-separated `point=action` entries:
+///   - `point=N`       fail the first N calls of that point, then pass
+///   - `point=K/N`     deterministic K-of-every-N: call i (0-based)
+///                     fails iff i % N < K — a reproducible stand-in for
+///                     probabilistic failure (`1/3` ~ a third of calls)
+///   - `point=kill`    SIGKILL the process on the first call — the
+///   - `point=kill@C`  crash simulator for durability tests (C-th call)
+///
+/// The injection-point catalog lives in docs/ARCHITECTURE.md; tests use
+/// Calls()/Hits() to assert a point actually fired.
+
+namespace internal {
+extern std::atomic<bool> g_armed;
+bool MaybeSlow(const char* point);
+}  // namespace internal
+
+/// \brief True when this call of `point` should fail. The disarmed fast
+/// path is a single relaxed load; once any point is configured, armed
+/// calls take a mutex (test-only cost).
+inline bool Maybe(const char* point) {
+  if (!internal::g_armed.load(std::memory_order_relaxed)) return false;
+  return internal::MaybeSlow(point);
+}
+
+/// \brief True when any injection point is configured.
+inline bool Armed() {
+  return internal::g_armed.load(std::memory_order_relaxed);
+}
+
+/// \brief Replaces the active configuration with `spec` (the OCULAR_FAULTS
+/// grammar above; empty disarms). InvalidArgument on a malformed spec, in
+/// which case the previous configuration stays active.
+Status Configure(const std::string& spec);
+
+/// \brief Disarms every point and clears all counters.
+void Reset();
+
+/// \brief Times `point` was evaluated (armed calls only — the disarmed
+/// fast path does not count, by design: counting would make it non-free).
+uint64_t Calls(const std::string& point);
+
+/// \brief Times Maybe(`point`) returned true (or would have killed).
+uint64_t Hits(const std::string& point);
+
+/// \brief The canonical IOError a production site should return when a
+/// point fires, so injected failures are greppable in logs and replies.
+Status InjectedError(const char* point);
+
+}  // namespace fault
+}  // namespace ocular
+
+#endif  // OCULAR_COMMON_FAULT_H_

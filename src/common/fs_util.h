@@ -1,0 +1,47 @@
+#ifndef OCULAR_COMMON_FS_UTIL_H_
+#define OCULAR_COMMON_FS_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace ocular {
+namespace fs {
+
+/// \file
+/// \brief Crash-safe filesystem primitives for artifact publishing.
+///
+/// The serving stack's durability contract (docs/OPERATIONS.md, "Failure
+/// modes & recovery") is built from exactly three operations: fsync the
+/// written file, fsync its parent directory, and rename. Each is a named
+/// fault-injection point (common/fault.h) so the chaos suite can fail any
+/// of them deterministically.
+
+/// \brief fsync(2)s `path` (opened read-only — on Linux that flushes the
+/// file's dirty pages). Fault point "store.fsync".
+Status FsyncFile(const std::string& path);
+
+/// \brief fsync(2)s the directory containing `path`, making a rename or
+/// create of `path` itself durable. Fault point "store.dirsync".
+Status FsyncParentDir(const std::string& path);
+
+/// \brief The atomic-publish step: rename(2) `from` over `to`, then fsync
+/// the parent directory so the new directory entry survives a power cut.
+/// Fault point "store.rename" fails before the rename (nothing moved); a
+/// dirsync failure AFTER a successful rename is returned but the rename
+/// itself has happened — callers treat that window as published.
+Status DurableRename(const std::string& from, const std::string& to);
+
+/// \brief Content fingerprint: FNV-1a over the first `max_bytes` of the
+/// file (default 4096 — for OCLR artifacts this covers the entire header
+/// including every section checksum, so equal fingerprints mean equal
+/// model content). The update journal stamps records with this to decide
+/// replay-vs-skip after a crash.
+Result<uint64_t> FileFingerprint(const std::string& path,
+                                 size_t max_bytes = 4096);
+
+}  // namespace fs
+}  // namespace ocular
+
+#endif  // OCULAR_COMMON_FS_UTIL_H_

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/fault.h"
 #include "sparse/linalg.h"
 
 namespace ocular {
@@ -138,6 +139,7 @@ Status WriteBinaryFile(const BinaryModelMeta& meta, const DenseMatrix& users,
                         Fnv1a64(sections[i].data, sections[i].length_bytes));
   }
 
+  if (fault::Maybe("store.write")) return fault::InjectedError("store.write");
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IOError("cannot open '" + path + "' for writing");
   out.write(reinterpret_cast<const char*>(header), sizeof(header));

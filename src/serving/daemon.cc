@@ -17,8 +17,11 @@
 
 #include <cstdio>
 
+#include "common/fault.h"
+#include "common/fs_util.h"
 #include "core/model_store.h"
 #include "parallel/bounded_queue.h"
+#include "serving/journal.h"
 #include "serving/net_util.h"
 #include "serving/render.h"
 
@@ -32,6 +35,17 @@ std::atomic<bool> g_pending_reload{false};
 
 void OnSighup(int /*signum*/) {
   g_pending_reload.store(true, std::memory_order_relaxed);
+}
+
+// SIGTERM/SIGINT drain latch. The signal may land on any thread; every
+// serving loop polls the latch at its top, and parked reads/accepts wake
+// either by EINTR (the handler thread) or by their receive deadline
+// (everyone else — see Options::io_timeout_ms), so the whole process
+// notices within one deadline tick.
+std::atomic<bool> g_pending_shutdown{false};
+
+void OnShutdownSignal(int /*signum*/) {
+  g_pending_shutdown.store(true, std::memory_order_relaxed);
 }
 
 // Reads a non-negative integer field, with bounds checking against
@@ -104,6 +118,25 @@ void RequestServer::InstallReloadSignalHandler() {
   // No SA_RESTART: a SIGHUP arriving mid-accept/mid-read surfaces as EINTR
   // so the serving loop can apply the reload promptly.
   ::sigaction(SIGHUP, &sa, nullptr);
+}
+
+void RequestServer::InstallShutdownSignalHandler() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = OnShutdownSignal;
+  sigemptyset(&sa.sa_mask);
+  // No SA_RESTART for the same reason as SIGHUP: the thread that takes
+  // the signal must fall out of its blocking call and see the latch.
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+}
+
+void RequestServer::RequestShutdown() {
+  g_pending_shutdown.store(true, std::memory_order_relaxed);
+}
+
+bool RequestServer::ShutdownRequested() {
+  return g_pending_shutdown.load(std::memory_order_relaxed);
 }
 
 bool RequestServer::ConsumePendingReload() {
@@ -188,6 +221,25 @@ std::string RequestServer::ErrorReply(WorkerState* w,
   writer.Bool(false);
   writer.Key("error");
   writer.String(message);
+  writer.EndObject();
+  w->errors.fetch_add(1, std::memory_order_relaxed);
+  return writer.str();
+}
+
+std::string RequestServer::CodedErrorReply(WorkerState* w,
+                                           const std::string& message,
+                                           uint32_t code) {
+  // Connection-level failures (413 oversize, 408 idle) carry a "code" so
+  // clients can tell "fix your framing / you were reaped" apart from a
+  // request error; the same convention 503 shed replies use.
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("ok");
+  writer.Bool(false);
+  writer.Key("error");
+  writer.String(message);
+  writer.Key("code");
+  writer.UInt(code);
   writer.EndObject();
   w->errors.fetch_add(1, std::memory_order_relaxed);
   return writer.str();
@@ -325,6 +377,70 @@ std::string RequestServer::HandleHistory(WorkerState* w,
   return writer.str();
 }
 
+Result<RequestServer::UpdateOutcome> RequestServer::RetrainAndPublish(
+    const ServableModel& model, const std::string& model_name,
+    const std::shared_ptr<const CsrMatrix>& updated_train, uint32_t users,
+    uint32_t items, uint32_t sweeps, uint64_t seed, bool* published) {
+  *published = false;
+  // Copy-on-write: the live mapping is never touched — the update
+  // materializes a private copy, retrains it, and publishes the result as
+  // a new generation.
+  if (fault::Maybe("update.apply")) return fault::InjectedError("update.apply");
+  OCULAR_ASSIGN_OR_RETURN(LoadedModel loaded, model.store.MaterializeOcular());
+
+  OcularConfig config = loaded.config;
+  config.max_sweeps = sweeps;
+  ExpandOptions expand;
+  expand.seed = seed;  // 0 = shape-derived stream (see ExpandOptions)
+  OCULAR_ASSIGN_OR_RETURN(
+      OcularFitResult fit,
+      UpdateModel(loaded.model, *updated_train, config, expand));
+
+  // Persist write-temp, fsync, verify, durable-rename: a crash mid-write
+  // can never leave a torn model file behind the running mapping, a crash
+  // right after the ack can never lose the renamed artifact to unflushed
+  // page cache, and a silently corrupted write can never be published
+  // (the verify-open checks every section checksum before the swap).
+  const std::string tmp_path = model.model_path + ".update.tmp";
+  OCULAR_RETURN_IF_ERROR(SaveModelBinary(fit.model, config, tmp_path));
+  Status durable = fs::FsyncFile(tmp_path);
+  if (durable.ok()) {
+    if (auto verify = ModelStore::Open(tmp_path); !verify.ok()) {
+      durable = Status::IOError("update artifact failed verification: " +
+                                verify.status().ToString());
+    }
+  }
+  if (durable.ok()) durable = fs::DurableRename(tmp_path, model.model_path);
+  if (!durable.ok()) {
+    // DurableRename can fail on either side of the rename (the dirsync
+    // comes after it). The tmp file still existing proves the rename
+    // never happened — clean up and report an unpublished failure; tmp
+    // gone means the artifact DID move, and only its directory-entry
+    // durability is in doubt — treat as published (fs_util.h contract)
+    // so the journal commits what clients will observe.
+    if (::access(tmp_path.c_str(), F_OK) == 0) {
+      ::remove(tmp_path.c_str());
+      return durable;
+    }
+    std::fprintf(stderr,
+                 "update on '%s': published but directory sync failed: %s\n",
+                 model_name.c_str(), durable.ToString().c_str());
+  }
+  *published = true;
+  // The same generation swap as SIGHUP reload: in-flight requests drain
+  // on their leased mapping, workers re-resolve lock-free.
+  OCULAR_RETURN_IF_ERROR(
+      registry_->Load(model_name, model.model_path, updated_train));
+  updates_.fetch_add(1, std::memory_order_relaxed);
+
+  UpdateOutcome outcome;
+  outcome.num_users = users;
+  outcome.num_items = items;
+  outcome.sweeps_run = fit.sweeps_run;
+  outcome.converged = fit.converged;
+  return outcome;
+}
+
 Result<RequestServer::UpdateOutcome> RequestServer::ApplyUpdate(
     WorkerState* w, const std::string& model_name,
     const std::vector<std::pair<uint32_t, uint32_t>>& adds,
@@ -341,11 +457,6 @@ Result<RequestServer::UpdateOutcome> RequestServer::ApplyUpdate(
         "update requires a dataset bound to model '" + model_name +
         "' (--datasets): the interaction deltas extend the training matrix");
   }
-  // Copy-on-write: the live mapping is never touched — the update
-  // materializes a private copy, retrains it, and publishes the result as
-  // a new generation.
-  OCULAR_ASSIGN_OR_RETURN(LoadedModel loaded, model->store.MaterializeOcular());
-
   uint32_t users = std::max(model->store.num_users(), num_users);
   uint32_t items = std::max(model->store.num_items(), num_items);
   CooBuilder coo;
@@ -360,37 +471,153 @@ Result<RequestServer::UpdateOutcome> RequestServer::ApplyUpdate(
   auto updated_train =
       std::make_shared<const CsrMatrix>(CsrMatrix::FromCoo(entries));
 
-  OcularConfig config = loaded.config;
-  config.max_sweeps = sweeps;
-  ExpandOptions expand;
-  expand.seed = seed;  // 0 = shape-derived stream (see ExpandOptions)
-  OCULAR_ASSIGN_OR_RETURN(
-      OcularFitResult fit,
-      UpdateModel(loaded.model, *updated_train, config, expand));
-
-  // Persist write-temp + rename: a crash mid-write can never leave a torn
-  // model file behind the running mapping, and the published path stays
-  // valid for SIGHUP reloads.
-  const std::string tmp_path = model->model_path + ".update.tmp";
-  OCULAR_RETURN_IF_ERROR(SaveModelBinary(fit.model, config, tmp_path));
-  if (::rename(tmp_path.c_str(), model->model_path.c_str()) != 0) {
-    const Status st = Status::IOError("rename " + tmp_path + ": " +
-                                      std::strerror(errno));
-    ::remove(tmp_path.c_str());
-    return st;
+  // Write-ahead: the full replay recipe is durable before the retrain
+  // starts, so a crash anywhere past this point can be recovered to the
+  // exact artifact this call would have published (RecoverJournal). An
+  // append failure fails the update — the client's ack must never be
+  // backed by nothing but RAM.
+  UpdateJournal journal;
+  const bool journaling = options_.update_journal;
+  if (journaling) {
+    UpdateRecord record;
+    OCULAR_ASSIGN_OR_RETURN(record.base_fingerprint,
+                            fs::FileFingerprint(model->model_path));
+    record.seed = seed;
+    record.num_users = users;
+    record.num_items = items;
+    record.sweeps = sweeps;
+    record.adds = adds;
+    OCULAR_RETURN_IF_ERROR(
+        journal.Open(UpdateJournal::PathFor(model->model_path)));
+    OCULAR_RETURN_IF_ERROR(journal.AppendUpdate(record));
   }
-  // The same generation swap as SIGHUP reload: in-flight requests drain
-  // on their leased mapping, workers re-resolve lock-free.
-  OCULAR_RETURN_IF_ERROR(
-      registry_->Load(model_name, model->model_path, updated_train));
-  updates_.fetch_add(1, std::memory_order_relaxed);
 
-  UpdateOutcome outcome;
-  outcome.num_users = users;
-  outcome.num_items = items;
-  outcome.sweeps_run = fit.sweeps_run;
-  outcome.converged = fit.converged;
+  bool published = false;
+  Result<UpdateOutcome> outcome =
+      RetrainAndPublish(*model, model_name, updated_train, users, items,
+                        sweeps, seed, &published);
+  if (journaling) {
+    // The journal's verdict follows the artifact, not the reply: a
+    // failure AFTER the rename still commits (clients will observe the
+    // new artifact), a clean failure before it aborts so recovery never
+    // replays an update the client saw fail. A failed closing append
+    // merely leaves the record pending — the fingerprint check at next
+    // start resolves it the right way, so serving continues.
+    const Status closing = (outcome.ok() || published) ? journal.AppendCommit()
+                                                       : journal.AppendAbort();
+    if (!closing.ok()) {
+      std::fprintf(stderr, "update journal on '%s': %s\n", model_name.c_str(),
+                   closing.ToString().c_str());
+    }
+  }
   return outcome;
+}
+
+Result<JournalRecoveryStats> RequestServer::RecoverJournal(
+    const std::string& model_name) {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  JournalRecoveryStats stats;
+  std::shared_ptr<const ServableModel> model = registry_->Get(model_name);
+  if (model == nullptr) {
+    return Status::NotFound("no model named '" + model_name + "'");
+  }
+  const std::string journal_path = UpdateJournal::PathFor(model->model_path);
+  OCULAR_ASSIGN_OR_RETURN(UpdateJournal::Plan plan,
+                          UpdateJournal::LoadPlan(journal_path));
+  stats.torn_tail = plan.torn_tail;
+  if (plan.applied.empty() && !plan.has_pending) return stats;
+  if (model->train == nullptr) {
+    return Status::FailedPrecondition(
+        "journal " + journal_path + " has records but model '" + model_name +
+        "' has no bound dataset (--datasets): the deltas extend the training "
+        "matrix");
+  }
+
+  // A trailing record with no commit/abort is the crash window. The
+  // artifact fingerprint decides which side of the rename the crash hit:
+  // still equal to the record's base means the retrain never published —
+  // replay it; moved past it means the rename landed and only the commit
+  // record is missing — the adds are law, heal the journal.
+  bool replay_pending = false;
+  if (plan.has_pending) {
+    OCULAR_ASSIGN_OR_RETURN(const uint64_t fingerprint,
+                            fs::FileFingerprint(model->model_path));
+    if (fingerprint == plan.pending.base_fingerprint) {
+      replay_pending = true;
+    } else {
+      plan.applied.push_back(plan.pending);
+      plan.has_pending = false;
+      stats.healed_commit = true;
+    }
+  }
+
+  // Re-merge every applied record's deltas into the training base: the
+  // --datasets CSV is the original snapshot and knows nothing about
+  // updates applied by previous incarnations. CooBuilder::Finalize sorts
+  // and deduplicates, so the merge is order-insensitive and idempotent —
+  // recovering twice yields the same canonical matrix.
+  uint32_t users = model->train->num_rows();
+  uint32_t items = model->train->num_cols();
+  size_t extra = 0;
+  for (const UpdateRecord& record : plan.applied) extra += record.adds.size();
+  CooBuilder coo;
+  coo.Reserve(model->train->nnz() + extra);
+  for (auto [u, i] : model->train->ToPairs()) coo.Add(u, i);
+  for (const UpdateRecord& record : plan.applied) {
+    users = std::max(users, record.num_users);
+    items = std::max(items, record.num_items);
+    for (auto [u, i] : record.adds) coo.Add(u, i);
+  }
+  OCULAR_ASSIGN_OR_RETURN(auto entries, coo.Finalize(users, items));
+  auto merged = std::make_shared<const CsrMatrix>(CsrMatrix::FromCoo(entries));
+  stats.applied_merged = plan.applied.size();
+
+  if (!replay_pending) {
+    if (!plan.applied.empty()) {
+      OCULAR_RETURN_IF_ERROR(
+          registry_->Load(model_name, model->model_path, merged));
+      journal_recovered_.fetch_add(plan.applied.size(),
+                                   std::memory_order_relaxed);
+    }
+    if (stats.healed_commit) {
+      UpdateJournal journal;
+      OCULAR_RETURN_IF_ERROR(journal.Open(journal_path));
+      OCULAR_RETURN_IF_ERROR(journal.AppendCommit());
+    }
+    return stats;
+  }
+
+  // Replay: rebuild the pending update's training matrix on top of the
+  // recovered base and run the exact pipeline the crashed process was
+  // running — same adds, same dims, same sweeps, same seed, same base
+  // artifact — so the recovered generation is bit-identical to what the
+  // lost ack promised.
+  uint32_t replay_users = std::max(users, plan.pending.num_users);
+  uint32_t replay_items = std::max(items, plan.pending.num_items);
+  CooBuilder replay_coo;
+  replay_coo.Reserve(merged->nnz() + plan.pending.adds.size());
+  for (auto [u, i] : merged->ToPairs()) replay_coo.Add(u, i);
+  for (auto [u, i] : plan.pending.adds) replay_coo.Add(u, i);
+  OCULAR_ASSIGN_OR_RETURN(auto replay_entries,
+                          replay_coo.Finalize(replay_users, replay_items));
+  auto replay_train =
+      std::make_shared<const CsrMatrix>(CsrMatrix::FromCoo(replay_entries));
+  bool published = false;
+  Result<UpdateOutcome> outcome = RetrainAndPublish(
+      *model, model_name, replay_train, replay_users, replay_items,
+      plan.pending.sweeps, plan.pending.seed, &published);
+  if (!outcome.ok() && !published) {
+    // Leave the record pending: the next start retries the replay. The
+    // caller decides whether to serve without the promised update.
+    return outcome.status();
+  }
+  UpdateJournal journal;
+  OCULAR_RETURN_IF_ERROR(journal.Open(journal_path));
+  OCULAR_RETURN_IF_ERROR(journal.AppendCommit());
+  stats.replayed_pending = true;
+  journal_recovered_.fetch_add(plan.applied.size(), std::memory_order_relaxed);
+  journal_replays_.fetch_add(1, std::memory_order_relaxed);
+  return stats;
 }
 
 std::string RequestServer::HandleUpdate(WorkerState* w,
@@ -511,12 +738,18 @@ std::string RequestServer::HandleStats() {
   w.UInt(snapshot.reloads);
   w.Key("connections_shed");
   w.UInt(snapshot.connections_shed);
+  w.Key("connections_timed_out");
+  w.UInt(snapshot.connections_timed_out);
   w.Key("fold_in_requests");
   w.UInt(snapshot.fold_in_requests);
   w.Key("history_dropped_ids");
   w.UInt(snapshot.history_dropped_ids);
   w.Key("updates");
   w.UInt(snapshot.updates);
+  w.Key("journal_recovered");
+  w.UInt(snapshot.journal_recovered);
+  w.Key("journal_replays");
+  w.UInt(snapshot.journal_replays);
   w.Key("p50_latency_us");
   w.Double(snapshot.p50_latency_us);
   w.Key("p99_latency_us");
@@ -602,7 +835,11 @@ DaemonStatsSnapshot RequestServer::Stats() const {
   snapshot.workers = num_tcp_workers_;
   snapshot.reloads = reloads_.load(std::memory_order_relaxed);
   snapshot.connections_shed = shed_.load(std::memory_order_relaxed);
+  snapshot.connections_timed_out = timed_out_.load(std::memory_order_relaxed);
   snapshot.updates = updates_.load(std::memory_order_relaxed);
+  snapshot.journal_recovered =
+      journal_recovered_.load(std::memory_order_relaxed);
+  snapshot.journal_replays = journal_replays_.load(std::memory_order_relaxed);
   std::vector<double> window;
   for (const auto& w : workers_) {
     snapshot.requests_served += w->requests.load(std::memory_order_relaxed);
@@ -623,6 +860,12 @@ void RequestServer::RunStdioLoop(std::istream& in, std::ostream& out) {
   std::string partial;  // prefix extracted before an interrupted read
   while (!quit_requested_) {
     ConsumePendingReload();
+    if (g_pending_shutdown.exchange(false, std::memory_order_relaxed)) {
+      // SIGTERM drain, stdio flavor: every request read so far has been
+      // answered and flushed (one write per line), so just stop reading.
+      std::fprintf(stderr, "drained: %s\n", HandleStats().c_str());
+      break;
+    }
     errno = 0;
     if (!std::getline(in, line)) {
       // A SIGHUP arriving while blocked in getline fails the stream with
@@ -652,21 +895,46 @@ void RequestServer::RunStdioLoop(std::istream& in, std::ostream& out) {
 }
 
 void RequestServer::ServeConnection(int fd, WorkerState* w) {
-  // Framing bound against hostile clients: a "line" that exceeds this
-  // without a newline drops the connection instead of growing the buffer
-  // without limit. Generous for real requests (a full-catalog exclude
-  // list is well under this).
-  constexpr size_t kMaxRequestBytes = 4 << 20;
   // Replies go out as one batched write per pipelined burst, so Nagle
   // has little to coalesce — disable it so the final partial segment of
   // a batch is never held hostage to the peer's delayed ACK.
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // Socket deadlines: a worker must never be parked forever against a
+  // peer that stopped sending (read side) or stopped draining its replies
+  // (write side). The receive deadline doubles as this connection's
+  // wakeup tick — each expiry returns EAGAIN so the loop can check the
+  // idle clock (and, during shutdown, the drain latch) before parking
+  // again.
+  if (options_.io_timeout_ms > 0) {
+    struct timeval tv;
+    tv.tv_sec = options_.io_timeout_ms / 1000;
+    tv.tv_usec = static_cast<long>(options_.io_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  // Injected send failure ("daemon.send"): the whole batched write is
+  // dropped and the connection closed — an abrupt peer-visible failure,
+  // but never a torn reply (the fault fires before any byte goes out,
+  // exactly like a peer reset between batches).
+  const auto send_checked = [fd](const char* data, size_t size) {
+    if (fault::Maybe("daemon.send")) return false;
+    return net::SendAll(fd, data, size);
+  };
+  // The idle clock counts COMPLETED requests, not received bytes: a
+  // slow-loris peer dribbling a byte at a time makes progress by the
+  // byte-clock but never by this one.
+  auto last_request = std::chrono::steady_clock::now();
   std::string buffer;
   char chunk[16384];
   bool connection_quit = false;
   while (!connection_quit) {
     ConsumePendingReload();
+    // Drain: every COMPLETE request received before the latch was seen
+    // has been answered and flushed by the burst loop below; stop reading
+    // new ones and release the worker. A worker parked in read() notices
+    // via its receive-deadline tick.
+    if (ShutdownRequested()) break;
     // Drop stale model leases BEFORE parking in read(): a worker idling
     // on a quiet connection must not pin a reloaded-away generation's
     // mapping while it waits. (A reload landing while already blocked is
@@ -677,6 +945,26 @@ void RequestServer::ServeConnection(int fd, WorkerState* w) {
     const ssize_t n = ::read(fd, chunk, sizeof(chunk));
     if (n < 0) {
       if (errno == EINTR) continue;  // signal (e.g. SIGHUP) — poll and retry
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Receive-deadline tick. Reap the connection once it has gone
+        // idle_timeout_ms without a complete request; otherwise park
+        // again.
+        if (options_.idle_timeout_ms > 0 &&
+            std::chrono::steady_clock::now() - last_request >=
+                std::chrono::milliseconds(options_.idle_timeout_ms)) {
+          timed_out_.fetch_add(1, std::memory_order_relaxed);
+          const std::string reply =
+              CodedErrorReply(w,
+                              "idle timeout: no complete request in " +
+                                  std::to_string(options_.idle_timeout_ms) +
+                                  "ms",
+                              408) +
+              "\n";
+          (void)send_checked(reply.data(), reply.size());
+          break;
+        }
+        continue;
+      }
       break;
     }
     if (n == 0) break;  // client EOF
@@ -708,9 +996,10 @@ void RequestServer::ServeConnection(int fd, WorkerState* w) {
       bool quit = false;
       w->reply_batch += HandleLineOn(w, line, &quit);
       w->reply_batch.push_back('\n');
+      last_request = std::chrono::steady_clock::now();
       if (w->reply_batch.size() >= kReplyFlushBytes) {
         write_failed =
-            !net::SendAll(fd, w->reply_batch.data(), w->reply_batch.size());
+            !send_checked(w->reply_batch.data(), w->reply_batch.size());
         w->reply_batch.clear();
       }
       // `quit` ends the connection (after its reply is flushed); the
@@ -720,12 +1009,18 @@ void RequestServer::ServeConnection(int fd, WorkerState* w) {
     buffer.erase(0, start);  // keep the newline-free tail
     if (write_failed ||
         (!w->reply_batch.empty() &&
-         !net::SendAll(fd, w->reply_batch.data(), w->reply_batch.size()))) {
+         !send_checked(w->reply_batch.data(), w->reply_batch.size()))) {
       break;
     }
-    if (buffer.size() > kMaxRequestBytes) {
-      const std::string reply = ErrorReply(w, "request line too long") + "\n";
-      (void)net::SendAll(fd, reply.data(), reply.size());
+    if (buffer.size() >= options_.max_request_bytes) {
+      const std::string reply =
+          CodedErrorReply(w,
+                          "request line exceeds " +
+                              std::to_string(options_.max_request_bytes) +
+                              " bytes",
+                          413) +
+          "\n";
+      (void)send_checked(reply.data(), reply.size());
       break;
     }
   }
@@ -738,7 +1033,9 @@ void RequestServer::ShedConnection(int fd) {
   shed_.fetch_add(1, std::memory_order_relaxed);
   // 503-style overload reply: well-formed JSON so clients can tell
   // "server full, retry later" apart from a request error, written
-  // best-effort (the peer may already be gone) before the close.
+  // best-effort (the peer may already be gone) before the close. The
+  // retry_after_ms hint is the base delay of the client backoff contract
+  // (serving/loadgen.cc honors it with capped exponential backoff).
   JsonWriter w;
   w.BeginObject();
   w.Key("ok");
@@ -747,9 +1044,13 @@ void RequestServer::ShedConnection(int fd) {
   w.String("server overloaded: accept queue full, retry later");
   w.Key("code");
   w.UInt(503);
+  w.Key("retry_after_ms");
+  w.UInt(options_.retry_after_ms);
   w.EndObject();
   const std::string reply = w.str() + "\n";
-  (void)net::SendAll(fd, reply.data(), reply.size());
+  if (!fault::Maybe("daemon.send")) {
+    (void)net::SendAll(fd, reply.data(), reply.size());
+  }
   ::close(fd);
 }
 
@@ -778,6 +1079,15 @@ Status RequestServer::RunTcpLoop(uint16_t port, uint64_t max_connections) {
         Status::IOError(std::string("listen: ") + std::strerror(errno));
     ::close(listener);
     return st;
+  }
+  if (options_.io_timeout_ms > 0) {
+    // The listener needs the same wakeup tick as the workers: a SIGTERM
+    // delivered to some other thread never EINTRs this accept(), so the
+    // deadline is what bounds how long a drain request can sit unseen.
+    struct timeval tv;
+    tv.tv_sec = options_.io_timeout_ms / 1000;
+    tv.tv_usec = static_cast<long>(options_.io_timeout_ms % 1000) * 1000;
+    ::setsockopt(listener, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   }
   {
     // Publish the (possibly kernel-assigned) port only after listen()
@@ -810,14 +1120,26 @@ Status RequestServer::RunTcpLoop(uint16_t port, uint64_t max_connections) {
   uint64_t accepted = 0;
   while (max_connections == 0 || accepted < max_connections) {
     ConsumePendingReload();
+    if (ShutdownRequested()) break;  // graceful drain: stop accepting
     const int conn = ::accept(listener, nullptr, nullptr);
     if (conn < 0) {
-      if (errno == EINTR) continue;  // SIGHUP — apply reload, keep accepting
+      // EINTR: a signal (SIGHUP reload or SIGTERM drain) hit this thread.
+      // EAGAIN: the listener's receive deadline ticked with no client.
+      // Both just re-run the latch checks at the top.
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       status =
           Status::IOError(std::string("accept: ") + std::strerror(errno));
       break;
     }
     ++accepted;
+    // Injected accept failure ("daemon.accept"): the connection is
+    // dropped on the floor as if the kernel had refused it — the client
+    // sees a reset, never a half-served session. It still counts against
+    // max_connections so fault runs stay bounded.
+    if (fault::Maybe("daemon.accept")) {
+      ::close(conn);
+      continue;
+    }
     // Backpressure: a full queue means every worker is busy AND the
     // waiting room is full — shed instead of queueing without bound.
     if (!pending.TryPush(conn)) ShedConnection(conn);
@@ -826,6 +1148,12 @@ Status RequestServer::RunTcpLoop(uint16_t port, uint64_t max_connections) {
   for (std::thread& t : pool) t.join();
   bound_port_.store(0, std::memory_order_release);
   ::close(listener);
+  // Drain exit: consume the latch (so a test can serve again in this
+  // process) and flush one final stats line — the last thing an operator
+  // sees from a SIGTERMed daemon is what it did with its life.
+  if (g_pending_shutdown.exchange(false, std::memory_order_relaxed)) {
+    std::fprintf(stderr, "drained: %s\n", HandleStats().c_str());
+  }
   return status;
 }
 

@@ -35,6 +35,10 @@ struct DaemonStatsSnapshot {
   /// Connections refused with an overload error because the accept queue
   /// was full (load shedding).
   uint64_t connections_shed = 0;
+  /// Connections closed with a 408-style reply because no complete
+  /// request arrived within Options::idle_timeout_ms (idle peers and
+  /// slow-loris byte-dribblers alike).
+  uint64_t connections_timed_out = 0;
   /// History-based (fold-in) recommend requests answered, summed over
   /// workers.
   uint64_t fold_in_requests = 0;
@@ -43,6 +47,13 @@ struct DaemonStatsSnapshot {
   uint64_t history_dropped_ids = 0;
   /// In-daemon incremental updates published via the `update` verb.
   uint64_t updates = 0;
+  /// Committed journal records re-merged into the training base at
+  /// startup (RecoverJournal) — nonzero means this process inherited
+  /// update deltas from a previous incarnation.
+  uint64_t journal_recovered = 0;
+  /// Pending (crash-windowed) journal records replayed to a fresh
+  /// artifact at startup.
+  uint64_t journal_replays = 0;
   /// Models currently loaded.
   size_t models_loaded = 0;
   /// Worker threads serving the TCP loop.
@@ -87,6 +98,26 @@ class LatencyRing {
  private:
   std::vector<std::atomic<double>> samples_;
   std::atomic<uint64_t> count_{0};  // total ever recorded
+};
+
+/// \brief What RequestServer::RecoverJournal did for one model at
+/// startup. All-zero/false means the journal was absent or empty — a
+/// clean previous shutdown with no updates ever applied.
+struct JournalRecoveryStats {
+  /// Committed updates whose deltas were re-merged into the training
+  /// base (the --datasets CSV is the original snapshot; these restore
+  /// everything applied since).
+  uint64_t applied_merged = 0;
+  /// A trailing uncommitted update was found whose artifact rename never
+  /// happened; it was retrained and published now (then committed).
+  bool replayed_pending = false;
+  /// A trailing uncommitted update was found already published (artifact
+  /// fingerprint moved past its base); only the missing commit record
+  /// was appended.
+  bool healed_commit = false;
+  /// The journal ended in a torn/corrupt record (discarded; the prefix
+  /// was recovered normally). Expected after a crash mid-append.
+  bool torn_tail = false;
 };
 
 /// \brief Exact percentile of `samples` (modified in place: sorted).
@@ -169,6 +200,14 @@ class RequestServer {
     /// "sweeps" field overrides). A handful suffices: the old factors are
     /// already near-stationary (see core/incremental.h).
     uint32_t update_sweeps = 5;
+    /// Write-ahead journal every `update` verb to
+    /// `<model>.update.journal` (fsynced before the retrain starts) so an
+    /// acked update survives a crash anywhere in the pipeline — see
+    /// serving/journal.h and RecoverJournal(). Off restores the PR 6
+    /// fire-and-forget behavior (updates die with the process if the
+    /// artifact rename has not happened, and applied deltas are forgotten
+    /// on restart).
+    bool update_journal = true;
     /// Latency samples kept per worker for the p50/p99 report.
     size_t latency_window = 4096;
     /// TCP worker threads (0 = one per hardware thread, at least 1).
@@ -176,6 +215,29 @@ class RequestServer {
     /// Accepted connections that may wait for a worker before the
     /// listener starts shedding load with 503-style replies.
     size_t accept_queue = 128;
+    /// Longest request line a connection may send before it is answered
+    /// with a 413-style reply and closed. Generous for real requests (a
+    /// full-catalog exclude list is well under it); its real job is
+    /// keeping a newline-free byte stream from growing a worker's buffer
+    /// until the process OOMs.
+    size_t max_request_bytes = 1 << 20;
+    /// Socket read/write deadline (SO_RCVTIMEO/SO_SNDTIMEO) in
+    /// milliseconds. Doubles as the wakeup granularity at which a worker
+    /// parked in read() notices idle expiry and shutdown drain; 0
+    /// disables deadlines entirely (workers park forever — the pre-PR 7
+    /// behavior, and the stdio loop's behavior always).
+    uint32_t io_timeout_ms = 1000;
+    /// Close a connection with a 408-style reply after this long without
+    /// one complete request line (0 = never). Measured against completed
+    /// requests, not received bytes, so a slow-loris peer dribbling one
+    /// byte per second cannot hold a worker hostage by staying
+    /// technically active.
+    uint32_t idle_timeout_ms = 30000;
+    /// Backoff hint carried in 503 shed replies ("retry_after_ms"):
+    /// clients honoring it (serving/loadgen.cc does) retry after this
+    /// base delay with capped exponential backoff instead of hammering a
+    /// full accept queue.
+    uint32_t retry_after_ms = 50;
   };
 
   /// \brief Serves the models of `registry` (not owned; must outlive the
@@ -239,10 +301,40 @@ class RequestServer {
   /// flag).
   static void InstallReloadSignalHandler();
 
+  /// \brief Installs the process-wide SIGTERM/SIGINT handler that
+  /// requests a graceful drain: the TCP loop stops accepting, every
+  /// worker answers the complete requests it has already read, flushes,
+  /// closes its connection, and RunTcpLoop returns OK after printing one
+  /// final stats line to stderr (the stdio loop just stops reading).
+  /// Idempotent; the handler only sets a flag. The drain latch is
+  /// noticed within one Options::io_timeout_ms tick even by threads
+  /// parked in read()/accept(); with deadlines disabled only the thread
+  /// the signal lands on wakes promptly.
+  static void InstallShutdownSignalHandler();
+
+  /// \brief Latches a drain request programmatically — what the SIGTERM
+  /// handler does, callable from tests.
+  static void RequestShutdown();
+
+  /// \brief True while a drain request is latched (the serving loop that
+  /// exits on it consumes it).
+  static bool ShutdownRequested();
+
   /// \brief Applies a pending SIGHUP reload if one is latched; returns
   /// whether a reload ran. Also callable directly (the `reload` verb).
   /// Thread-safe: the latch guarantees exactly one thread runs the swap.
   bool ConsumePendingReload();
+
+  /// \brief Replays `<model>.update.journal` against the freshly loaded
+  /// model: re-merges every committed update's deltas into the bound
+  /// training matrix (rebinding it through the registry), resolves a
+  /// trailing crash-windowed record by artifact fingerprint (replay it if
+  /// its rename never happened, heal the missing commit if it did), and
+  /// returns what was done. Call once per model after registry load and
+  /// BEFORE serving; with no journal on disk this is a cheap no-op.
+  /// Requires a bound dataset when the journal has records (the deltas
+  /// extend the training matrix). Serialized on the update mutex.
+  Result<JournalRecoveryStats> RecoverJournal(const std::string& model_name);
 
  private:
   /// Everything one serving thread owns: scratch buffers, its latency
@@ -299,10 +391,16 @@ class RequestServer {
       WorkerState* w, const std::string& model_name,
       const std::vector<std::pair<uint32_t, uint32_t>>& adds,
       uint32_t num_users, uint32_t num_items, uint32_t sweeps, uint64_t seed);
+  Result<UpdateOutcome> RetrainAndPublish(
+      const ServableModel& model, const std::string& model_name,
+      const std::shared_ptr<const CsrMatrix>& updated_train, uint32_t users,
+      uint32_t items, uint32_t sweeps, uint64_t seed, bool* published);
   std::string HandleModels();
   std::string HandleStats();
   std::string HandleReload(WorkerState* w);
   std::string ErrorReply(WorkerState* w, const std::string& message);
+  std::string CodedErrorReply(WorkerState* w, const std::string& message,
+                              uint32_t code);
   void ServeConnection(int fd, WorkerState* w);
   void ShedConnection(int fd);
 
@@ -318,7 +416,10 @@ class RequestServer {
 
   std::atomic<uint64_t> reloads_{0};
   std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> timed_out_{0};
   std::atomic<uint64_t> updates_{0};
+  std::atomic<uint64_t> journal_recovered_{0};
+  std::atomic<uint64_t> journal_replays_{0};
   std::atomic<uint16_t> bound_port_{0};
   /// Serializes `update` rebuilds (materialize → retrain → persist →
   /// publish). Recommends never take it: they keep serving the current

@@ -55,6 +55,15 @@ struct LoadGenOptions {
   /// Catalog size generated histories draw from (required nonzero when
   /// history_every > 0).
   uint32_t num_items = 0;
+  /// Honor 503 shed replies: close, back off (the reply's retry_after_ms
+  /// as base delay, doubled per attempt, capped, plus deterministic
+  /// jitter so a shed fleet does not reconnect in lockstep), reconnect,
+  /// and resend the outstanding batch. Off turns a shed into a run
+  /// failure (the pre-backoff behavior, useful when a test wants to
+  /// observe the raw 503).
+  bool retry_shed = true;
+  /// Reconnect attempts per batch before the run fails anyway.
+  uint32_t max_shed_retries = 8;
   /// Optional per-reply hook (request user, raw reply line, still
   /// newline-free). Called from client threads — must be thread-safe.
   /// Leave unset for pure throughput measurement. History requests go to
@@ -76,6 +85,9 @@ struct LoadGenResult {
   uint64_t ok_replies = 0;
   /// Replies that did not (request errors, shed connections).
   uint64_t error_replies = 0;
+  /// 503 shed replies absorbed by reconnect-with-backoff (not counted in
+  /// error_replies: every shed batch was eventually answered).
+  uint64_t shed_retries = 0;
   /// Wall clock from first byte sent to last reply read.
   double seconds = 0.0;
   /// requests / seconds.

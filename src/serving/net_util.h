@@ -35,26 +35,55 @@ inline bool SendAll(int fd, const char* data, size_t size) {
   return true;
 }
 
+/// How one ReadLineBounded call ended.
+enum class ReadEvent {
+  kLine,      ///< a complete line was produced
+  kClosed,    ///< clean EOF from the peer
+  kError,     ///< read(2) failed (errno preserved)
+  kOverflow,  ///< `max_line_bytes` accumulated without a newline
+};
+
+/// Default framing bound: no well-formed request or reply line in this
+/// protocol comes near 1 MiB, but a hostile or broken peer streaming
+/// newline-free bytes otherwise grows the buffer without limit until the
+/// process OOMs.
+inline constexpr size_t kDefaultMaxLineBytes = 1 << 20;
+
 /// \brief Reads one newline-terminated line into `*line` (newline
-/// stripped), buffering surplus bytes in `*buffer` across calls. False
-/// on EOF or a non-EINTR error.
-inline bool ReadLine(int fd, std::string* buffer, std::string* line) {
+/// stripped), buffering surplus bytes in `*buffer` across calls, never
+/// letting the buffer grow past `max_line_bytes` (0 = unbounded). On
+/// kOverflow the oversized prefix stays in `*buffer` so the caller can
+/// reply before closing.
+inline ReadEvent ReadLineBounded(int fd, std::string* buffer,
+                                 std::string* line,
+                                 size_t max_line_bytes = kDefaultMaxLineBytes) {
   for (;;) {
     const size_t newline = buffer->find('\n');
     if (newline != std::string::npos) {
       line->assign(*buffer, 0, newline);
       buffer->erase(0, newline + 1);
-      return true;
+      return ReadEvent::kLine;
+    }
+    if (max_line_bytes != 0 && buffer->size() >= max_line_bytes) {
+      return ReadEvent::kOverflow;
     }
     char chunk[16384];
     const ssize_t n = ::read(fd, chunk, sizeof(chunk));
     if (n < 0) {
       if (errno == EINTR) continue;
-      return false;
+      return ReadEvent::kError;
     }
-    if (n == 0) return false;
+    if (n == 0) return ReadEvent::kClosed;
     buffer->append(chunk, static_cast<size_t>(n));
   }
+}
+
+/// \brief Bool shorthand of ReadLineBounded: true only for a complete
+/// line. Overflow, EOF and errors all read as "no more lines" — callers
+/// that must distinguish use ReadLineBounded directly.
+inline bool ReadLine(int fd, std::string* buffer, std::string* line,
+                     size_t max_line_bytes = kDefaultMaxLineBytes) {
+  return ReadLineBounded(fd, buffer, line, max_line_bytes) == ReadEvent::kLine;
 }
 
 }  // namespace net

@@ -448,6 +448,8 @@ int CmdLoadtest(const Flags& flags) {
     w.UInt(result->ok_replies);
     w.Key("error_replies");
     w.UInt(result->error_replies);
+    w.Key("shed_retries");
+    w.UInt(result->shed_retries);
     w.Key("seconds");
     w.Double(result->seconds);
     w.Key("requests_per_second");
@@ -468,6 +470,10 @@ int CmdLoadtest(const Flags& flags) {
     if (result->error_replies > 0) {
       std::printf("  errors    : %llu replies answered ok:false\n",
                   static_cast<unsigned long long>(result->error_replies));
+    }
+    if (result->shed_retries > 0) {
+      std::printf("  shed      : %llu 503 replies absorbed by backoff\n",
+                  static_cast<unsigned long long>(result->shed_retries));
     }
   }
   return result->error_replies == 0 ? 0 : 3;

@@ -25,7 +25,9 @@ namespace {
 
 constexpr char kUsage[] = R"(usage: ocular_served --models=name=path[,...]
         [--datasets=name=path[,...]] [--delimiter=C] [--port=N] [--m=N]
-        [--workers=N] [--accept-queue=N]
+        [--workers=N] [--accept-queue=N] [--update-sweeps=N]
+        [--max-request-bytes=N] [--io-timeout-ms=N] [--idle-timeout-ms=N]
+        [--retry-after-ms=N] [--journal=0|1]
 
 Serves binary v2 (.oclr) model files; convert v1 text models first with
 `ocular_cli convert`. Requests are one JSON object per line:
@@ -34,7 +36,13 @@ Serves binary v2 (.oclr) model files; convert v1 text models first with
 
 With --port the daemon runs a listener plus --workers serving threads
 (default: one per hardware thread); connections beyond --accept-queue
-waiting for a worker are shed with a {"ok":false,...,"code":503} reply.
+waiting for a worker are shed with a {"ok":false,...,"code":503,
+"retry_after_ms":N} reply. Request lines longer than --max-request-bytes
+are answered with code 413 and closed; connections idle past
+--idle-timeout-ms are reaped with code 408. Updates are journaled to
+<model>.update.journal and recovered at startup (--journal=0 disables).
+SIGHUP hot-reloads models; SIGTERM drains gracefully (stops accepting,
+answers everything already read, prints a final stats line, exits 0).
 )";
 
 int Run(int argc, char** argv) {

@@ -15,8 +15,23 @@
 //   --update-sweeps=N                    default trainer sweeps an `update`
 //                                        request runs when it does not set
 //                                        its own "sweeps" (5)
+//   --max-request-bytes=N                longest request line before a
+//                                        413-style reply + close (1 MiB)
+//   --io-timeout-ms=N                    socket read/write deadline and
+//                                        idle/drain wakeup tick (1000;
+//                                        0 = no deadlines)
+//   --idle-timeout-ms=N                  close connections with no complete
+//                                        request for this long (30000;
+//                                        0 = never)
+//   --retry-after-ms=N                   backoff hint in 503 shed replies
+//                                        (50)
+//   --journal=0|1                        write-ahead journal every update
+//                                        to <model>.update.journal and
+//                                        recover it at startup (1)
 //
-// The process installs the SIGHUP hot-reload handler before serving.
+// The process installs the SIGHUP hot-reload handler and the
+// SIGTERM/SIGINT graceful-drain handler before serving, and replays each
+// model's update journal (crash recovery) before accepting requests.
 
 #ifndef OCULAR_TOOLS_SERVE_MAIN_H_
 #define OCULAR_TOOLS_SERVE_MAIN_H_
@@ -115,11 +130,65 @@ inline int RunServeCommand(const Flags& flags) {
     return 1;
   }
   options.update_sweeps = static_cast<uint32_t>(update_sweeps);
+  const int64_t max_request_bytes =
+      flags.GetInt("max-request-bytes", 1 << 20);
+  if (max_request_bytes < 1024 || max_request_bytes > (1 << 30)) {
+    std::fprintf(stderr, "--max-request-bytes must be in [1024, 2^30]\n");
+    return 1;
+  }
+  options.max_request_bytes = static_cast<size_t>(max_request_bytes);
+  const int64_t io_timeout_ms = flags.GetInt("io-timeout-ms", 1000);
+  if (io_timeout_ms < 0 || io_timeout_ms > 3600000) {
+    std::fprintf(stderr, "--io-timeout-ms must be in [0, 3600000]\n");
+    return 1;
+  }
+  options.io_timeout_ms = static_cast<uint32_t>(io_timeout_ms);
+  const int64_t idle_timeout_ms = flags.GetInt("idle-timeout-ms", 30000);
+  if (idle_timeout_ms < 0 || idle_timeout_ms > 86400000) {
+    std::fprintf(stderr, "--idle-timeout-ms must be in [0, 86400000]\n");
+    return 1;
+  }
+  options.idle_timeout_ms = static_cast<uint32_t>(idle_timeout_ms);
+  const int64_t retry_after_ms = flags.GetInt("retry-after-ms", 50);
+  if (retry_after_ms < 1 || retry_after_ms > 60000) {
+    std::fprintf(stderr, "--retry-after-ms must be in [1, 60000]\n");
+    return 1;
+  }
+  options.retry_after_ms = static_cast<uint32_t>(retry_after_ms);
+  options.update_journal = flags.GetBool("journal", true);
   RequestServer server(&registry, options);
   RequestServer::InstallReloadSignalHandler();
+  RequestServer::InstallShutdownSignalHandler();
   // The daemon's socket writes use MSG_NOSIGNAL, but ignore SIGPIPE
   // process-wide too: no disconnecting client may take the server down.
   ::signal(SIGPIPE, SIG_IGN);
+
+  // Crash recovery before the first request: re-merge journaled update
+  // deltas into each model's training base, and resolve any update the
+  // previous incarnation crashed inside (replay or heal — see
+  // RequestServer::RecoverJournal). Refusing to serve on a recovery error
+  // beats silently serving a model that is missing acked updates.
+  if (options.update_journal) {
+    for (const std::string& name : registry.Names()) {
+      auto recovered = server.RecoverJournal(name);
+      if (!recovered.ok()) {
+        std::fprintf(stderr, "journal recovery for '%s' failed: %s\n",
+                     name.c_str(), recovered.status().ToString().c_str());
+        return 1;
+      }
+      if (recovered->applied_merged > 0 || recovered->replayed_pending ||
+          recovered->healed_commit) {
+        std::fprintf(
+            stderr,
+            "journal recovery for '%s': %llu committed updates re-merged%s%s%s\n",
+            name.c_str(),
+            static_cast<unsigned long long>(recovered->applied_merged),
+            recovered->replayed_pending ? ", crashed update replayed" : "",
+            recovered->healed_commit ? ", missing commit healed" : "",
+            recovered->torn_tail ? ", torn tail discarded" : "");
+      }
+    }
+  }
 
   const int64_t port = flags.GetInt("port", 0);
   if (port < 0 || port > 65535) {
@@ -136,7 +205,7 @@ inline int RunServeCommand(const Flags& flags) {
   if (port > 0) {
     std::fprintf(stderr,
                  "serving on 127.0.0.1:%lld with %zu workers "
-                 "(SIGHUP reloads)\n",
+                 "(SIGHUP reloads, SIGTERM drains)\n",
                  static_cast<long long>(port), server.num_workers());
     st = server.RunTcpLoop(static_cast<uint16_t>(port));
     if (!st.ok()) {
