@@ -1,0 +1,562 @@
+// Replicated-fleet robustness benchmark: throughput through the
+// FleetServer front tier over 3 real ocular_served replicas, with a
+// SIGKILL of one replica mid-run — the number this PR's robustness claim
+// hangs on is not the steady rate but what survives the kill: the
+// kill-run must finish with ZERO client-visible errors (failover absorbs
+// the corpse), the degraded fleet keeps serving, and the restarted
+// replica is readmitted within a bounded recovery time.
+//
+//   bench_fleet [--scale=0.25] [--k=16] [--m=10] [--sweeps=4] [--seed=1]
+//               [--clients=4] [--requests=200] [--pipeline=8]
+//               [--workers=4] [--reps=2] [--warmup=1]
+//               [--json] [--out=BENCH_fleet.json]
+//               [--baseline=path/to/BENCH.json] [--max-recovery-ms=N]
+//
+// Phases: one validated pass (every reply checked against the offline
+// RecommendForAllUsers oracle — the proxy relays replica bytes verbatim,
+// so the bit-identical contract must survive the extra hop), steady
+// passes over the full fleet, a kill pass (replica 1 SIGKILLed after a
+// quarter of the replies), degraded passes over the surviving two
+// replicas, then a restart with the readmission clock running.
+//
+// The JSON records steady/kill/degraded/recovered req/s, the
+// degraded-over-steady retention ratio, and recovery_ms (replica exec to
+// health readmission). --baseline gates on retention (floor = 0.5x the
+// recorded ratio — it folds in scheduler noise) and on recovery_ms
+// (ceiling = 5x recorded + 1000 ms — dominated by configured probe and
+// reopen delays, so it transfers across machines); --max-recovery-ms
+// adds an absolute ceiling. Any client-visible error anywhere fails the
+// bench outright.
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/json.h"
+#include "common/timer.h"
+#include "core/model_store.h"
+#include "core/ocular_recommender.h"
+#include "serving/batch.h"
+#include "serving/fleet.h"
+#include "serving/loadgen.h"
+#include "sparse/coo.h"
+#include "sparse/csr.h"
+
+#ifndef OCULAR_SERVED_PATH
+#define OCULAR_SERVED_PATH "ocular_served"
+#endif
+
+namespace ocular {
+namespace bench {
+namespace {
+
+/// Two disjoint dense user-item blocks with random holes — the same
+/// generator as bench_serve_hot/bench_daemon_hot, so records are
+/// comparable across the serve-side benches.
+CsrMatrix TwoBlockWorkload(double scale, uint64_t seed) {
+  const auto dim = [scale](uint32_t base) {
+    return std::max(8u, static_cast<uint32_t>(base * scale));
+  };
+  const uint32_t users_per_block = dim(600);
+  const uint32_t items_per_block = dim(400);
+  const double fill = 0.7;
+  Rng rng(seed);
+  CooBuilder coo;
+  for (uint32_t b = 0; b < 2; ++b) {
+    const uint32_t u0 = b * users_per_block;
+    const uint32_t i0 = b * items_per_block;
+    for (uint32_t u = 0; u < users_per_block; ++u) {
+      for (uint32_t i = 0; i < items_per_block; ++i) {
+        if (rng.Uniform(0.0, 1.0) < fill) coo.Add(u0 + u, i0 + i);
+      }
+    }
+  }
+  return CsrMatrix::FromCoo(
+      coo.Finalize(2 * users_per_block, 2 * items_per_block).value());
+}
+
+uint16_t FreePort() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  OCULAR_CHECK(fd >= 0);
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  OCULAR_CHECK(::bind(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                      sizeof(addr)) == 0);
+  socklen_t len = sizeof(addr);
+  OCULAR_CHECK(::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                             &len) == 0);
+  ::close(fd);
+  return ntohs(addr.sin_port);
+}
+
+/// One ocular_served replica as a child process (move-only: the
+/// destructor SIGKILLs whatever it still owns).
+struct Replica {
+  pid_t pid = -1;
+
+  Replica() = default;
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+  Replica(Replica&& other) noexcept : pid(other.pid) { other.pid = -1; }
+  Replica& operator=(Replica&& other) noexcept {
+    if (this != &other) {
+      KillHard();
+      pid = other.pid;
+      other.pid = -1;
+    }
+    return *this;
+  }
+  ~Replica() { KillHard(); }
+
+  static Replica Spawn(const std::string& model_path,
+                       const std::string& dataset_path, uint16_t port,
+                       size_t workers) {
+    std::vector<std::string> args = {
+        OCULAR_SERVED_PATH,
+        "--models=default=" + model_path,
+        "--datasets=default=" + dataset_path,
+        "--port=" + std::to_string(port),
+        "--journal=0",
+        "--workers=" + std::to_string(workers),
+    };
+    Replica r;
+    r.pid = ::fork();
+    OCULAR_CHECK(r.pid >= 0);
+    if (r.pid == 0) {
+      const int null = ::open("/dev/null", O_WRONLY);
+      if (null >= 0) {
+        ::dup2(null, 2);
+        ::close(null);
+      }
+      std::vector<char*> argv;
+      for (std::string& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      ::execv(OCULAR_SERVED_PATH, argv.data());
+      ::_exit(127);
+    }
+    return r;
+  }
+
+  void KillHard() {
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+      pid = -1;
+    }
+  }
+};
+
+bool WaitForPort(uint16_t port, int timeout_ms = 20000) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  for (int waited = 0; waited < timeout_ms; waited += 20) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd >= 0 && ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                             sizeof(addr)) == 0) {
+      ::close(fd);
+      return true;
+    }
+    if (fd >= 0) ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+struct FleetBenchResult {
+  double steady_rps = 0.0;
+  double kill_run_rps = 0.0;
+  double degraded_rps = 0.0;
+  double recovered_rps = 0.0;
+  double degraded_over_steady = 0.0;
+  double recovery_ms = 0.0;
+  uint64_t errors = 0;
+  uint64_t failovers = 0;
+  uint64_t mismatches = 0;
+  bool lists_identical = false;
+  std::string first_mismatch;
+};
+
+std::string ToJson(const FleetBenchResult& res, const CsrMatrix& r,
+                   uint32_t k, uint32_t m, double scale,
+                   const LoadGenOptions& load, size_t replicas,
+                   size_t workers, uint32_t reps, uint32_t warmup) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.String("fleet");
+  w.Key("workload");
+  w.BeginObject();
+  w.Key("kind");
+  w.String("two_block");
+  w.Key("scale");
+  w.Double(scale);
+  w.Key("users");
+  w.UInt(r.num_rows());
+  w.Key("items");
+  w.UInt(r.num_cols());
+  w.Key("nnz");
+  w.UInt(r.nnz());
+  w.Key("k");
+  w.UInt(k);
+  w.Key("m");
+  w.UInt(m);
+  w.Key("clients");
+  w.UInt(load.clients);
+  w.Key("requests_per_client");
+  w.UInt(load.requests_per_client);
+  w.Key("pipeline");
+  w.UInt(load.pipeline);
+  w.Key("replicas");
+  w.UInt(replicas);
+  w.Key("workers");
+  w.UInt(workers);
+  w.Key("hardware_concurrency");
+  w.UInt(std::thread::hardware_concurrency());
+  w.Key("reps");
+  w.UInt(reps);
+  w.Key("warmup");
+  w.UInt(warmup);
+  w.EndObject();
+  w.Key("steady_requests_per_second");
+  w.Double(res.steady_rps);
+  w.Key("kill_run_requests_per_second");
+  w.Double(res.kill_run_rps);
+  w.Key("degraded_requests_per_second");
+  w.Double(res.degraded_rps);
+  w.Key("recovered_requests_per_second");
+  w.Double(res.recovered_rps);
+  w.Key("degraded_over_steady");
+  w.Double(res.degraded_over_steady);
+  w.Key("recovery_ms");
+  w.Double(res.recovery_ms);
+  w.Key("client_visible_errors");
+  w.UInt(res.errors);
+  w.Key("failovers");
+  w.UInt(res.failovers);
+  w.Key("lists_identical");
+  w.Bool(res.lists_identical);
+  w.EndObject();
+  return w.str();
+}
+
+int Main(int argc, char** argv) {
+  const double scale = FlagDouble(argc, argv, "scale", 0.25);
+  const uint32_t k = static_cast<uint32_t>(FlagDouble(argc, argv, "k", 16));
+  const uint32_t m = static_cast<uint32_t>(FlagDouble(argc, argv, "m", 10));
+  const uint32_t sweeps =
+      static_cast<uint32_t>(FlagDouble(argc, argv, "sweeps", 4));
+  const uint64_t seed =
+      static_cast<uint64_t>(FlagDouble(argc, argv, "seed", 1));
+  const uint32_t reps =
+      static_cast<uint32_t>(FlagDouble(argc, argv, "reps", 2));
+  const uint32_t warmup =
+      static_cast<uint32_t>(FlagDouble(argc, argv, "warmup", 1));
+  const size_t workers =
+      static_cast<size_t>(FlagDouble(argc, argv, "workers", 4));
+  constexpr size_t kReplicas = 3;
+
+  LoadGenOptions load;
+  load.clients = static_cast<uint32_t>(FlagDouble(argc, argv, "clients", 4));
+  load.requests_per_client =
+      static_cast<uint64_t>(FlagDouble(argc, argv, "requests", 200));
+  load.pipeline =
+      static_cast<uint32_t>(FlagDouble(argc, argv, "pipeline", 8));
+  load.m = m;
+  load.reconnect_on_close = true;  // fleet mode: ride through resets
+
+  const CsrMatrix r = TwoBlockWorkload(scale, seed);
+  load.num_users = r.num_rows();
+  std::printf(
+      "fleet: %u users x %u items, nnz=%zu, K=%u, top-%u — %zu replicas, "
+      "%u clients x %llu requests, pipeline %u, %u reps (+%u warmup)\n",
+      r.num_rows(), r.num_cols(), r.nnz(), k, m, kReplicas, load.clients,
+      static_cast<unsigned long long>(load.requests_per_client),
+      load.pipeline, reps, warmup);
+
+  OcularConfig config;
+  config.k = k;
+  config.lambda = 1.0;
+  config.max_sweeps = sweeps;
+  config.seed = seed + 1;
+  OcularRecommender rec(config);
+  OCULAR_CHECK(rec.Fit(r).ok());
+
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string base =
+      std::string(tmpdir != nullptr ? tmpdir : "/tmp") + "/ocular_bench_fleet";
+  const std::string model_path = base + ".oclr";
+  const std::string dataset_path = base + ".tsv";
+  OCULAR_CHECK(SaveModelBinary(rec.model(), config, model_path).ok());
+  {
+    std::ofstream out(dataset_path);
+    for (auto [u, i] : r.ToPairs()) out << u << '\t' << i << '\n';
+  }
+
+  BatchOptions batch;
+  batch.m = m;
+  batch.skip_cold_users = false;
+  const auto oracle = RecommendForAllUsers(rec, r, batch).value();
+
+  // Replica workers must exceed the fleet's pinned keep-alive
+  // connections (workers + prober + inline) — a daemon worker owns its
+  // connection until close.
+  const size_t replica_workers = workers + 4;
+  uint16_t ports[kReplicas];
+  std::vector<Replica> replicas;
+  for (size_t i = 0; i < kReplicas; ++i) {
+    ports[i] = FreePort();
+    replicas.push_back(
+        Replica::Spawn(model_path, dataset_path, ports[i], replica_workers));
+  }
+  for (size_t i = 0; i < kReplicas; ++i) OCULAR_CHECK(WaitForPort(ports[i]));
+
+  FleetServer::Options fleet_options;
+  fleet_options.replicas = {ports[0], ports[1], ports[2]};
+  fleet_options.num_workers = workers;
+  fleet_options.io_timeout_ms = 2000;
+  fleet_options.probe_interval_ms = 100;
+  fleet_options.health.fail_threshold = 3;
+  fleet_options.health.reopen_after_ms = 300;
+  FleetServer fleet(fleet_options);
+  std::thread fleet_thread(
+      [&fleet] { OCULAR_CHECK(fleet.RunLoop(0, 0).ok()); });
+  uint16_t fleet_port = 0;
+  for (int ms = 0; ms < 10000 && (fleet_port = fleet.bound_port()) == 0;
+       ++ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  OCULAR_CHECK(fleet_port != 0);
+  load.port = fleet_port;
+
+  FleetBenchResult res;
+
+  // Validated pass: the bit-identical contract through the front tier.
+  std::mutex mismatch_mu;
+  LoadGenOptions validate = load;
+  validate.on_reply = [&](uint32_t user, const std::string& line) {
+    if (!ReplyMatchesRanked(line, oracle.recommendations[user])) {
+      std::lock_guard<std::mutex> lock(mismatch_mu);
+      ++res.mismatches;
+      if (res.first_mismatch.empty()) {
+        res.first_mismatch = "user " + std::to_string(user) + ": " + line;
+      }
+    }
+  };
+  {
+    auto validated = RunLoadGen(validate);
+    OCULAR_CHECK(validated.ok());
+    res.errors += validated->error_replies;
+    res.lists_identical = res.mismatches == 0 && validated->error_replies == 0;
+  }
+  if (!res.lists_identical) {
+    std::fprintf(stderr,
+                 "FAIL: %llu fleet replies differ from the oracle; first: "
+                 "%s\n",
+                 static_cast<unsigned long long>(res.mismatches),
+                 res.first_mismatch.c_str());
+    fleet.Stop();
+    fleet_thread.join();
+    std::remove(model_path.c_str());
+    std::remove(dataset_path.c_str());
+    return 1;
+  }
+
+  const auto timed_pass = [&](const LoadGenOptions& options) {
+    auto pass = RunLoadGen(options);
+    OCULAR_CHECK(pass.ok());
+    res.errors += pass->error_replies;
+    return pass->requests_per_second;
+  };
+
+  // Steady state: the full fleet.
+  double steady_sum = 0.0;
+  for (uint32_t run = 0; run < warmup + reps; ++run) {
+    const double rps = timed_pass(load);
+    if (run >= warmup) steady_sum += rps;
+  }
+  res.steady_rps = steady_sum / reps;
+
+  // Kill run: replica 1 SIGKILLed after a quarter of the replies — the
+  // pass must still complete with zero client-visible errors.
+  const uint64_t total =
+      static_cast<uint64_t>(load.clients) * load.requests_per_client;
+  std::atomic<uint64_t> replies{0};
+  std::atomic<bool> killed{false};
+  LoadGenOptions kill_pass = load;
+  kill_pass.on_reply = [&](uint32_t, const std::string&) {
+    if (replies.fetch_add(1, std::memory_order_relaxed) + 1 == total / 4 &&
+        !killed.exchange(true)) {
+      ::kill(replicas[1].pid, SIGKILL);
+    }
+  };
+  {
+    auto pass = RunLoadGen(kill_pass);
+    OCULAR_CHECK(pass.ok());
+    res.errors += pass->error_replies;
+    res.kill_run_rps = pass->requests_per_second;
+  }
+  OCULAR_CHECK(killed.load());
+  ::waitpid(replicas[1].pid, nullptr, 0);
+  replicas[1].pid = -1;
+
+  // Degraded state: two survivors carry the load.
+  double degraded_sum = 0.0;
+  for (uint32_t run = 0; run < warmup + reps; ++run) {
+    const double rps = timed_pass(load);
+    if (run >= warmup) degraded_sum += rps;
+  }
+  res.degraded_rps = degraded_sum / reps;
+  res.degraded_over_steady = res.degraded_rps / std::max(res.steady_rps, 1e-12);
+
+  // Recovery: restart the replica on its port and clock the readmission
+  // (process exec through half-open probe back to healthy).
+  {
+    Stopwatch watch;
+    replicas[1] =
+        Replica::Spawn(model_path, dataset_path, ports[1], replica_workers);
+    OCULAR_CHECK(WaitForPort(ports[1]));
+    bool readmitted = false;
+    for (int waited = 0; waited < 30000; waited += 20) {
+      const FleetStatsSnapshot snapshot = fleet.Stats();
+      if (snapshot.replicas[1].readmissions >= 1) {
+        readmitted = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    OCULAR_CHECK(readmitted);
+    res.recovery_ms = watch.ElapsedSeconds() * 1000.0;
+  }
+  res.recovered_rps = timed_pass(load);
+
+  const FleetStatsSnapshot snapshot = fleet.Stats();
+  res.failovers = snapshot.failovers;
+  fleet.Stop();
+  fleet_thread.join();
+  std::remove(model_path.c_str());
+  std::remove(dataset_path.c_str());
+
+  std::printf("  steady    : %10.0f req/s  (%zu replicas)\n", res.steady_rps,
+              kReplicas);
+  std::printf("  kill run  : %10.0f req/s  (replica 1 SIGKILLed mid-run, "
+              "%llu failovers, %llu client errors)\n",
+              res.kill_run_rps,
+              static_cast<unsigned long long>(res.failovers),
+              static_cast<unsigned long long>(res.errors));
+  std::printf("  degraded  : %10.0f req/s  (%.2fx of steady)\n",
+              res.degraded_rps, res.degraded_over_steady);
+  std::printf("  recovery  : %10.0f ms     (restart to readmission)\n",
+              res.recovery_ms);
+  std::printf("  recovered : %10.0f req/s\n", res.recovered_rps);
+
+  if (res.errors != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu client-visible errors — the failover story "
+                 "did not hold\n",
+                 static_cast<unsigned long long>(res.errors));
+    return 1;
+  }
+
+  if (FlagBool(argc, argv, "json")) {
+    const std::string out_path =
+        FlagString(argc, argv, "out", "BENCH_fleet.json");
+    const std::string json = ToJson(res, r, k, m, scale, load, kReplicas,
+                                    workers, reps, warmup);
+    if (!WriteTextFile(out_path, json + "\n")) return 1;
+    std::printf("  wrote %s\n", out_path.c_str());
+  }
+
+  const double max_recovery_ms =
+      FlagDouble(argc, argv, "max-recovery-ms", 0.0);
+  if (max_recovery_ms > 0.0 && res.recovery_ms > max_recovery_ms) {
+    std::fprintf(stderr, "FAIL: recovery %.0f ms above ceiling %.0f ms\n",
+                 res.recovery_ms, max_recovery_ms);
+    return 2;
+  }
+
+  const std::string baseline_path = FlagString(argc, argv, "baseline", "");
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    double base_ratio = 0.0, base_recovery = 0.0;
+    if (!in ||
+        !FindJsonNumber(buf.str(), "degraded_over_steady", &base_ratio) ||
+        !FindJsonNumber(buf.str(), "recovery_ms", &base_recovery)) {
+      std::fprintf(stderr, "FAIL: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    double base_scale = 0.0, base_nnz = 0.0, base_clients = 0.0;
+    double base_pipeline = 0.0, base_replicas = 0.0;
+    if (!FindJsonNumber(buf.str(), "scale", &base_scale) ||
+        !FindJsonNumber(buf.str(), "nnz", &base_nnz) ||
+        !FindJsonNumber(buf.str(), "clients", &base_clients) ||
+        !FindJsonNumber(buf.str(), "pipeline", &base_pipeline) ||
+        !FindJsonNumber(buf.str(), "replicas", &base_replicas) ||
+        std::abs(base_scale - scale) > 1e-12 ||
+        static_cast<size_t>(base_nnz) != r.nnz() ||
+        static_cast<uint32_t>(base_clients) != load.clients ||
+        static_cast<uint32_t>(base_pipeline) != load.pipeline ||
+        static_cast<size_t>(base_replicas) != kReplicas) {
+      std::fprintf(stderr,
+                   "FAIL: baseline %s records a different workload/shape — "
+                   "regenerate it with the current bench flags\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    // Retention is a throughput ratio (scheduler noise folds in): floor
+    // at half the recorded ratio. Recovery is configuration-dominated
+    // (probe interval + reopen delay + replica startup): ceiling at 5x
+    // recorded + 1 s absorbs a slow runner without masking a real
+    // regression (a lost readmission path would blow past 30 s).
+    const double ratio_floor = 0.5 * base_ratio;
+    if (res.degraded_over_steady < ratio_floor) {
+      std::fprintf(stderr,
+                   "FAIL: degraded/steady %.2f below floor %.2f "
+                   "(baseline %.2f)\n",
+                   res.degraded_over_steady, ratio_floor, base_ratio);
+      return 2;
+    }
+    const double recovery_ceiling = 5.0 * base_recovery + 1000.0;
+    if (res.recovery_ms > recovery_ceiling) {
+      std::fprintf(stderr,
+                   "FAIL: recovery %.0f ms above ceiling %.0f ms "
+                   "(baseline %.0f ms)\n",
+                   res.recovery_ms, recovery_ceiling, base_recovery);
+      return 2;
+    }
+    std::printf(
+        "  baseline gate ok: retention %.2f (floor %.2f), recovery %.0f ms "
+        "(ceiling %.0f ms)\n",
+        res.degraded_over_steady, ratio_floor, res.recovery_ms,
+        recovery_ceiling);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ocular
+
+int main(int argc, char** argv) { return ocular::bench::Main(argc, argv); }

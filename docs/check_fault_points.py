@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Fault-point catalog checker.
+
+Every `fault::Maybe("<point>")` call compiled into src/ must have a row
+in the fault-injection point catalog table in docs/ARCHITECTURE.md, and
+every cataloged point must still exist in code — an undocumented point
+is a chaos drill nobody can discover, and a stale row documents a drill
+that can no longer run. Usage:
+
+    python3 docs/check_fault_points.py [repo_root]
+
+Exit code 0 = catalog and code agree, 1 = they drifted.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+MAYBE_RE = re.compile(r'fault::Maybe\("([a-z._]+)"')
+# A catalog row: a table line whose first cell is a backticked point name.
+ROW_RE = re.compile(r"^\|\s*`([a-z._]+)`\s*\|")
+
+
+def code_points(src_dir):
+    points = {}
+    for path in sorted(src_dir.rglob("*")):
+        if path.suffix not in (".cc", ".h", ".cpp"):
+            continue
+        text = path.read_text(encoding="utf-8")
+        for match in MAYBE_RE.finditer(text):
+            points.setdefault(match.group(1), path)
+    # The doc-comment example in fault.h is usage, not a point.
+    points.pop("point", None)
+    return points
+
+
+def doc_points(arch_md):
+    points = set()
+    for line in arch_md.read_text(encoding="utf-8").splitlines():
+        match = ROW_RE.match(line)
+        if match:
+            points.add(match.group(1))
+    return points
+
+
+def main(argv):
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parents[1]
+    src = root / "src"
+    arch = root / "docs" / "ARCHITECTURE.md"
+    if not src.is_dir() or not arch.is_file():
+        print(f"cannot find src/ and docs/ARCHITECTURE.md under {root}",
+              file=sys.stderr)
+        return 2
+    in_code = code_points(src)
+    in_docs = doc_points(arch)
+    undocumented = sorted(set(in_code) - in_docs)
+    stale = sorted(in_docs - set(in_code))
+    print(f"{len(in_code)} fault points in code, {len(in_docs)} cataloged "
+          f"in {arch.relative_to(root)}")
+    for point in undocumented:
+        print(f"UNDOCUMENTED: {point} ({in_code[point].relative_to(root)}) — "
+              f"add a catalog row to docs/ARCHITECTURE.md", file=sys.stderr)
+    for point in stale:
+        print(f"STALE: {point} is cataloged but no fault::Maybe call "
+              f"remains in src/", file=sys.stderr)
+    return 1 if undocumented or stale else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -71,6 +71,11 @@ double NowMicros() {
       .count();
 }
 
+// How long an injected "daemon.handle" stall parks the worker. Long
+// enough that any sane front-tier deadline or hedge threshold fires
+// first, short enough that a drill's requests still drain in test time.
+constexpr uint32_t kHandleStallMs = 1000;
+
 size_t ResolveWorkerCount(size_t requested) {
   if (requested > 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
@@ -137,6 +142,10 @@ void RequestServer::RequestShutdown() {
 
 bool RequestServer::ShutdownRequested() {
   return g_pending_shutdown.load(std::memory_order_relaxed);
+}
+
+bool RequestServer::ConsumeShutdownRequest() {
+  return g_pending_shutdown.exchange(false, std::memory_order_relaxed);
 }
 
 bool RequestServer::ConsumePendingReload() {
@@ -720,6 +729,28 @@ std::string RequestServer::HandleModels() {
   return w.str();
 }
 
+std::string RequestServer::HandlePing() {
+  // The health-probe verb: a fleet front tier pings replicas on an
+  // interval, so the reply must stay cheap and unblockable — no model
+  // lease is resolved (a probe cannot stall behind a reload or an
+  // update publish) and no per-worker scratch is touched. uptime_ms
+  // lets a prober tell a long-lived replica from one that silently
+  // restarted; generation says which model swap it is serving.
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ok");
+  w.Bool(true);
+  w.Key("uptime_ms");
+  w.UInt(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count()));
+  w.Key("generation");
+  w.UInt(registry_->generation());
+  w.EndObject();
+  return w.str();
+}
+
 std::string RequestServer::HandleStats() {
   const DaemonStatsSnapshot snapshot = Stats();
   JsonWriter w;
@@ -782,6 +813,16 @@ std::string RequestServer::HandleLine(const std::string& line) {
 std::string RequestServer::HandleLineOn(WorkerState* w,
                                         const std::string& line, bool* quit) {
   const double start_us = NowMicros();
+  // Injected handling stall ("daemon.handle"): the worker sleeps a fixed
+  // second before answering — a hung-but-alive replica (allocator stall,
+  // page-cache miss storm, runaway request ahead in the pipeline), which
+  // is exactly what the fleet front tier's deadlines and hedged requests
+  // are tested against. The kill@C grammar turns the same point into a
+  // mid-request SIGKILL window: the process dies while a request is in
+  // flight and the reply never leaves.
+  if (fault::Maybe("daemon.handle")) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(kHandleStallMs));
+  }
   std::string reply;
   auto parsed = JsonValue::Parse(line);
   if (!parsed.ok()) {
@@ -806,6 +847,8 @@ std::string RequestServer::HandleLineOn(WorkerState* w,
       reply = HandleUpdate(w, *parsed);
     } else if (cmd == "models") {
       reply = HandleModels();
+    } else if (cmd == "ping") {
+      reply = HandlePing();
     } else if (cmd == "stats") {
       reply = HandleStats();
     } else if (cmd == "reload") {

@@ -2,6 +2,7 @@
 #define OCULAR_SERVING_DAEMON_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <istream>
 #include <map>
@@ -139,6 +140,7 @@ double MergedPercentile(std::vector<double>* samples, double p);
 ///   {"cmd":"recommend","model":"default","history":[5,1,5,9],"m":10}
 ///   {"cmd":"update","model":"default","adds":[[12,3],[99,7]]}
 ///   {"cmd":"models"}      — loaded models and their shapes
+///   {"cmd":"ping"}        — liveness probe: uptime + registry generation
 ///   {"cmd":"stats"}       — DaemonStatsSnapshot as JSON
 ///   {"cmd":"reload"}      — hot-reload every model (same path as SIGHUP)
 ///   {"cmd":"quit"}        — end the session (TCP: ends the connection)
@@ -320,6 +322,13 @@ class RequestServer {
   /// exits on it consumes it).
   static bool ShutdownRequested();
 
+  /// \brief Consumes a latched drain request, returning whether one was
+  /// latched. The serving loop that exits on the latch calls this so a
+  /// later loop in the same process can serve again — RunTcpLoop does it
+  /// internally; FleetServer::RunLoop (which shares the same SIGTERM
+  /// latch) and tests call it here.
+  static bool ConsumeShutdownRequest();
+
   /// \brief Applies a pending SIGHUP reload if one is latched; returns
   /// whether a reload ran. Also callable directly (the `reload` verb).
   /// Thread-safe: the latch guarantees exactly one thread runs the swap.
@@ -396,6 +405,7 @@ class RequestServer {
       const std::shared_ptr<const CsrMatrix>& updated_train, uint32_t users,
       uint32_t items, uint32_t sweeps, uint64_t seed, bool* published);
   std::string HandleModels();
+  std::string HandlePing();
   std::string HandleStats();
   std::string HandleReload(WorkerState* w);
   std::string ErrorReply(WorkerState* w, const std::string& message);
@@ -408,6 +418,11 @@ class RequestServer {
   Options options_;
   size_t num_tcp_workers_ = 1;
   bool quit_requested_ = false;
+  /// Construction instant; the `ping` verb's uptime_ms is measured from
+  /// here, so a health prober can tell a long-lived replica from one
+  /// that silently restarted between probes.
+  const std::chrono::steady_clock::time_point start_time_ =
+      std::chrono::steady_clock::now();
 
   /// Slots [0, num_tcp_workers_) belong to the TCP pool; the extra slot
   /// at the back serves HandleLine/Recommend/RunStdioLoop callers. The

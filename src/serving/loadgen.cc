@@ -15,6 +15,7 @@
 #include "common/timer.h"
 #include "serving/daemon.h"  // MergedPercentile
 #include "serving/net_util.h"
+#include "serving/retry.h"
 
 namespace ocular {
 
@@ -32,44 +33,10 @@ struct ClientRun {
   uint64_t ok_replies = 0;
   uint64_t error_replies = 0;
   uint64_t shed_retries = 0;
+  uint64_t reconnects = 0;
   std::vector<double> latencies_us;
   Status status = Status::OK();
 };
-
-/// True for a 503 shed reply; extracts its retry_after_ms hint (left
-/// unchanged when the reply carries none).
-bool IsShedReply(const std::string& line, uint64_t* retry_after_ms) {
-  if (line.find("\"code\":503") == std::string::npos) return false;
-  auto parsed = JsonValue::Parse(line);
-  if (!parsed.ok() || !parsed->is_object()) return false;
-  const JsonValue* code = parsed->Find("code");
-  if (code == nullptr || !code->is_number() || code->number() != 503.0) {
-    return false;
-  }
-  if (const JsonValue* hint = parsed->Find("retry_after_ms");
-      hint != nullptr && hint->is_number() && hint->number() > 0) {
-    *retry_after_ms = static_cast<uint64_t>(hint->number());
-  }
-  return true;
-}
-
-/// Backoff before reconnect attempt `attempt` (0-based): the server's
-/// retry_after_ms hint doubled per attempt, capped at 2s, plus a
-/// deterministic per-(client, attempt) jitter of up to half the base so
-/// a shed fleet does not stampede back in lockstep.
-uint64_t ShedBackoffMs(uint64_t retry_after_ms, uint32_t client_index,
-                       uint32_t attempt) {
-  const uint64_t shift = attempt < 16 ? attempt : 16;
-  const uint64_t delay =
-      std::min<uint64_t>(2000, retry_after_ms << shift);
-  uint64_t h = (static_cast<uint64_t>(client_index) + 1) *
-                   0x9e3779b97f4a7c15ULL +
-               (static_cast<uint64_t>(attempt) + 1) * 0xbf58476d1ce4e5b9ULL;
-  h ^= h >> 33;
-  h *= 0xff51afd7ed558ccdULL;
-  h ^= h >> 33;
-  return delay + h % (retry_after_ms / 2 + 1);
-}
 
 Status ConnectLoopback(uint16_t port, int* out_fd) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -156,27 +123,35 @@ void RunClient(const LoadGenOptions& options, uint32_t client_index,
     bool batch_done = false;
     while (!batch_done) {
       const double sent_us = NowMicros();
-      if (!net::SendAll(run->fd, batch.data(), batch.size())) {
-        run->status = Status::IOError("write failed mid-run");
-        ::close(run->fd);
-        run->fd = -1;
-        return;
-      }
-      const size_t latency_mark = run->latencies_us.size();
-      uint64_t batch_ok = 0;
-      uint64_t batch_err = 0;
+      bool disconnected = false;
       bool shed = false;
       uint64_t retry_after_ms = 50;
-      for (uint32_t p = 0; p < depth; ++p) {
-        if (!net::ReadLine(run->fd, &read_buffer, &line)) {
-          run->status = Status::IOError(
-              "connection closed before all replies arrived (" +
-              std::to_string(remaining) + " outstanding)");
+      if (!net::SendAll(run->fd, batch.data(), batch.size())) {
+        if (!options.reconnect_on_close) {
+          run->status = Status::IOError("write failed mid-run");
           ::close(run->fd);
           run->fd = -1;
           return;
         }
-        if (IsShedReply(line, &retry_after_ms)) {
+        disconnected = true;
+      }
+      const size_t latency_mark = run->latencies_us.size();
+      uint64_t batch_ok = 0;
+      uint64_t batch_err = 0;
+      for (uint32_t p = 0; p < depth && !disconnected; ++p) {
+        if (!net::ReadLine(run->fd, &read_buffer, &line)) {
+          if (!options.reconnect_on_close) {
+            run->status = Status::IOError(
+                "connection closed before all replies arrived (" +
+                std::to_string(remaining) + " outstanding)");
+            ::close(run->fd);
+            run->fd = -1;
+            return;
+          }
+          disconnected = true;
+          break;
+        }
+        if (retry::ParseShedReply(line, &retry_after_ms)) {
           shed = true;
           break;
         }
@@ -194,38 +169,55 @@ void RunClient(const LoadGenOptions& options, uint32_t client_index,
           options.on_reply(batch_users[p], line);
         }
       }
-      if (!shed) {
+      if (!shed && !disconnected) {
         run->ok_replies += batch_ok;
         run->error_replies += batch_err;
         remaining -= depth;
         batch_done = true;
         continue;
       }
-      // The daemon 503'd this connection (its accept queue was full) and
-      // closed it without reading a single request, so the whole batch is
-      // outstanding: roll back, back off as the reply asked, reconnect,
-      // and resend the identical bytes.
+      // Either the server 503'd this connection (accept queue full — it
+      // answered without reading a single request) or, in fleet mode, the
+      // connection simply died mid-batch (a proxy or replica restarting
+      // under it). Both leave the whole batch outstanding: roll back,
+      // back off, reconnect, and resend the identical bytes. Replies
+      // consumed before the cut are re-validated on resend — the verbs
+      // the generator sends are idempotent, so a duplicate hook call is
+      // harmless.
       run->latencies_us.resize(latency_mark);
       read_buffer.clear();
       ::close(run->fd);
       run->fd = -1;
-      if (!options.retry_shed || attempt >= options.max_shed_retries) {
-        run->status = Status::IOError(
-            "connection shed with a 503 reply" +
-            std::string(options.retry_shed ? " after " +
-                                                 std::to_string(attempt) +
-                                                 " reconnect attempts"
-                                           : " (retry_shed off)"));
+      if (shed && !options.retry_shed) {
+        run->status =
+            Status::IOError("connection shed with a 503 reply (retry_shed off)");
         return;
       }
-      std::this_thread::sleep_for(std::chrono::milliseconds(
-          ShedBackoffMs(retry_after_ms, client_index, attempt)));
-      ++attempt;
-      ++run->shed_retries;
-      const Status reconnect = ConnectLoopback(options.port, &run->fd);
-      if (!reconnect.ok()) {
-        run->status = reconnect;
-        return;
+      if (shed) {
+        ++run->shed_retries;
+      } else {
+        ++run->reconnects;
+      }
+      for (;;) {
+        if (attempt >= options.max_shed_retries) {
+          run->status = Status::IOError(
+              std::string(shed ? "connection shed with a 503 reply"
+                               : "connection lost mid-run") +
+              " after " + std::to_string(attempt) + " reconnect attempts");
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            retry::BackoffMs(retry_after_ms, client_index, attempt)));
+        ++attempt;
+        const Status reconnect = ConnectLoopback(options.port, &run->fd);
+        if (reconnect.ok()) break;
+        if (!options.reconnect_on_close) {
+          run->status = reconnect;
+          return;
+        }
+        // Fleet mode: the listener itself may be down for a moment (a
+        // restarting proxy); a refused connect is one more attempt, not
+        // the end of the run.
       }
     }
   }
@@ -309,6 +301,7 @@ Result<LoadGenResult> RunLoadGen(const LoadGenOptions& options) {
     result.ok_replies += run.ok_replies;
     result.error_replies += run.error_replies;
     result.shed_retries += run.shed_retries;
+    result.reconnects += run.reconnects;
     latencies.insert(latencies.end(), run.latencies_us.begin(),
                      run.latencies_us.end());
   }

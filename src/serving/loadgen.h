@@ -64,6 +64,15 @@ struct LoadGenOptions {
   bool retry_shed = true;
   /// Reconnect attempts per batch before the run fails anyway.
   uint32_t max_shed_retries = 8;
+  /// Fleet mode: treat a connection that dies mid-batch (EOF, reset,
+  /// refused reconnect) the way a 503 shed is treated — roll the
+  /// outstanding batch back, back off with the shared retry discipline
+  /// (serving/retry.h), reconnect, and resend — instead of failing the
+  /// run. This is what lets the generator ride through a proxy or
+  /// replica restarting underneath it; reconnects are counted in
+  /// LoadGenResult::reconnects. Off (the default) keeps the strict
+  /// single-daemon contract where a dropped connection fails the run.
+  bool reconnect_on_close = false;
   /// Optional per-reply hook (request user, raw reply line, still
   /// newline-free). Called from client threads — must be thread-safe.
   /// Leave unset for pure throughput measurement. History requests go to
@@ -88,6 +97,10 @@ struct LoadGenResult {
   /// 503 shed replies absorbed by reconnect-with-backoff (not counted in
   /// error_replies: every shed batch was eventually answered).
   uint64_t shed_retries = 0;
+  /// Mid-batch connection losses absorbed by reconnect-and-resend
+  /// (reconnect_on_close mode only; like shed_retries, not errors —
+  /// every affected batch was eventually answered).
+  uint64_t reconnects = 0;
   /// Wall clock from first byte sent to last reply read.
   double seconds = 0.0;
   /// requests / seconds.

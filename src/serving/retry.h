@@ -1,0 +1,89 @@
+#ifndef OCULAR_SERVING_RETRY_H_
+#define OCULAR_SERVING_RETRY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "common/json.h"
+
+namespace ocular {
+namespace retry {
+
+/// \file
+/// \brief The one retry/backoff discipline of the serving stack, shared
+/// by the load generator (serving/loadgen.cc) and the fleet front tier
+/// (serving/fleet.cc): capped exponential backoff with deterministic
+/// per-caller jitter, seeded by the server's `retry_after_ms` hint. One
+/// definition so a proxy and the clients behind it can never disagree
+/// about how hard to hammer a shedding server — and one place to
+/// sanitize the hint, which arrives over the wire from a peer that may
+/// be buggy or hostile.
+
+/// Ceiling applied to any `retry_after_ms` hint read off the wire. A
+/// server has no business asking a client to stay away longer than a
+/// minute, and an unclamped hint feeds a left shift below — a huge value
+/// would wrap uint64 and turn "back off" into "retry immediately".
+inline constexpr uint64_t kMaxRetryAfterHintMs = 60'000;
+
+/// Default cap on the exponential component of one backoff delay.
+inline constexpr uint64_t kDefaultBackoffCapMs = 2'000;
+
+/// \brief `hint` clamped to [1, kMaxRetryAfterHintMs] — the only form a
+/// wire-read retry_after_ms may take inside the retry machinery.
+inline uint64_t ClampRetryAfterMs(uint64_t hint) {
+  return std::clamp<uint64_t>(hint, 1, kMaxRetryAfterHintMs);
+}
+
+/// \brief Backoff before retry attempt `attempt` (0-based): the server's
+/// clamped retry_after_ms hint doubled per attempt, capped at `cap_ms`,
+/// plus a deterministic per-(salt, attempt) jitter of up to half the
+/// (cap-bounded) base so a shed fleet does not stampede back in
+/// lockstep. `salt` identifies the caller (client index, replica index);
+/// the same (salt, attempt) always yields the same delay, so tests and
+/// replayed traces stay reproducible. The worst-case return is
+/// 1.5 * cap_ms.
+inline uint64_t BackoffMs(uint64_t retry_after_ms, uint32_t salt,
+                          uint32_t attempt,
+                          uint64_t cap_ms = kDefaultBackoffCapMs) {
+  const uint64_t base = ClampRetryAfterMs(retry_after_ms);
+  const uint64_t shift = attempt < 16 ? attempt : 16;
+  // base <= 60'000 < 2^16, so base << 16 tops out below 2^32 — no wrap.
+  const uint64_t delay = std::min<uint64_t>(cap_ms, base << shift);
+  uint64_t h = (static_cast<uint64_t>(salt) + 1) * 0x9e3779b97f4a7c15ULL +
+               (static_cast<uint64_t>(attempt) + 1) * 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  const uint64_t jitter_span = std::min<uint64_t>(base, cap_ms) / 2 + 1;
+  return delay + h % jitter_span;
+}
+
+/// \brief True for a 503 shed reply line; extracts its retry_after_ms
+/// hint, already clamped through ClampRetryAfterMs (left unchanged when
+/// the reply carries none). The substring pre-check keeps the common
+/// (non-shed) path free of a JSON parse.
+inline bool ParseShedReply(const std::string& line,
+                           uint64_t* retry_after_ms) {
+  if (line.find("\"code\":503") == std::string::npos) return false;
+  auto parsed = JsonValue::Parse(line);
+  if (!parsed.ok() || !parsed->is_object()) return false;
+  const JsonValue* code = parsed->Find("code");
+  if (code == nullptr || !code->is_number() || code->number() != 503.0) {
+    return false;
+  }
+  if (const JsonValue* hint = parsed->Find("retry_after_ms");
+      hint != nullptr && hint->is_number() && hint->number() > 0) {
+    // A hostile hint can also be absurdly large as a double; bound it
+    // before the uint64 conversion can overflow.
+    const double capped = std::min(
+        hint->number(), static_cast<double>(kMaxRetryAfterHintMs));
+    *retry_after_ms = ClampRetryAfterMs(static_cast<uint64_t>(capped));
+  }
+  return true;
+}
+
+}  // namespace retry
+}  // namespace ocular
+
+#endif  // OCULAR_SERVING_RETRY_H_

@@ -222,6 +222,43 @@ TEST(RequestServerTest, LineProtocol) {
   std::remove(f.model_path.c_str());
 }
 
+TEST(RequestServerTest, PingAnswersLivenessWithoutTouchingAModel) {
+  DaemonFixture f = DaemonFixture::Make("daemon_ping.oclr");
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Load("default", f.model_path, f.shared_train()).ok());
+  RequestServer server(&registry);
+
+  auto ping = JsonValue::Parse(server.HandleLine(R"({"cmd":"ping"})"));
+  ASSERT_TRUE(ping.ok()) << ping.status().ToString();
+  EXPECT_TRUE(ping->Find("ok")->boolean());
+  ASSERT_NE(ping->Find("uptime_ms"), nullptr);
+  EXPECT_GE(ping->Find("uptime_ms")->number(), 0.0);
+  ASSERT_NE(ping->Find("generation"), nullptr);
+  EXPECT_EQ(ping->Find("generation")->number(),
+            static_cast<double>(registry.generation()));
+
+  // ping is a liveness probe, not a request: it never resolves a model
+  // lease, so it answers identically on an empty registry — the health
+  // prober must get a truthful "alive" from a daemon whose model failed
+  // to load or was never configured.
+  ModelRegistry empty;
+  RequestServer bare(&empty);
+  auto bare_ping = JsonValue::Parse(bare.HandleLine(R"({"cmd":"ping"})"));
+  ASSERT_TRUE(bare_ping.ok());
+  EXPECT_TRUE(bare_ping->Find("ok")->boolean());
+
+  // A reload bumps the generation and the next ping reports it — the
+  // front tier can watch model rollouts through probe replies alone.
+  const double before = ping->Find("generation")->number();
+  ASSERT_TRUE(JsonValue::Parse(server.HandleLine(R"({"cmd":"reload"})"))
+                  ->Find("ok")
+                  ->boolean());
+  auto after = JsonValue::Parse(server.HandleLine(R"({"cmd":"ping"})"));
+  ASSERT_TRUE(after.ok());
+  EXPECT_GT(after->Find("generation")->number(), before);
+  std::remove(f.model_path.c_str());
+}
+
 TEST(RequestServerTest, ReloadVerbAndSighupBothHotReload) {
   DaemonFixture f = DaemonFixture::Make("daemon_reload.oclr");
   ModelRegistry registry;

@@ -67,7 +67,7 @@ commands:
              [--port=N] [--m=N] [--workers=N] [--accept-queue=N]
              [--update-sweeps=N]
   loadtest   --port=N [--clients=C] [--requests=R] [--pipeline=P]
-             [--users=U] [--m=N] [--model=NAME] [--json]
+             [--users=U] [--m=N] [--model=NAME] [--json] [--reconnect]
              [--history-every=N --items=I [--history-len=L]]
 )";
 
@@ -429,6 +429,9 @@ int CmdLoadtest(const Flags& flags) {
   options.history_every = static_cast<uint32_t>(history_every);
   options.history_len = static_cast<uint32_t>(history_len);
   options.num_items = static_cast<uint32_t>(items);
+  // Fleet mode: ride through a proxy or replica restarting mid-run by
+  // rolling back and resending the outstanding batch instead of failing.
+  options.reconnect_on_close = flags.GetBool("reconnect", false);
 
   auto result = RunLoadGen(options);
   if (!result.ok()) {
@@ -450,6 +453,8 @@ int CmdLoadtest(const Flags& flags) {
     w.UInt(result->error_replies);
     w.Key("shed_retries");
     w.UInt(result->shed_retries);
+    w.Key("reconnects");
+    w.UInt(result->reconnects);
     w.Key("seconds");
     w.Double(result->seconds);
     w.Key("requests_per_second");
@@ -474,6 +479,10 @@ int CmdLoadtest(const Flags& flags) {
     if (result->shed_retries > 0) {
       std::printf("  shed      : %llu 503 replies absorbed by backoff\n",
                   static_cast<unsigned long long>(result->shed_retries));
+    }
+    if (result->reconnects > 0) {
+      std::printf("  reconnects: %llu dropped connections ridden through\n",
+                  static_cast<unsigned long long>(result->reconnects));
     }
   }
   return result->error_replies == 0 ? 0 : 3;
