@@ -1,0 +1,358 @@
+// Sharded-store serving benchmark: the numbers the sharding PR hangs on.
+//
+//   bench_shard [--users=200000] [--items=128] [--k=8] [--shards=8]
+//               [--m=10] [--clients=4] [--requests=2000] [--pipeline=8]
+//               [--workers=4] [--reps=5] [--update-reps=5]
+//               [--json] [--out=BENCH_shard.json]
+//               [--baseline=path/to/BENCH.json]
+//
+// Phases:
+//   1. open     — mmap + validate the same catalog as one monolithic
+//                 .oclr vs an N-shard shardset (manifest + fingerprints +
+//                 per-member headers). Sharding must not make opening a
+//                 catalog meaningfully slower.
+//   2. steady   — req/s through a real TCP RequestServer answering from
+//                 the sharded binding (routing + shared items file on the
+//                 hot path).
+//   3. update   — wall clock of one online update that touches a single
+//                 shard: fold-in refresh, rewrite of that shard file,
+//                 fingerprint + manifest republish, registry swap. This
+//                 is the operation sharding exists to make cheap — the
+//                 other N-1 shards are not rewritten, not remapped, not
+//                 even re-read.
+//
+// The catalog is the deterministic scale generator (data/scale.h), so
+// records are comparable across machines at equal --users. --baseline
+// cross-checks the workload shape and gates sharded open time and
+// update-publish wall clock with generous ceilings (5x + slack) that
+// absorb runner noise but catch an accidental "reopen the world" or
+// "rewrite every shard" regression.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/json.h"
+#include "common/timer.h"
+#include "core/model_shard.h"
+#include "core/model_store.h"
+#include "data/scale.h"
+#include "serving/daemon.h"
+#include "serving/loadgen.h"
+#include "serving/registry.h"
+#include "sparse/coo.h"
+#include "sparse/csr.h"
+
+namespace ocular {
+namespace bench {
+namespace {
+
+struct ShardBenchResult {
+  double mono_open_ms = 0.0;
+  double sharded_open_ms = 0.0;
+  double sharded_over_mono = 0.0;
+  double steady_rps = 0.0;
+  double update_publish_ms = 0.0;
+  uint64_t errors = 0;
+};
+
+std::string ToJson(const ShardBenchResult& res, const ScaleCatalogSpec& spec,
+                   uint32_t shards, uint32_t m, const LoadGenOptions& load,
+                   size_t workers, uint32_t reps, uint32_t update_reps) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.String("shard");
+  w.Key("workload");
+  w.BeginObject();
+  w.Key("kind");
+  w.String("scale_catalog");
+  w.Key("users");
+  w.UInt(spec.num_users);
+  w.Key("items");
+  w.UInt(spec.num_items);
+  w.Key("k");
+  w.UInt(spec.k);
+  w.Key("seed");
+  w.UInt(spec.seed);
+  w.Key("shards");
+  w.UInt(shards);
+  w.Key("m");
+  w.UInt(m);
+  w.Key("clients");
+  w.UInt(load.clients);
+  w.Key("requests_per_client");
+  w.UInt(load.requests_per_client);
+  w.Key("pipeline");
+  w.UInt(load.pipeline);
+  w.Key("workers");
+  w.UInt(workers);
+  w.Key("hardware_concurrency");
+  w.UInt(std::thread::hardware_concurrency());
+  w.Key("reps");
+  w.UInt(reps);
+  w.Key("update_reps");
+  w.UInt(update_reps);
+  w.EndObject();
+  w.Key("mono_open_ms");
+  w.Double(res.mono_open_ms);
+  w.Key("sharded_open_ms");
+  w.Double(res.sharded_open_ms);
+  w.Key("sharded_over_mono");
+  w.Double(res.sharded_over_mono);
+  w.Key("steady_requests_per_second");
+  w.Double(res.steady_rps);
+  w.Key("update_publish_ms");
+  w.Double(res.update_publish_ms);
+  w.Key("client_visible_errors");
+  w.UInt(res.errors);
+  w.EndObject();
+  return w.str();
+}
+
+int Main(int argc, char** argv) {
+  ScaleCatalogSpec spec;
+  spec.num_users =
+      static_cast<uint32_t>(FlagDouble(argc, argv, "users", 200000));
+  spec.num_items =
+      static_cast<uint32_t>(FlagDouble(argc, argv, "items", 128));
+  spec.k = static_cast<uint32_t>(FlagDouble(argc, argv, "k", 8));
+  spec.seed = static_cast<uint64_t>(FlagDouble(argc, argv, "seed", 7));
+  const uint32_t shards =
+      static_cast<uint32_t>(FlagDouble(argc, argv, "shards", 8));
+  const uint32_t m = static_cast<uint32_t>(FlagDouble(argc, argv, "m", 10));
+  const uint32_t reps =
+      static_cast<uint32_t>(FlagDouble(argc, argv, "reps", 5));
+  const uint32_t update_reps =
+      static_cast<uint32_t>(FlagDouble(argc, argv, "update-reps", 5));
+  const size_t workers =
+      static_cast<size_t>(FlagDouble(argc, argv, "workers", 4));
+
+  LoadGenOptions load;
+  load.clients = static_cast<uint32_t>(FlagDouble(argc, argv, "clients", 4));
+  load.requests_per_client =
+      static_cast<uint64_t>(FlagDouble(argc, argv, "requests", 2000));
+  load.pipeline =
+      static_cast<uint32_t>(FlagDouble(argc, argv, "pipeline", 8));
+  load.m = m;
+  load.num_users = spec.num_users;
+
+  std::printf(
+      "shard: %u users x %u items, K=%u, %u shards, top-%u — %u clients x "
+      "%llu requests, pipeline %u, %u open reps, %u update reps\n",
+      spec.num_users, spec.num_items, spec.k, shards, m, load.clients,
+      static_cast<unsigned long long>(load.requests_per_client),
+      load.pipeline, reps, update_reps);
+
+  // ---- materialize the catalog once; write it both ways.
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string base =
+      std::string(tmpdir != nullptr ? tmpdir : "/tmp") + "/ocular_bench_shard";
+  const std::string mono_path = base + ".oclr";
+  const std::string manifest_path = base + ".shardset";
+
+  BinaryModelMeta meta;
+  meta.k = spec.k;
+  meta.lambda = 0.5;
+  DenseMatrix users(spec.num_users, spec.k);
+  for (uint32_t u = 0; u < spec.num_users; ++u) {
+    ScaleUserRow(spec, u, users.Row(u));
+  }
+  const DenseMatrix items = ScaleItemFactors(spec);
+  const DenseMatrix items_t = ScaleItemFactorsTransposed(spec);
+  OCULAR_CHECK(
+      SaveFactorSectionsBinary(meta, users, items, items_t, mono_path).ok());
+  OCULAR_CHECK(
+      SaveModelSharded(meta, users, items, items_t, shards, manifest_path)
+          .ok());
+
+  ShardBenchResult res;
+
+  // ---- phase 1: open time, monolithic vs sharded.
+  {
+    double mono_sum = 0.0, sharded_sum = 0.0;
+    for (uint32_t rep = 0; rep < reps; ++rep) {
+      Stopwatch watch;
+      auto mono = ModelStore::Open(mono_path);
+      OCULAR_CHECK(mono.ok());
+      mono_sum += watch.ElapsedMillis();
+      watch.Restart();
+      auto set = OpenShardSet(manifest_path);
+      OCULAR_CHECK(set.ok());
+      sharded_sum += watch.ElapsedMillis();
+    }
+    res.mono_open_ms = mono_sum / reps;
+    res.sharded_open_ms = sharded_sum / reps;
+    res.sharded_over_mono =
+        res.sharded_open_ms / std::max(res.mono_open_ms, 1e-9);
+  }
+
+  // ---- phase 2: steady-state req/s from the sharded binding over TCP.
+  // The empty train matrix enables the update verb (phase 3) without
+  // changing any recommendation (no exclusions).
+  auto empty_train = std::make_shared<CsrMatrix>(CsrMatrix::FromCoo(
+      CooBuilder().Finalize(spec.num_users, spec.num_items).value()));
+  ModelRegistry registry;
+  OCULAR_CHECK(registry.Load("default", manifest_path, empty_train).ok());
+  RequestServer::Options server_options;
+  server_options.num_workers = workers;
+  server_options.update_journal = false;
+  RequestServer server(&registry, server_options);
+  std::thread server_thread(
+      [&server] { OCULAR_CHECK(server.RunTcpLoop(0, 0).ok()); });
+  uint16_t port = 0;
+  for (int ms = 0; ms < 10000 && (port = server.bound_port()) == 0; ++ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  OCULAR_CHECK(port != 0);
+  load.port = port;
+  {
+    auto warm = RunLoadGen(load);
+    OCULAR_CHECK(warm.ok());
+    res.errors += warm->error_replies;
+    auto pass = RunLoadGen(load);
+    OCULAR_CHECK(pass.ok());
+    res.errors += pass->error_replies;
+    res.steady_rps = pass->requests_per_second;
+  }
+
+  // ---- phase 3: single-shard update-publish wall clock. Each rep adds
+  // one interaction for one user, which folds in that user, rewrites
+  // exactly one shard file, republishes the manifest, and swaps the
+  // binding; the reply must confirm shards_touched == 1.
+  {
+    double publish_sum = 0.0;
+    for (uint32_t rep = 0; rep < update_reps; ++rep) {
+      const uint32_t user = (rep * 7919u) % spec.num_users;
+      const uint32_t item = rep % spec.num_items;
+      const std::string request = R"({"cmd":"update","adds":[[)" +
+                                  std::to_string(user) + "," +
+                                  std::to_string(item) + "]]}";
+      Stopwatch watch;
+      const std::string reply = server.HandleLine(request);
+      publish_sum += watch.ElapsedMillis();
+      double touched = 0.0;
+      if (reply.find("\"ok\":true") == std::string::npos ||
+          !FindJsonNumber(reply, "shards_touched", &touched) ||
+          static_cast<uint32_t>(touched) != 1) {
+        std::fprintf(stderr, "FAIL: update rep %u did not touch exactly one "
+                     "shard: %s\n", rep, reply.c_str());
+        ++res.errors;
+        break;
+      }
+    }
+    res.update_publish_ms = publish_sum / std::max(update_reps, 1u);
+  }
+
+  RequestServer::RequestShutdown();
+  server_thread.join();
+  std::remove(mono_path.c_str());
+  // Leave no shardset members behind either.
+  {
+    auto set = LoadShardSetManifest(manifest_path);
+    if (set.ok()) {
+      std::remove(ShardSetResolve(manifest_path, set->items_file).c_str());
+      for (const auto& e : set->shards) {
+        std::remove(ShardSetResolve(manifest_path, e.file).c_str());
+      }
+    }
+    std::remove(manifest_path.c_str());
+  }
+
+  std::printf("  open mono    : %8.2f ms\n", res.mono_open_ms);
+  std::printf("  open sharded : %8.2f ms  (%.2fx of mono, %u members)\n",
+              res.sharded_open_ms, res.sharded_over_mono, shards + 1);
+  std::printf("  steady       : %8.0f req/s  (sharded binding)\n",
+              res.steady_rps);
+  std::printf("  update       : %8.2f ms     (single-shard publish)\n",
+              res.update_publish_ms);
+
+  if (res.errors != 0) {
+    std::fprintf(stderr, "FAIL: %llu errors during the bench\n",
+                 static_cast<unsigned long long>(res.errors));
+    return 1;
+  }
+
+  if (FlagBool(argc, argv, "json")) {
+    const std::string out_path =
+        FlagString(argc, argv, "out", "BENCH_shard.json");
+    const std::string json = ToJson(res, spec, shards, m, load, workers,
+                                    reps, update_reps);
+    if (!WriteTextFile(out_path, json + "\n")) return 1;
+    std::printf("  wrote %s\n", out_path.c_str());
+  }
+
+  const std::string baseline_path = FlagString(argc, argv, "baseline", "");
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    double base_open = 0.0, base_update = 0.0;
+    if (!in || !FindJsonNumber(buf.str(), "sharded_open_ms", &base_open) ||
+        !FindJsonNumber(buf.str(), "update_publish_ms", &base_update)) {
+      std::fprintf(stderr, "FAIL: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    double base_users = 0.0, base_items = 0.0, base_k = 0.0;
+    double base_shards = 0.0, base_clients = 0.0, base_pipeline = 0.0;
+    if (!FindJsonNumber(buf.str(), "users", &base_users) ||
+        !FindJsonNumber(buf.str(), "items", &base_items) ||
+        !FindJsonNumber(buf.str(), "k", &base_k) ||
+        !FindJsonNumber(buf.str(), "shards", &base_shards) ||
+        !FindJsonNumber(buf.str(), "clients", &base_clients) ||
+        !FindJsonNumber(buf.str(), "pipeline", &base_pipeline) ||
+        static_cast<uint32_t>(base_users) != spec.num_users ||
+        static_cast<uint32_t>(base_items) != spec.num_items ||
+        static_cast<uint32_t>(base_k) != spec.k ||
+        static_cast<uint32_t>(base_shards) != shards ||
+        static_cast<uint32_t>(base_clients) != load.clients ||
+        static_cast<uint32_t>(base_pipeline) != load.pipeline) {
+      std::fprintf(stderr,
+                   "FAIL: baseline %s records a different workload/shape — "
+                   "regenerate it with the current bench flags\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    // Both gated numbers are wall-clock on a shared CI runner: 5x the
+    // recorded value plus absolute slack absorbs noisy neighbors while
+    // still catching an O(catalog) regression (reopening or rewriting
+    // every member would blow past 5x at any realistic shard count).
+    const double open_ceiling = 5.0 * base_open + 200.0;
+    if (res.sharded_open_ms > open_ceiling) {
+      std::fprintf(stderr,
+                   "FAIL: sharded open %.2f ms above ceiling %.2f ms "
+                   "(baseline %.2f ms)\n",
+                   res.sharded_open_ms, open_ceiling, base_open);
+      return 2;
+    }
+    const double update_ceiling = 5.0 * base_update + 500.0;
+    if (res.update_publish_ms > update_ceiling) {
+      std::fprintf(stderr,
+                   "FAIL: update publish %.2f ms above ceiling %.2f ms "
+                   "(baseline %.2f ms)\n",
+                   res.update_publish_ms, update_ceiling, base_update);
+      return 2;
+    }
+    std::printf(
+        "  baseline gate ok: open %.2f ms (ceiling %.2f), update %.2f ms "
+        "(ceiling %.2f)\n",
+        res.sharded_open_ms, open_ceiling, res.update_publish_ms,
+        update_ceiling);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ocular
+
+int main(int argc, char** argv) { return ocular::bench::Main(argc, argv); }

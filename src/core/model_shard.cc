@@ -1,0 +1,463 @@
+#include "core/model_shard.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/fs_util.h"
+
+namespace ocular {
+
+namespace {
+
+// Magic first line of a manifest; the trailing integer is the format
+// version. Line-oriented text (not another binary page) because a
+// manifest is O(shards) tiny, and operators diff and hand-inspect it the
+// way they do the v1 text models.
+constexpr char kManifestMagic[] = "OCLRSHARDSET";
+constexpr uint32_t kManifestVersion = 1;
+
+// Non-null anchor for zero-length matrix views: ostream::write and
+// Fnv1a64 both receive the pointer, and a literal nullptr would trip
+// UBSan's nonnull checks even at size 0.
+const double kEmptyAnchor = 0.0;
+
+std::string HexFingerprint(uint64_t fp) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, fp);
+  return buf;
+}
+
+/// Directory prefix of `path` including the trailing '/', empty when the
+/// path has no directory component.
+std::string DirOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? "" : path.substr(0, slash + 1);
+}
+
+/// `manifest_path` minus a trailing ".shardset", with the directory
+/// stripped — the stem member files are named after.
+std::string MemberStem(const std::string& manifest_path) {
+  std::string base = manifest_path.substr(DirOf(manifest_path).size());
+  const std::string suffix = ".shardset";
+  if (base.size() > suffix.size() &&
+      base.compare(base.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    base.resize(base.size() - suffix.size());
+  }
+  return base;
+}
+
+std::string ShardFileName(const std::string& stem, uint32_t shard) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%03u", shard);
+  return stem + ".shard-" + buf + ".oclr";
+}
+
+Status TruncatedError(const std::string& path) {
+  return Status::ParseError("shardset manifest '" + path +
+                            "' is truncated (missing 'end' marker)");
+}
+
+Status MalformedLine(const std::string& path, const std::string& line) {
+  return Status::ParseError("shardset manifest '" + path +
+                            "' has a malformed line: '" + line + "'");
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- ShardMap
+
+Result<ShardMap> ShardMap::EvenSplit(uint32_t num_users, uint32_t num_shards) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("a shard map needs at least one shard");
+  }
+  if (num_users < num_shards) {
+    return Status::InvalidArgument(
+        "splitting " + std::to_string(num_users) + " users into " +
+        std::to_string(num_shards) + " shards would leave empty shards");
+  }
+  const uint32_t quota = num_users / num_shards;
+  const uint32_t extra = num_users % num_shards;
+  std::vector<uint32_t> begins(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    begins[s] = s * quota + std::min(s, extra);
+  }
+  return FromBoundaries(std::move(begins), num_users);
+}
+
+Result<ShardMap> ShardMap::FromBoundaries(std::vector<uint32_t> begins,
+                                          uint32_t num_users) {
+  if (begins.empty()) {
+    return Status::InvalidArgument("a shard map needs at least one shard");
+  }
+  if (begins.front() != 0) {
+    return Status::InvalidArgument("the first shard must begin at user 0");
+  }
+  for (size_t s = 0; s + 1 < begins.size(); ++s) {
+    if (begins[s] >= begins[s + 1]) {
+      return Status::InvalidArgument("shard " + std::to_string(s) +
+                                     " would be empty (begins must be "
+                                     "strictly increasing)");
+    }
+  }
+  if (begins.back() >= num_users) {
+    return Status::InvalidArgument(
+        "shard " + std::to_string(begins.size() - 1) +
+        " would be empty (its begin is at or past num_users)");
+  }
+  ShardMap map;
+  map.begins_ = std::move(begins);
+  map.num_users_ = num_users;
+  return map;
+}
+
+uint32_t ShardMap::shard_of(uint32_t user) const {
+  const auto it = std::upper_bound(begins_.begin(), begins_.end(), user);
+  return static_cast<uint32_t>(it - begins_.begin()) - 1;
+}
+
+// ------------------------------------------------------------- manifest
+
+Result<ShardMap> ShardSetManifest::Map() const {
+  std::vector<uint32_t> begins;
+  begins.reserve(shards.size());
+  uint32_t expected_begin = 0;
+  for (size_t s = 0; s < shards.size(); ++s) {
+    const ShardSetEntry& e = shards[s];
+    if (e.user_begin != expected_begin || e.user_begin >= e.user_end) {
+      return Status::InvalidArgument(
+          "shard ranges do not tile [0, num_users) at shard " +
+          std::to_string(s));
+    }
+    begins.push_back(e.user_begin);
+    expected_begin = e.user_end;
+  }
+  if (expected_begin != num_users) {
+    return Status::InvalidArgument(
+        "shard ranges cover " + std::to_string(expected_begin) +
+        " users but the manifest declares " + std::to_string(num_users));
+  }
+  return ShardMap::FromBoundaries(std::move(begins), num_users);
+}
+
+bool IsShardSetFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char head[sizeof(kManifestMagic)] = {};  // magic + the following space
+  in.read(head, sizeof(head));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(head))) return false;
+  return std::memcmp(head, kManifestMagic, sizeof(kManifestMagic) - 1) == 0 &&
+         head[sizeof(head) - 1] == ' ';
+}
+
+std::string ShardSetResolve(const std::string& manifest_path,
+                            const std::string& file) {
+  if (!file.empty() && file.front() == '/') return file;
+  return DirOf(manifest_path) + file;
+}
+
+Result<ShardSetManifest> LoadShardSetManifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open shardset manifest '" + path + "'");
+  }
+  std::string line;
+  if (!std::getline(in, line)) return TruncatedError(path);
+  {
+    std::istringstream head(line);
+    std::string magic;
+    uint32_t version = 0;
+    if (!(head >> magic >> version) || magic != kManifestMagic) {
+      return Status::ParseError("'" + path +
+                                "' is not a shardset manifest (bad magic)");
+    }
+    if (version != kManifestVersion) {
+      return Status::ParseError("shardset manifest '" + path +
+                                "' has unsupported version " +
+                                std::to_string(version));
+    }
+  }
+
+  ShardSetManifest m;
+  uint32_t declared_shards = 0;
+  bool saw_shard_count = false;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "end") {
+      saw_end = true;
+      break;
+    } else if (key == "users") {
+      if (!(fields >> m.num_users)) return MalformedLine(path, line);
+    } else if (key == "items") {
+      if (!(fields >> m.num_items)) return MalformedLine(path, line);
+    } else if (key == "k") {
+      if (!(fields >> m.k)) return MalformedLine(path, line);
+    } else if (key == "split") {
+      if (!(fields >> m.split)) return MalformedLine(path, line);
+    } else if (key == "items-file") {
+      std::string hex;
+      if (!(fields >> m.items_file >> hex)) return MalformedLine(path, line);
+      m.items_fingerprint = std::strtoull(hex.c_str(), nullptr, 16);
+    } else if (key == "shards") {
+      if (!(fields >> declared_shards)) return MalformedLine(path, line);
+      saw_shard_count = true;
+    } else if (key == "shard") {
+      ShardSetEntry e;
+      std::string hex;
+      if (!(fields >> e.user_begin >> e.user_end >> e.file >> hex)) {
+        return MalformedLine(path, line);
+      }
+      e.fingerprint = std::strtoull(hex.c_str(), nullptr, 16);
+      m.shards.push_back(std::move(e));
+    } else {
+      return MalformedLine(path, line);
+    }
+  }
+  if (!saw_end) return TruncatedError(path);
+  if (!saw_shard_count || declared_shards != m.shards.size()) {
+    return Status::ParseError(
+        "shardset manifest '" + path + "' shard count disagreement: declares " +
+        std::to_string(declared_shards) + " shards but lists " +
+        std::to_string(m.shards.size()));
+  }
+  if (m.k == 0 || m.num_users == 0 || m.items_file.empty()) {
+    return Status::ParseError("shardset manifest '" + path +
+                              "' is missing required fields");
+  }
+  if (m.split != "user-range") {
+    return Status::ParseError("shardset manifest '" + path +
+                              "' has unsupported split rule '" + m.split +
+                              "'");
+  }
+  // Ranges must tile the user space; a gap or overlap is a manifest
+  // corruption, not a routing choice.
+  if (Result<ShardMap> map = m.Map(); !map.ok()) {
+    return Status::ParseError("shardset manifest '" + path +
+                              "': " + map.status().message());
+  }
+  return m;
+}
+
+Status SaveShardSetManifest(const ShardSetManifest& manifest,
+                            const std::string& path) {
+  std::ostringstream out;
+  out << kManifestMagic << ' ' << kManifestVersion << '\n';
+  out << "users " << manifest.num_users << '\n';
+  out << "items " << manifest.num_items << '\n';
+  out << "k " << manifest.k << '\n';
+  out << "split " << manifest.split << '\n';
+  out << "items-file " << manifest.items_file << ' '
+      << HexFingerprint(manifest.items_fingerprint) << '\n';
+  out << "shards " << manifest.shards.size() << '\n';
+  for (const ShardSetEntry& e : manifest.shards) {
+    out << "shard " << e.user_begin << ' ' << e.user_end << ' ' << e.file
+        << ' ' << HexFingerprint(e.fingerprint) << '\n';
+  }
+  out << "end\n";
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  file << out.str();
+  if (!file) return Status::IOError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+// ----------------------------------------------------------- validation
+
+Status CheckShardSetMember(const std::string& manifest_path,
+                           const std::string& file, uint64_t expected) {
+  const std::string full = ShardSetResolve(manifest_path, file);
+  Result<uint64_t> fp = fs::FileFingerprint(full);
+  if (!fp.ok()) {
+    return Status::IOError("shardset member '" + file +
+                           "' is missing or unreadable: " +
+                           fp.status().message());
+  }
+  if (*fp != expected) {
+    return Status::ParseError(
+        "fingerprint mismatch on shardset member '" + file +
+        "': manifest records " + HexFingerprint(expected) + ", file has " +
+        HexFingerprint(*fp) + " — refusing to serve a torn shardset");
+  }
+  return Status::OK();
+}
+
+Status ValidateItemsHeader(const ShardSetManifest& manifest,
+                           const ModelStore& store) {
+  if (store.num_users() != 0 || store.num_items() != manifest.num_items ||
+      store.k() != manifest.k) {
+    return Status::ParseError(
+        "items file header disagrees with the manifest: file has " +
+        std::to_string(store.num_users()) + " users, " +
+        std::to_string(store.num_items()) + " items, k=" +
+        std::to_string(store.k()) + "; manifest expects 0 users, " +
+        std::to_string(manifest.num_items) + " items, k=" +
+        std::to_string(manifest.k));
+  }
+  return Status::OK();
+}
+
+Status ValidateShardHeader(const ShardSetManifest& manifest, size_t index,
+                           const ModelStore& store) {
+  const ShardSetEntry& e = manifest.shards[index];
+  const uint32_t want_users = e.user_end - e.user_begin;
+  if (store.num_users() != want_users || store.num_items() != 0 ||
+      store.k() != manifest.k) {
+    return Status::ParseError(
+        "shard " + std::to_string(index) +
+        " header disagrees with the manifest: file has " +
+        std::to_string(store.num_users()) + " users, " +
+        std::to_string(store.num_items()) + " items, k=" +
+        std::to_string(store.k()) + "; manifest expects " +
+        std::to_string(want_users) + " users, 0 items, k=" +
+        std::to_string(manifest.k));
+  }
+  return Status::OK();
+}
+
+Result<ShardSetStores> OpenShardSet(const std::string& manifest_path,
+                                    const ModelStoreOptions& options) {
+  ShardSetStores out;
+  OCULAR_ASSIGN_OR_RETURN(out.manifest, LoadShardSetManifest(manifest_path));
+  OCULAR_ASSIGN_OR_RETURN(out.map, out.manifest.Map());
+
+  OCULAR_RETURN_IF_ERROR(CheckShardSetMember(
+      manifest_path, out.manifest.items_file, out.manifest.items_fingerprint));
+  Result<ModelStore> items = ModelStore::Open(
+      ShardSetResolve(manifest_path, out.manifest.items_file), options);
+  if (!items.ok()) return items.status();
+  OCULAR_RETURN_IF_ERROR(ValidateItemsHeader(out.manifest, *items));
+  out.items = std::make_shared<const ModelStore>(std::move(items).value());
+
+  out.shards.reserve(out.manifest.shards.size());
+  for (size_t s = 0; s < out.manifest.shards.size(); ++s) {
+    const ShardSetEntry& e = out.manifest.shards[s];
+    OCULAR_RETURN_IF_ERROR(
+        CheckShardSetMember(manifest_path, e.file, e.fingerprint));
+    Result<ModelStore> shard =
+        ModelStore::Open(ShardSetResolve(manifest_path, e.file), options);
+    if (!shard.ok()) return shard.status();
+    OCULAR_RETURN_IF_ERROR(ValidateShardHeader(out.manifest, s, *shard));
+    out.shards.push_back(
+        std::make_shared<const ModelStore>(std::move(shard).value()));
+  }
+  return out;
+}
+
+// -------------------------------------------------------------- writers
+
+Status SaveShardUserFactors(const BinaryModelMeta& meta,
+                            ConstMatrixView users_slice,
+                            const std::string& path) {
+  if (users_slice.rows() == 0) {
+    return Status::InvalidArgument("a shard file needs at least one user");
+  }
+  const ConstMatrixView no_items(&kEmptyAnchor, 0, meta.k);
+  const ConstMatrixView no_items_t(&kEmptyAnchor, meta.k, 0);
+  return SaveFactorSectionsBinary(meta, users_slice, no_items, no_items_t,
+                                  path);
+}
+
+Status WriteShardSetStreaming(const BinaryModelMeta& meta, const ShardMap& map,
+                              ConstMatrixView items, ConstMatrixView items_t,
+                              const ShardRowFn& row_fn,
+                              const std::string& manifest_path) {
+  if (map.num_shards() == 0) {
+    return Status::InvalidArgument("cannot write a shardset with no shards");
+  }
+  if (meta.k == 0 || items.cols() != meta.k || items_t.rows() != meta.k ||
+      items_t.cols() != items.rows()) {
+    return Status::InvalidArgument(
+        "item factor views do not match meta.k / the transposed layout");
+  }
+
+  const std::string dir = DirOf(manifest_path);
+  const std::string stem = MemberStem(manifest_path);
+
+  ShardSetManifest manifest;
+  manifest.num_users = map.num_users();
+  manifest.num_items = items.rows();
+  manifest.k = meta.k;
+  manifest.items_file = stem + ".items.oclr";
+
+  const ConstMatrixView no_users(&kEmptyAnchor, 0, meta.k);
+  OCULAR_RETURN_IF_ERROR(SaveFactorSectionsBinary(
+      meta, no_users, items, items_t, dir + manifest.items_file));
+  OCULAR_ASSIGN_OR_RETURN(manifest.items_fingerprint,
+                          fs::FileFingerprint(dir + manifest.items_file));
+
+  // One shard at a time: the block below is the only user-factor storage
+  // this function ever holds.
+  for (uint32_t s = 0; s < map.num_shards(); ++s) {
+    const uint32_t begin = map.begin(s);
+    const uint32_t rows = map.end(s) - begin;
+    DenseMatrix block(rows, meta.k);
+    for (uint32_t r = 0; r < rows; ++r) row_fn(begin + r, block.Row(r));
+    ShardSetEntry e;
+    e.user_begin = begin;
+    e.user_end = map.end(s);
+    e.file = ShardFileName(stem, s);
+    OCULAR_RETURN_IF_ERROR(SaveShardUserFactors(meta, block, dir + e.file));
+    OCULAR_ASSIGN_OR_RETURN(e.fingerprint, fs::FileFingerprint(dir + e.file));
+    manifest.shards.push_back(std::move(e));
+  }
+
+  // The manifest lands last: a crash anywhere above leaves member files
+  // but nothing that OpenShardSet would accept.
+  return SaveShardSetManifest(manifest, manifest_path);
+}
+
+Result<LoadedModel> MaterializeShardSetOcular(const ShardSetStores& set) {
+  const BinaryModelMeta& meta = set.items->meta();
+  if (meta.kind != BinaryModelKind::kOcularProbability) {
+    return Status::FailedPrecondition(
+        "model '" + meta.algorithm + "' is not an OCuLaR-family model");
+  }
+  LoadedModel out;
+  out.config.use_biases = meta.use_biases;
+  out.config.k = meta.k - (meta.use_biases ? 2 : 0);
+  out.config.lambda = meta.lambda;
+  out.config.variant = meta.relative_variant ? OcularVariant::kRelative
+                                             : OcularVariant::kAbsolute;
+  DenseMatrix users(set.manifest.num_users, meta.k);
+  for (size_t s = 0; s < set.shards.size(); ++s) {
+    const ConstMatrixView slice = set.shards[s]->user_factors();
+    std::memcpy(users.data() +
+                    static_cast<size_t>(set.manifest.shards[s].user_begin) *
+                        meta.k,
+                slice.Row(0).data(), slice.size() * sizeof(double));
+  }
+  DenseMatrix items(set.manifest.num_items, meta.k);
+  const ConstMatrixView item_view = set.items->item_factors();
+  std::memcpy(items.data(), item_view.Row(0).data(),
+              item_view.size() * sizeof(double));
+  out.model = OcularModel(std::move(users), std::move(items));
+  return out;
+}
+
+Status SaveModelSharded(const BinaryModelMeta& meta, ConstMatrixView users,
+                        ConstMatrixView items, ConstMatrixView items_t,
+                        uint32_t num_shards, const std::string& manifest_path) {
+  if (users.cols() != meta.k) {
+    return Status::InvalidArgument("users does not have meta.k columns");
+  }
+  OCULAR_ASSIGN_OR_RETURN(ShardMap map,
+                          ShardMap::EvenSplit(users.rows(), num_shards));
+  const ShardRowFn copy_row = [&users](uint32_t user, std::span<double> out) {
+    const std::span<const double> row = users.Row(user);
+    std::copy(row.begin(), row.end(), out.begin());
+  };
+  return WriteShardSetStreaming(meta, map, items, items_t, copy_row,
+                                manifest_path);
+}
+
+}  // namespace ocular

@@ -11,6 +11,7 @@
 #include <fstream>
 
 #include "common/fault.h"
+#include "core/model_shard.h"
 #include "sparse/linalg.h"
 
 namespace ocular {
@@ -91,8 +92,8 @@ struct SectionPlan {
   size_t offset = 0;
 };
 
-Status WriteBinaryFile(const BinaryModelMeta& meta, const DenseMatrix& users,
-                       const DenseMatrix& items, const DenseMatrix& items_t,
+Status WriteBinaryFile(const BinaryModelMeta& meta, ConstMatrixView users,
+                       ConstMatrixView items, ConstMatrixView items_t,
                        const std::string& path) {
   OCULAR_RETURN_IF_ERROR(RequireLittleEndianHost());
   if (meta.k == 0 || users.cols() != meta.k || items.cols() != meta.k) {
@@ -180,6 +181,17 @@ Status SaveModelBinary(const OcularModel& model, const OcularConfig& config,
 Status SaveFactorsBinary(const BinaryModelMeta& meta, const DenseMatrix& users,
                          const DenseMatrix& items, const std::string& path) {
   return WriteBinaryFile(meta, users, items, TransposedCopy(items), path);
+}
+
+Status SaveFactorSectionsBinary(const BinaryModelMeta& meta,
+                                ConstMatrixView users, ConstMatrixView items,
+                                ConstMatrixView items_t,
+                                const std::string& path) {
+  if (items_t.rows() != meta.k || items_t.cols() != items.rows()) {
+    return Status::InvalidArgument(
+        "items_t is not the K x n_i transposed layout of items");
+  }
+  return WriteBinaryFile(meta, users, items, items_t, path);
 }
 
 Status SaveDotProductFactors(const std::string& algorithm, uint32_t k,
@@ -412,6 +424,13 @@ bool IsBinaryModelFile(const std::string& path) {
 }
 
 Result<LoadedModel> LoadModelAuto(const std::string& path) {
+  // A shardset manifest also starts with "OCLR" ("OCLRSHARDSET ..."), so
+  // this sniff must run before the binary one or the manifest would be
+  // misparsed as a v2 file with a garbage version.
+  if (IsShardSetFile(path)) {
+    OCULAR_ASSIGN_OR_RETURN(ShardSetStores set, OpenShardSet(path));
+    return MaterializeShardSetOcular(set);
+  }
   if (!IsBinaryModelFile(path)) return LoadModel(path);
   OCULAR_ASSIGN_OR_RETURN(ModelStore store, ModelStore::Open(path));
   return store.MaterializeOcular();

@@ -73,6 +73,18 @@ Status SaveModelBinary(const OcularModel& model, const OcularConfig& config,
 Status SaveFactorsBinary(const BinaryModelMeta& meta, const DenseMatrix& users,
                          const DenseMatrix& items, const std::string& path);
 
+/// \brief View-based v2 writer: persists `users`/`items` plus a
+/// caller-provided K x n_i transposed serving section without copying any
+/// factor block. This is the shard writer's save path
+/// (core/model_shard.h): a user-range shard is a ConstMatrixView slice of
+/// the full factor matrix, and the shared items file reuses the store's
+/// mmapped transposed section as-is. Either factor view may be empty
+/// (0 rows) — a shard file carries no items, the items file no users.
+Status SaveFactorSectionsBinary(const BinaryModelMeta& meta,
+                                ConstMatrixView users, ConstMatrixView items,
+                                ConstMatrixView items_t,
+                                const std::string& path);
+
 /// \brief Shared save path of the dot-product factor baselines
 /// (wALS/iALS/BPR `SaveBinary`): writes `users`/`items` as a
 /// BinaryModelKind::kDotProduct v2 file tagged `algorithm`.
@@ -184,10 +196,11 @@ class ModelStore {
 /// LoadModel.
 bool IsBinaryModelFile(const std::string& path);
 
-/// \brief Loads an OCuLaR model of either format into an owning
-/// LoadedModel: v2 files are opened and materialized, anything else goes
-/// through the v1 text LoadModel. For zero-copy v2 serving use
-/// ModelStore::Open directly.
+/// \brief Loads an OCuLaR model of any on-disk format into an owning
+/// LoadedModel: `*.shardset` manifests are opened and gathered
+/// (MaterializeShardSetOcular), v2 files are opened and materialized,
+/// anything else goes through the v1 text LoadModel. For zero-copy
+/// serving use ModelStore::Open / OpenShardSet directly.
 Result<LoadedModel> LoadModelAuto(const std::string& path);
 
 }  // namespace ocular

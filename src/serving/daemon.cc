@@ -189,18 +189,24 @@ std::shared_ptr<const ServableModel> RequestServer::LeaseModel(
 Result<std::vector<ScoredItem>> RequestServer::RecommendOn(
     WorkerState* w, const std::string& model_name, uint32_t user,
     const ServeOptions& options,
-    const std::vector<uint32_t>* exclude_override) {
+    const std::vector<uint32_t>* exclude_override, int64_t* shard_out) {
   // Resolved exactly once per request: the whole answer comes from one
   // model generation even if a hot swap lands mid-request.
   std::shared_ptr<const ServableModel> model = LeaseModel(w, model_name);
   if (model == nullptr) {
     return Status::NotFound("no model named '" + model_name + "'");
   }
-  if (user >= model->store.num_users()) {
+  if (user >= model->num_users()) {
     return Status::OutOfRange("user " + std::to_string(user) +
                               " out of range (model has " +
-                              std::to_string(model->store.num_users()) +
+                              std::to_string(model->num_users()) +
                               " users)");
+  }
+  if (model->sharded) {
+    w->shard_requests.fetch_add(1, std::memory_order_relaxed);
+    if (shard_out != nullptr) *shard_out = model->shard_of(user);
+  } else if (shard_out != nullptr) {
+    *shard_out = -1;
   }
   std::span<const uint32_t> exclude =
       exclude_override != nullptr ? std::span<const uint32_t>(*exclude_override)
@@ -209,7 +215,7 @@ Result<std::vector<ScoredItem>> RequestServer::RecommendOn(
   // hostile {"m":4000000000} from forcing a selection-buffer reservation
   // sized to the request instead of to the model.
   ServeOptions bounded = options;
-  bounded.m = std::min(bounded.m, model->store.num_items());
+  bounded.m = std::min(bounded.m, model->num_items());
   auto ranked =
       ServeTopM(*model->recommender, user, exclude, bounded, &w->workspace);
   return std::vector<ScoredItem>(ranked.begin(), ranked.end());
@@ -311,8 +317,9 @@ std::string RequestServer::HandleRecommend(WorkerState* w,
     exclude_override = &w->exclude_scratch;
   }
 
+  int64_t shard = -1;
   auto ranked = RecommendOn(w, model_name, static_cast<uint32_t>(*user), serve,
-                            exclude_override);
+                            exclude_override, &shard);
   if (!ranked.ok()) return ErrorReply(w, ranked.status().ToString());
 
   JsonWriter writer;
@@ -323,6 +330,13 @@ std::string RequestServer::HandleRecommend(WorkerState* w,
   writer.String(model_name);
   writer.Key("user");
   writer.UInt(*user);
+  if (shard >= 0) {
+    // Only sharded bindings carry the field: monolithic replies stay
+    // byte-identical to every previous release, which the scale test's
+    // oracle comparison and old clients both rely on.
+    writer.Key("shard");
+    writer.UInt(static_cast<uint64_t>(shard));
+  }
   WriteRankedItems(&writer, *ranked);
   writer.EndObject();
   return writer.str();
@@ -384,6 +398,148 @@ std::string RequestServer::HandleHistory(WorkerState* w,
   WriteRankedItems(&writer, rec->items);
   writer.EndObject();
   return writer.str();
+}
+
+Result<RequestServer::UpdateOutcome> RequestServer::ApplyShardedUpdate(
+    const ServableModel& model, const std::string& model_name,
+    const std::vector<std::pair<uint32_t, uint32_t>>& adds,
+    uint32_t num_users, uint32_t num_items) {
+  // A sharded binding never grows online: the shard ranges and the shared
+  // item factors are fixed at save time, so an id past either dimension
+  // needs an offline retrain + reshard (`ocular_cli shard`), not an
+  // update.
+  if (num_users > model.num_users() || num_items > model.num_items()) {
+    return Status::FailedPrecondition(
+        "sharded model '" + model_name +
+        "' cannot grow online; retrain and reshard offline (ocular_cli "
+        "shard)");
+  }
+  for (auto [u, i] : adds) {
+    if (u >= model.num_users() || i >= model.num_items()) {
+      return Status::FailedPrecondition(
+          "add (" + std::to_string(u) + ", " + std::to_string(i) +
+          ") is outside sharded model '" + model_name + "' (" +
+          std::to_string(model.num_users()) + " x " +
+          std::to_string(model.num_items()) +
+          "); retrain and reshard offline (ocular_cli shard)");
+    }
+  }
+  if (model.fold_in == nullptr) {
+    return Status::FailedPrecondition(
+        "sharded update refreshes users by fold-in, but model '" + model_name +
+        "' has no fold-in context (not an OCuLaR probability model)");
+  }
+  if (fault::Maybe("update.apply")) return fault::InjectedError("update.apply");
+
+  // Merge the deltas into a private copy of the training matrix: a
+  // touched user's fold-in history is its FULL updated row (Section V's
+  // new-user solve against fixed item factors), and the republish rebinds
+  // the merged matrix as the exclusion source.
+  CooBuilder coo;
+  coo.Reserve(model.train->nnz() + adds.size());
+  for (auto [u, i] : model.train->ToPairs()) coo.Add(u, i);
+  for (auto [u, i] : adds) coo.Add(u, i);
+  OCULAR_ASSIGN_OR_RETURN(
+      auto entries, coo.Finalize(model.num_users(), model.num_items()));
+  auto merged = std::make_shared<const CsrMatrix>(CsrMatrix::FromCoo(entries));
+
+  std::vector<uint32_t> touched_users;
+  touched_users.reserve(adds.size());
+  for (auto [u, i] : adds) touched_users.push_back(u);
+  std::sort(touched_users.begin(), touched_users.end());
+  touched_users.erase(
+      std::unique(touched_users.begin(), touched_users.end()),
+      touched_users.end());
+
+  const FoldInContext& ctx = *model.fold_in;
+  FoldInWorkspace fold_ws;
+  ShardSetManifest manifest = model.manifest;
+  uint32_t shards_touched = 0;
+  size_t next = 0;
+  for (uint32_t s = 0;
+       s < model.shard_map.num_shards() && next < touched_users.size(); ++s) {
+    const uint32_t begin = model.shard_map.begin(s);
+    const uint32_t end = model.shard_map.end(s);
+    if (touched_users[next] >= end) continue;
+
+    // Copy-on-write per shard: the live mapping is never written. Only
+    // shards owning a touched user are copied, folded, and rewritten —
+    // the untouched siblings keep their files, fingerprints and mappings.
+    ConstMatrixView rows = model.shard_stores[s]->user_factors();
+    DenseMatrix block(rows.rows(), rows.cols());
+    for (uint32_t r = 0; r < rows.rows(); ++r) {
+      std::span<const double> src = rows.Row(r);
+      std::copy(src.begin(), src.end(), block.Row(r).begin());
+    }
+    for (; next < touched_users.size() && touched_users[next] < end; ++next) {
+      const uint32_t u = touched_users[next];
+      const std::span<const uint32_t> history = merged->Row(u);
+      fold_ws.Reserve(ctx.dims(), history.size());
+      OCULAR_RETURN_IF_ERROR(
+          FoldInUserInto(ctx, history, options_.fold_in, &fold_ws));
+      std::copy(fold_ws.f.begin(), fold_ws.f.end(),
+                block.Row(u - begin).begin());
+    }
+
+    // Same publish discipline as the monolithic retrain — write-temp,
+    // fsync, verify-open, durable-rename — applied to ONE shard file.
+    const std::string shard_path =
+        ShardSetResolve(model.model_path, manifest.shards[s].file);
+    const std::string tmp_path = shard_path + ".update.tmp";
+    OCULAR_RETURN_IF_ERROR(
+        SaveShardUserFactors(model.meta(), block, tmp_path));
+    Status durable = fs::FsyncFile(tmp_path);
+    if (durable.ok()) {
+      if (auto verify = ModelStore::Open(tmp_path); !verify.ok()) {
+        durable = Status::IOError("shard update artifact failed verification: " +
+                                  verify.status().ToString());
+      }
+    }
+    if (durable.ok()) durable = fs::DurableRename(tmp_path, shard_path);
+    if (!durable.ok()) {
+      if (::access(tmp_path.c_str(), F_OK) == 0) ::remove(tmp_path.c_str());
+      // Shards already renamed this call now disagree with the published
+      // manifest on disk; the serving generation is untouched, and the
+      // next open refuses with a fingerprint mismatch instead of serving
+      // the torn set (OPERATIONS.md covers the recovery).
+      return durable;
+    }
+    OCULAR_ASSIGN_OR_RETURN(manifest.shards[s].fingerprint,
+                            fs::FileFingerprint(shard_path));
+    ++shards_touched;
+  }
+
+  // Manifest last, durably: readers open either the old consistent set or
+  // the new one, never a mix.
+  if (shards_touched > 0) {
+    const std::string manifest_tmp = model.model_path + ".update.tmp";
+    OCULAR_RETURN_IF_ERROR(SaveShardSetManifest(manifest, manifest_tmp));
+    Status durable = fs::FsyncFile(manifest_tmp);
+    if (durable.ok()) {
+      durable = fs::DurableRename(manifest_tmp, model.model_path);
+    }
+    if (!durable.ok()) {
+      if (::access(manifest_tmp.c_str(), F_OK) == 0) {
+        ::remove(manifest_tmp.c_str());
+      }
+      return durable;
+    }
+  }
+
+  // The per-shard generation swap: Load aliases every untouched member
+  // from the serving generation and reopens only the rewritten files.
+  OCULAR_RETURN_IF_ERROR(registry_->Load(model_name, model.model_path, merged));
+  updates_.fetch_add(1, std::memory_order_relaxed);
+
+  UpdateOutcome outcome;
+  outcome.num_users = model.num_users();
+  outcome.num_items = model.num_items();
+  outcome.sweeps_run = 0;
+  outcome.converged = true;
+  outcome.sharded = true;
+  outcome.shards_touched = shards_touched;
+  outcome.users_refreshed = static_cast<uint32_t>(touched_users.size());
+  return outcome;
 }
 
 Result<RequestServer::UpdateOutcome> RequestServer::RetrainAndPublish(
@@ -466,8 +622,17 @@ Result<RequestServer::UpdateOutcome> RequestServer::ApplyUpdate(
         "update requires a dataset bound to model '" + model_name +
         "' (--datasets): the interaction deltas extend the training matrix");
   }
-  uint32_t users = std::max(model->store.num_users(), num_users);
-  uint32_t items = std::max(model->store.num_items(), num_items);
+  if (model->sharded) {
+    // Sharded bindings refresh touched users by fold-in against the fixed
+    // shared item factors and republish only the rewritten shard files.
+    // The update journal stays out of this path — it is a single-artifact
+    // recovery mechanism keyed on one file fingerprint; sharded updates
+    // are instead made durable per shard file (write-temp + fsync +
+    // verify + rename), with the manifest republished last.
+    return ApplyShardedUpdate(*model, model_name, adds, num_users, num_items);
+  }
+  uint32_t users = std::max(model->num_users(), num_users);
+  uint32_t items = std::max(model->num_items(), num_items);
   CooBuilder coo;
   coo.Reserve(model->train->nnz() + adds.size());
   for (auto [u, i] : model->train->ToPairs()) coo.Add(u, i);
@@ -691,6 +856,12 @@ std::string RequestServer::HandleUpdate(WorkerState* w,
   writer.UInt(outcome->sweeps_run);
   writer.Key("converged");
   writer.Bool(outcome->converged);
+  if (outcome->sharded) {
+    writer.Key("shards_touched");
+    writer.UInt(outcome->shards_touched);
+    writer.Key("users_refreshed");
+    writer.UInt(outcome->users_refreshed);
+  }
   writer.Key("publish_us");
   writer.Double(NowMicros() - start_us);
   writer.EndObject();
@@ -711,17 +882,21 @@ std::string RequestServer::HandleModels() {
     w.Key("name");
     w.String(name);
     w.Key("algorithm");
-    w.String(model->store.meta().algorithm);
+    w.String(model->meta().algorithm);
     w.Key("users");
-    w.UInt(model->store.num_users());
+    w.UInt(model->num_users());
     w.Key("items");
-    w.UInt(model->store.num_items());
+    w.UInt(model->num_items());
     w.Key("k");
-    w.UInt(model->store.k());
+    w.UInt(model->k());
     w.Key("mapped_bytes");
-    w.UInt(model->store.mapped_bytes());
+    w.UInt(model->mapped_bytes());
+    w.Key("sharded");
+    w.Bool(model->sharded);
+    w.Key("shards");
+    w.UInt(model->num_shards());
     w.Key("path");
-    w.String(model->store.path());
+    w.String(model->model_path);
     w.EndObject();
   }
   w.EndArray();
@@ -775,6 +950,8 @@ std::string RequestServer::HandleStats() {
   w.UInt(snapshot.fold_in_requests);
   w.Key("history_dropped_ids");
   w.UInt(snapshot.history_dropped_ids);
+  w.Key("shard_requests");
+  w.UInt(snapshot.shard_requests);
   w.Key("updates");
   w.UInt(snapshot.updates);
   w.Key("journal_recovered");
@@ -891,6 +1068,7 @@ DaemonStatsSnapshot RequestServer::Stats() const {
         w->fold_in_requests.load(std::memory_order_relaxed);
     snapshot.history_dropped_ids +=
         w->dropped_history_ids.load(std::memory_order_relaxed);
+    snapshot.shard_requests += w->shard_requests.load(std::memory_order_relaxed);
     w->latency.AppendWindowTo(&window);
   }
   snapshot.p50_latency_us = MergedPercentile(&window, 0.50);

@@ -46,6 +46,11 @@ struct DaemonStatsSnapshot {
   /// Out-of-range item ids dropped from client histories — the warning
   /// counter for client catalogs drifting ahead of the served model.
   uint64_t history_dropped_ids = 0;
+  /// Stored-user recommends answered from a sharded (`*.shardset`)
+  /// binding, summed over workers. Monolithic models never bump it, so
+  /// the ratio against requests_served says how much traffic the shard
+  /// router actually carries.
+  uint64_t shard_requests = 0;
   /// In-daemon incremental updates published via the `update` verb.
   uint64_t updates = 0;
   /// Committed journal records re-merged into the training base at
@@ -370,6 +375,7 @@ class RequestServer {
     std::atomic<uint64_t> errors{0};
     std::atomic<uint64_t> fold_in_requests{0};
     std::atomic<uint64_t> dropped_history_ids{0};
+    std::atomic<uint64_t> shard_requests{0};
     LatencyRing latency;
   };
 
@@ -379,16 +385,25 @@ class RequestServer {
     uint32_t num_items = 0;
     uint32_t sweeps_run = 0;
     bool converged = false;
+    /// Sharded updates only: how many shard files were rewritten and
+    /// republished, and how many user rows were folded in afresh.
+    bool sharded = false;
+    uint32_t shards_touched = 0;
+    uint32_t users_refreshed = 0;
   };
 
   WorkerState* InlineWorker() { return workers_.back().get(); }
   void RefreshLeases(WorkerState* w);
   std::shared_ptr<const ServableModel> LeaseModel(WorkerState* w,
                                                   const std::string& name);
+  /// `*shard_out` (when non-null) reports which shard served the user:
+  /// the shard index for a sharded binding, -1 for a monolithic store —
+  /// so HandleRecommend can surface the shard hit without re-leasing.
   Result<std::vector<ScoredItem>> RecommendOn(
       WorkerState* w, const std::string& model_name, uint32_t user,
       const ServeOptions& options,
-      const std::vector<uint32_t>* exclude_override);
+      const std::vector<uint32_t>* exclude_override,
+      int64_t* shard_out = nullptr);
   std::string HandleLineOn(WorkerState* w, const std::string& line,
                            bool* quit);
   std::string HandleRecommend(WorkerState* w, const JsonValue& request);
@@ -400,6 +415,10 @@ class RequestServer {
       WorkerState* w, const std::string& model_name,
       const std::vector<std::pair<uint32_t, uint32_t>>& adds,
       uint32_t num_users, uint32_t num_items, uint32_t sweeps, uint64_t seed);
+  Result<UpdateOutcome> ApplyShardedUpdate(
+      const ServableModel& model, const std::string& model_name,
+      const std::vector<std::pair<uint32_t, uint32_t>>& adds,
+      uint32_t num_users, uint32_t num_items);
   Result<UpdateOutcome> RetrainAndPublish(
       const ServableModel& model, const std::string& model_name,
       const std::shared_ptr<const CsrMatrix>& updated_train, uint32_t users,

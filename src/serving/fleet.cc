@@ -488,36 +488,16 @@ std::string FleetServer::FleetPingReply() {
   return w.str();
 }
 
-FleetStatsSnapshot FleetServer::Stats() const {
-  FleetStatsSnapshot s;
-  s.requests_proxied = requests_proxied_.load(std::memory_order_relaxed);
-  s.failovers = failovers_.load(std::memory_order_relaxed);
-  s.hedges_sent = hedges_sent_.load(std::memory_order_relaxed);
-  s.hedges_won = hedges_won_.load(std::memory_order_relaxed);
-  s.no_healthy_503s = no_healthy_503s_.load(std::memory_order_relaxed);
-  s.rejected_verbs = rejected_verbs_.load(std::memory_order_relaxed);
-  s.probes_sent = probes_sent_.load(std::memory_order_relaxed);
-  s.probe_failures = probe_failures_.load(std::memory_order_relaxed);
-  s.connections_shed = shed_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(health_mu_);
-  s.replicas.reserve(health_.size());
-  for (size_t r = 0; r < health_.size(); ++r) {
-    FleetReplicaStats rs;
-    rs.port = options_.replicas[r];
-    rs.state = health_[r].state();
-    rs.forwards = replica_forwards_[r];
-    rs.failures = replica_failures_[r];
-    rs.ejections = health_[r].ejections();
-    rs.readmissions = health_[r].readmissions();
-    s.ejections += rs.ejections;
-    s.readmissions += rs.readmissions;
-    s.replicas.push_back(rs);
+void SumReplicaTotals(FleetStatsSnapshot* s) {
+  s->ejections = 0;
+  s->readmissions = 0;
+  for (const FleetReplicaStats& rs : s->replicas) {
+    s->ejections += rs.ejections;
+    s->readmissions += rs.readmissions;
   }
-  return s;
 }
 
-std::string FleetServer::FleetStatsReply() {
-  const FleetStatsSnapshot s = Stats();
+std::string RenderFleetStats(const FleetStatsSnapshot& s) {
   JsonWriter w;
   w.BeginObject();
   w.Key("ok");
@@ -568,6 +548,35 @@ std::string FleetServer::FleetStatsReply() {
   w.EndObject();
   return w.str();
 }
+
+FleetStatsSnapshot FleetServer::Stats() const {
+  FleetStatsSnapshot s;
+  s.requests_proxied = requests_proxied_.load(std::memory_order_relaxed);
+  s.failovers = failovers_.load(std::memory_order_relaxed);
+  s.hedges_sent = hedges_sent_.load(std::memory_order_relaxed);
+  s.hedges_won = hedges_won_.load(std::memory_order_relaxed);
+  s.no_healthy_503s = no_healthy_503s_.load(std::memory_order_relaxed);
+  s.rejected_verbs = rejected_verbs_.load(std::memory_order_relaxed);
+  s.probes_sent = probes_sent_.load(std::memory_order_relaxed);
+  s.probe_failures = probe_failures_.load(std::memory_order_relaxed);
+  s.connections_shed = shed_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(health_mu_);
+  s.replicas.reserve(health_.size());
+  for (size_t r = 0; r < health_.size(); ++r) {
+    FleetReplicaStats rs;
+    rs.port = options_.replicas[r];
+    rs.state = health_[r].state();
+    rs.forwards = replica_forwards_[r];
+    rs.failures = replica_failures_[r];
+    rs.ejections = health_[r].ejections();
+    rs.readmissions = health_[r].readmissions();
+    s.replicas.push_back(rs);
+  }
+  SumReplicaTotals(&s);
+  return s;
+}
+
+std::string FleetServer::FleetStatsReply() { return RenderFleetStats(Stats()); }
 
 std::string FleetServer::HedgedForward(WorkerSlot* w, const std::string& line,
                                        uint32_t primary, uint32_t hedge) {

@@ -161,6 +161,18 @@ struct FleetStatsSnapshot {
   std::vector<FleetReplicaStats> replicas;
 };
 
+/// \brief Recomputes the snapshot's fleet-wide ejections/readmissions
+/// totals from its per-replica rows — the merge half of
+/// FleetServer::Stats(), factored out pure so the counter plumbing is
+/// unit-testable without sockets or live replicas.
+void SumReplicaTotals(FleetStatsSnapshot* s);
+
+/// \brief Renders a snapshot as the front tier's `stats` reply — the pure
+/// serialization half of the verb ({"ok":true,"fleet":true,...} with one
+/// object per replica). FleetServer::FleetStatsReply() is exactly
+/// RenderFleetStats(Stats()).
+std::string RenderFleetStats(const FleetStatsSnapshot& s);
+
 /// \brief The front-tier proxy. Structurally a sibling of
 /// RequestServer's TCP loop — listener thread, bounded accept queue,
 /// fixed shared-nothing worker pool, pipelined request lines with

@@ -1,0 +1,104 @@
+#ifndef OCULAR_SERVING_SHARDED_STORE_RECOMMENDER_H_
+#define OCULAR_SERVING_SHARDED_STORE_RECOMMENDER_H_
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/model_shard.h"
+#include "core/model_store.h"
+#include "eval/recommender.h"
+#include "sparse/linalg.h"
+
+namespace ocular {
+
+/// \brief Recommender over a user-sharded OCLR store set — the serving
+/// adapter of core/model_shard.h.
+///
+/// A request for user u routes through the (pure, O(log shards)) ShardMap
+/// to the one shard file holding u's factor row, then runs the exact same
+/// vec::AffinityBlock kernel as StoreRecommender over the SHARED items
+/// file's K x n_i serving section. Same kernel, same operand layout, same
+/// score map — so rankings are bit-identical to a monolithic store of the
+/// concatenated user matrix, which is the contract the scale tests pin
+/// down. Owns none of the stores; ServableModel (serving/registry.h)
+/// keeps the shared_ptr set alive across per-shard generation swaps.
+class ShardedStoreRecommender : public Recommender {
+ public:
+  /// \brief Wraps opened members. `items` and every store in `shards` must
+  /// outlive the recommender; `shards[s]` holds the user rows of
+  /// `map.begin(s) <= u < map.end(s)`.
+  ShardedStoreRecommender(ShardMap map, const ModelStore& items,
+                          std::vector<const ModelStore*> shards)
+      : map_(std::move(map)),
+        items_(&items),
+        shards_(std::move(shards)),
+        probability_map_(items.meta().kind ==
+                         BinaryModelKind::kOcularProbability) {}
+
+  /// \brief The algorithm tag recorded in the shared items file.
+  std::string name() const override { return items_->meta().algorithm; }
+
+  /// \brief Always fails: the shardset is a pre-fitted artifact.
+  Status Fit(const CsrMatrix& /*interactions*/) override {
+    return Status::FailedPrecondition(
+        "ShardedStoreRecommender serves a pre-fitted shardset");
+  }
+
+  /// \brief Per-pair score off the owning shard's mapped factor row.
+  double Score(uint32_t u, uint32_t i) const override {
+    const double affinity =
+        vec::Dot(UserRow(u), items_->item_factors().Row(i));
+    return probability_map_ ? -std::expm1(-affinity) : affinity;
+  }
+
+  /// \brief Blocked scoring over the shared serving-layout section.
+  void ScoreBlock(uint32_t u, uint32_t item_begin, uint32_t item_end,
+                  std::span<double> out) const override {
+    (void)item_end;
+    vec::AffinityBlock(UserRow(u), items_->item_factors_t(), item_begin, out);
+    if (probability_map_) {
+      for (double& s : out) s = -std::expm1(-s);
+    }
+  }
+
+  /// \brief Raw ranking kernel (see StoreRecommender::RawScoreBlock).
+  void RawScoreBlock(uint32_t u, uint32_t item_begin, uint32_t item_end,
+                     std::span<double> out) const override {
+    (void)item_end;
+    vec::AffinityBlock(UserRow(u), items_->item_factors_t(), item_begin, out);
+  }
+
+  /// \brief Maps a kept raw affinity to the public score.
+  double ScoreFromRaw(double raw) const override {
+    return probability_map_ ? -std::expm1(-raw) : raw;
+  }
+
+  /// \brief Users across all shards.
+  uint32_t num_users() const override { return map_.num_users(); }
+  /// \brief Items of the shared items file.
+  uint32_t num_items() const override { return items_->num_items(); }
+
+  /// \brief The shard serving `u` — what the daemon reports as the
+  /// request's shard hit. Precondition: u < num_users().
+  uint32_t shard_of(uint32_t u) const { return map_.shard_of(u); }
+
+  /// \brief The routing table.
+  const ShardMap& shard_map() const { return map_; }
+
+ private:
+  std::span<const double> UserRow(uint32_t u) const {
+    const uint32_t s = map_.shard_of(u);
+    return shards_[s]->user_factors().Row(u - map_.begin(s));
+  }
+
+  ShardMap map_;
+  const ModelStore* items_;
+  std::vector<const ModelStore*> shards_;
+  bool probability_map_;
+};
+
+}  // namespace ocular
+
+#endif  // OCULAR_SERVING_SHARDED_STORE_RECOMMENDER_H_

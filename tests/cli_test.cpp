@@ -115,6 +115,56 @@ TEST(CliTest, TrainRelativeVariantAndBiases) {
   std::remove(model.c_str());
 }
 
+TEST(CliTest, ShardRoundTripAndConvertGuard) {
+  const std::string data = TempPath("cli_shard_data.tsv");
+  const std::string text_model = TempPath("cli_shard_model.txt");
+  const std::string bin_model = TempPath("cli_shard_model.oclr");
+  const std::string shardset = TempPath("cli_shard_model.shardset");
+
+  ASSERT_EQ(RunCli("synth --dataset=b2b --scale=0.005 --output=" + data)
+                .exit_code,
+            0);
+  ASSERT_EQ(RunCli("train --input=" + data + " --model=" + text_model +
+                   " --k=4 --lambda=0.5 --sweeps=10")
+                .exit_code,
+            0);
+  ASSERT_EQ(RunCli("convert --in=" + text_model + " --out=" + bin_model)
+                .exit_code,
+            0);
+
+  // Split the binary model into a 3-shard set, then inspect it back.
+  auto shard = RunCli("shard --in=" + bin_model + " --out=" + shardset +
+                      " --shards=3");
+  ASSERT_EQ(shard.exit_code, 0) << shard.output;
+  auto inspect = RunCli("shard --manifest=" + shardset + " --route=0");
+  ASSERT_EQ(inspect.exit_code, 0) << inspect.output;
+  EXPECT_NE(inspect.output.find("user 0 -> shard 0"), std::string::npos)
+      << inspect.output;
+
+  // Satellite fix: `convert` must detect a shardset input and point at
+  // the `shard` subcommand instead of misparsing the manifest.
+  auto bad = RunCli("convert --in=" + shardset + " --out=/tmp/never.oclr");
+  EXPECT_NE(bad.exit_code, 0);
+  EXPECT_NE(bad.output.find("shardset manifest"), std::string::npos)
+      << bad.output;
+  EXPECT_NE(bad.output.find("ocular shard"), std::string::npos) << bad.output;
+
+  // Offline surfaces accept the manifest directly (LoadModelAuto gathers
+  // the set): recommendations must be byte-identical to the monolithic
+  // file's.
+  auto mono = RunCli("recommend --model=" + bin_model + " --input=" + data +
+                     " --user=3 --m=5");
+  ASSERT_EQ(mono.exit_code, 0) << mono.output;
+  auto gathered = RunCli("recommend --model=" + shardset + " --input=" + data +
+                         " --user=3 --m=5");
+  ASSERT_EQ(gathered.exit_code, 0) << gathered.output;
+  EXPECT_EQ(mono.output, gathered.output);
+
+  std::remove(data.c_str());
+  std::remove(text_model.c_str());
+  std::remove(bin_model.c_str());
+}
+
 TEST(CliTest, ErrorPathsAreClean) {
   EXPECT_NE(RunCli("stats --input=/nonexistent/file").exit_code, 0);
   EXPECT_NE(RunCli("train --input=/nonexistent/file --model=/tmp/x")

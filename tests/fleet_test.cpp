@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "common/json.h"
 #include "core/ocular_recommender.h"
 #include "data/loaders.h"
 #include "serving/batch.h"
@@ -257,6 +258,101 @@ TEST(HealthPolicyTest, TableDrivenTransitions) {
   h.OnShed(100, uint64_t{1} << 62);
   EXPECT_FALSE(h.Routable(100 + retry::kMaxRetryAfterHintMs - 1));
   EXPECT_TRUE(h.Routable(100 + retry::kMaxRetryAfterHintMs));
+}
+
+// ------------------------------------------------- stats snapshot/merge
+
+TEST(FleetStatsTest, SumReplicaTotalsMergesRows) {
+  struct Case {
+    const char* name;
+    std::vector<std::pair<uint64_t, uint64_t>> rows;  // ejections, readmits
+    uint64_t want_ejections;
+    uint64_t want_readmissions;
+  };
+  const Case cases[] = {
+      {"no replicas", {}, 0, 0},
+      {"one quiet replica", {{0, 0}}, 0, 0},
+      {"one flapping replica", {{3, 2}}, 3, 2},
+      {"totals sum across the fleet", {{1, 1}, {0, 0}, {4, 3}}, 5, 4},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    FleetStatsSnapshot s;
+    // Pre-poisoned totals prove the merge recomputes rather than
+    // accumulates — calling it twice must not double the counts.
+    s.ejections = 99;
+    s.readmissions = 99;
+    for (const auto& [ej, re] : c.rows) {
+      FleetReplicaStats rs;
+      rs.ejections = ej;
+      rs.readmissions = re;
+      s.replicas.push_back(rs);
+    }
+    SumReplicaTotals(&s);
+    EXPECT_EQ(s.ejections, c.want_ejections);
+    EXPECT_EQ(s.readmissions, c.want_readmissions);
+    SumReplicaTotals(&s);
+    EXPECT_EQ(s.ejections, c.want_ejections);
+    EXPECT_EQ(s.readmissions, c.want_readmissions);
+  }
+}
+
+TEST(FleetStatsTest, RenderCarriesEveryCounterAndReplicaRow) {
+  // Socket-free coverage of the `stats` verb's reply shape: build the
+  // snapshot by hand, render, parse back, and check field by field — the
+  // same merge/render code the live FleetServer::FleetStatsReply() runs.
+  FleetStatsSnapshot s;
+  s.requests_proxied = 1000;
+  s.failovers = 7;
+  s.hedges_sent = 42;
+  s.hedges_won = 11;
+  s.no_healthy_503s = 3;
+  s.rejected_verbs = 2;
+  s.probes_sent = 500;
+  s.probe_failures = 9;
+  s.connections_shed = 1;
+  FleetReplicaStats a;
+  a.port = 7001;
+  a.state = ReplicaState::kHealthy;
+  a.forwards = 600;
+  a.failures = 1;
+  a.ejections = 0;
+  a.readmissions = 0;
+  FleetReplicaStats b;
+  b.port = 7002;
+  b.state = ReplicaState::kEjected;
+  b.forwards = 400;
+  b.failures = 12;
+  b.ejections = 2;
+  b.readmissions = 1;
+  s.replicas = {a, b};
+  SumReplicaTotals(&s);
+
+  auto parsed = JsonValue::Parse(RenderFleetStats(s));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->Find("ok")->boolean());
+  EXPECT_TRUE(parsed->Find("fleet")->boolean());
+  EXPECT_EQ(parsed->Find("requests_proxied")->number(), 1000.0);
+  EXPECT_EQ(parsed->Find("failovers")->number(), 7.0);
+  EXPECT_EQ(parsed->Find("hedges_sent")->number(), 42.0);
+  EXPECT_EQ(parsed->Find("hedges_won")->number(), 11.0);
+  EXPECT_EQ(parsed->Find("no_healthy_503s")->number(), 3.0);
+  EXPECT_EQ(parsed->Find("rejected_verbs")->number(), 2.0);
+  EXPECT_EQ(parsed->Find("probes_sent")->number(), 500.0);
+  EXPECT_EQ(parsed->Find("probe_failures")->number(), 9.0);
+  EXPECT_EQ(parsed->Find("connections_shed")->number(), 1.0);
+  EXPECT_EQ(parsed->Find("ejections")->number(), 2.0);
+  EXPECT_EQ(parsed->Find("readmissions")->number(), 1.0);
+  const auto& replicas = parsed->Find("replicas")->array();
+  ASSERT_EQ(replicas.size(), 2u);
+  EXPECT_EQ(replicas[0].Find("port")->number(), 7001.0);
+  EXPECT_EQ(std::string(replicas[0].Find("state")->string()), "healthy");
+  EXPECT_EQ(replicas[0].Find("forwards")->number(), 600.0);
+  EXPECT_EQ(replicas[1].Find("port")->number(), 7002.0);
+  EXPECT_EQ(std::string(replicas[1].Find("state")->string()), "ejected");
+  EXPECT_EQ(replicas[1].Find("failures")->number(), 12.0);
+  EXPECT_EQ(replicas[1].Find("ejections")->number(), 2.0);
+  EXPECT_EQ(replicas[1].Find("readmissions")->number(), 1.0);
 }
 
 // ------------------------------------------------- rendezvous routing

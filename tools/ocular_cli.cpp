@@ -8,6 +8,8 @@
 //   explain    co-cluster rationale for a (user, item) pair
 //   evaluate   train/test split evaluation (recall@M, MAP@M, AUC)
 //   convert    v1 text model <-> binary v2 (.oclr) model file
+//   shard      split a binary model into a user-sharded *.shardset, or
+//              inspect/route against an existing manifest
 //   serve      resident model server (same engine as ocular_served)
 //   loadtest   concurrent-client throughput/latency probe of a running
 //              daemon (the same load generator bench_daemon_hot uses)
@@ -34,6 +36,7 @@
 #include "core/explain.h"
 #include "core/fold_in.h"
 #include "core/model_io.h"
+#include "core/model_shard.h"
 #include "core/model_store.h"
 #include "core/ocular_recommender.h"
 #include "data/loaders.h"
@@ -63,6 +66,8 @@ commands:
   evaluate   --input=FILE [--k=N] [--lambda=L] [--m=N]
              [--train-fraction=F] [--seed=N] [--format=...]
   convert    --in=FILE --out=FILE [--to=binary|text]
+  shard      --in=FILE.oclr --out=BASE.shardset --shards=N
+             | --manifest=FILE.shardset [--route=USER]
   serve      --models=name=path[,...] [--datasets=name=path[,...]]
              [--port=N] [--m=N] [--workers=N] [--accept-queue=N]
              [--update-sweeps=N]
@@ -175,7 +180,8 @@ int CmdTrain(const Flags& flags) {
 }
 
 int CmdRecommend(const Flags& flags) {
-  // Accepts v1 text and binary v2 model files alike.
+  // Accepts v1 text, binary v2, and `*.shardset` manifests alike
+  // (LoadModelAuto sniffs and gathers).
   auto loaded = LoadModelAuto(flags.GetString("model"));
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
@@ -343,6 +349,17 @@ int CmdConvert(const Flags& flags) {
     std::fprintf(stderr, "convert needs --in=FILE and --out=FILE\n");
     return 1;
   }
+  // A shardset manifest is text that a v1-model parse would misread line
+  // by line — catch it up front and point at the subcommand that
+  // understands it.
+  if (IsShardSetFile(*in)) {
+    std::fprintf(stderr,
+                 "%s is a shardset manifest, not a v1 text model; use "
+                 "'ocular shard --manifest=%s' to inspect it (convert "
+                 "operates on the member .oclr files)\n",
+                 in->c_str(), in->c_str());
+    return 1;
+  }
   const std::string to = flags.GetString("to", "binary");
   Status st;
   if (to == "binary") {
@@ -373,6 +390,81 @@ int CmdConvert(const Flags& flags) {
     return 1;
   }
   std::printf("wrote %s\n", out->c_str());
+  return 0;
+}
+
+int CmdShard(const Flags& flags) {
+  // Inspect/route mode: read an existing manifest, optionally answer
+  // "which shard serves user U" from the pure routing table.
+  if (flags.Has("manifest")) {
+    const std::string manifest_path = flags.GetString("manifest");
+    auto manifest = LoadShardSetManifest(manifest_path);
+    if (!manifest.ok()) {
+      std::fprintf(stderr, "%s\n", manifest.status().ToString().c_str());
+      return 1;
+    }
+    auto map = manifest->Map();
+    if (!map.ok()) {
+      std::fprintf(stderr, "%s\n", map.status().ToString().c_str());
+      return 1;
+    }
+    if (flags.Has("route")) {
+      const int64_t user = flags.GetInt("route", -1);
+      if (user < 0 || user >= map->num_users()) {
+        std::fprintf(stderr, "--route out of range (shardset has %u users)\n",
+                     map->num_users());
+        return 1;
+      }
+      const uint32_t s = map->shard_of(static_cast<uint32_t>(user));
+      std::printf("user %lld -> shard %u [%u, %u) in %s\n",
+                  static_cast<long long>(user), s, map->begin(s), map->end(s),
+                  manifest->shards[s].file.c_str());
+      return 0;
+    }
+    std::printf("%s: %u users x %u items, K=%u, %zu shards (%s split)\n",
+                manifest_path.c_str(), manifest->num_users,
+                manifest->num_items, manifest->k, manifest->shards.size(),
+                manifest->split.c_str());
+    std::printf("  items %s fp=%016llx\n", manifest->items_file.c_str(),
+                static_cast<unsigned long long>(manifest->items_fingerprint));
+    for (size_t s = 0; s < manifest->shards.size(); ++s) {
+      const ShardSetEntry& e = manifest->shards[s];
+      std::printf("  shard %03zu [%u, %u) %s fp=%016llx\n", s, e.user_begin,
+                  e.user_end, e.file.c_str(),
+                  static_cast<unsigned long long>(e.fingerprint));
+    }
+    return 0;
+  }
+
+  // Split mode: cut one binary model into an N-shard set.
+  auto in = flags.RequireString("in");
+  auto out = flags.RequireString("out");
+  if (!in.ok() || !out.ok()) {
+    std::fprintf(stderr,
+                 "shard needs --in=FILE.oclr --out=BASE.shardset --shards=N "
+                 "(or --manifest=FILE.shardset to inspect)\n");
+    return 1;
+  }
+  const int64_t shards = flags.GetInt("shards", 0);
+  if (shards < 1 || shards > UINT32_MAX) {
+    std::fprintf(stderr, "--shards must be at least 1\n");
+    return 1;
+  }
+  auto store = ModelStore::Open(*in);
+  if (!store.ok()) {
+    std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  Status st = SaveModelSharded(store->meta(), store->user_factors(),
+                               store->item_factors(), store->item_factors_t(),
+                               static_cast<uint32_t>(shards), *out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %u users x %u items split %u ways\n", out->c_str(),
+              store->num_users(), store->num_items(),
+              static_cast<uint32_t>(shards));
   return 0;
 }
 
@@ -502,6 +594,7 @@ int Run(int argc, char** argv) {
   if (command == "explain") return CmdExplain(flags);
   if (command == "evaluate") return CmdEvaluate(flags);
   if (command == "convert") return CmdConvert(flags);
+  if (command == "shard") return CmdShard(flags);
   if (command == "serve") return RunServeCommand(flags);
   if (command == "loadtest") return CmdLoadtest(flags);
   std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(), kUsage);

@@ -197,10 +197,13 @@ inline int RunServeCommand(const Flags& flags) {
   }
   for (const std::string& name : registry.Names()) {
     auto model = registry.Get(name);
-    std::fprintf(stderr, "loaded '%s': %s %u users x %u items, K=%u (%zu MB)\n",
-                 name.c_str(), model->store.meta().algorithm.c_str(),
-                 model->store.num_users(), model->store.num_items(),
-                 model->store.k(), model->store.mapped_bytes() >> 20);
+    std::fprintf(stderr,
+                 "loaded '%s': %s %u users x %u items, K=%u (%zu MB, %u "
+                 "shard%s)\n",
+                 name.c_str(), model->meta().algorithm.c_str(),
+                 model->num_users(), model->num_items(), model->k(),
+                 model->mapped_bytes() >> 20, model->num_shards(),
+                 model->num_shards() == 1 ? "" : "s");
   }
   if (port > 0) {
     std::fprintf(stderr,
