@@ -12,12 +12,13 @@ namespace ocular {
 /// Bounded multi-producer multi-consumer FIFO handoff queue.
 ///
 /// This is the backpressure primitive of the concurrent serving daemon:
-/// the listener thread TryPush()es accepted connections and *load-sheds*
-/// (answers an overload error and closes) when the queue is full instead
-/// of letting the backlog grow without bound; worker threads block in
-/// Pop() until a connection (or shutdown) arrives. Close() wakes every
+/// the epoll IO thread TryPush()es parsed request batches and, when the
+/// queue is full, holds them on the connection and retries after the
+/// next completion (backpressure, not shedding — admission control
+/// sheds, the dispatch queue never drops); worker threads block in
+/// Pop() until a batch (or shutdown) arrives. Close() wakes every
 /// waiter; Pop() then drains the remaining items before reporting
-/// shutdown, so nothing accepted is silently dropped.
+/// shutdown, so nothing dispatched is silently dropped.
 ///
 /// Plain mutex + condition variables — the queue hands off at connection
 /// granularity (thousands per second at most), not per request, so
@@ -41,6 +42,17 @@ class BoundedQueue {
       items_.push_back(std::move(item));
     }
     cv_pop_.notify_one();
+    return true;
+  }
+
+  /// Dequeues the oldest item without blocking. Returns false when the
+  /// queue is empty (open or closed) — the epoll core's workers use this
+  /// to drain opportunistically before parking in Pop().
+  bool TryPop(T* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
     return true;
   }
 

@@ -33,13 +33,31 @@ struct DaemonStatsSnapshot {
   uint64_t errors = 0;
   /// Hot reloads performed (SIGHUP or `reload` verb).
   uint64_t reloads = 0;
-  /// Connections refused with an overload error because the accept queue
-  /// was full (load shedding).
+  /// Connections refused at admission with a 503-style reply: the
+  /// max_connections cap was reached or accept() hit fd exhaustion
+  /// (EMFILE/ENFILE). Load shedding, never silent drops.
   uint64_t connections_shed = 0;
   /// Connections closed with a 408-style reply because no complete
   /// request arrived within Options::idle_timeout_ms (idle peers and
   /// slow-loris byte-dribblers alike).
   uint64_t connections_timed_out = 0;
+  /// Connections currently open on the epoll core (a gauge, not a
+  /// counter: accepted minus closed).
+  uint64_t connections_open = 0;
+  /// Subset of connections_shed refused because Options::max_connections
+  /// open connections were already admitted.
+  uint64_t connections_capped = 0;
+  /// Connections dropped by the slow-consumer policy: the outbound
+  /// buffer exceeded Options::max_outbound_bytes, or a nonempty outbound
+  /// buffer made no write progress for Options::io_timeout_ms.
+  uint64_t connections_slow_closed = 0;
+  /// accept() failures with EMFILE/ENFILE, each handled via the
+  /// reserve-fd parachute (victim accepted, shed with retry_after_ms,
+  /// reserve reopened) instead of spinning or dying.
+  uint64_t accept_emfile = 0;
+  /// High-water mark of any single connection's outbound buffer, bytes —
+  /// how close the slowest consumer came to max_outbound_bytes.
+  uint64_t peak_outbound_bytes = 0;
   /// History-based (fold-in) recommend requests answered, summed over
   /// workers.
   uint64_t fold_in_requests = 0;
@@ -175,17 +193,32 @@ double MergedPercentile(std::vector<double>* samples, double p);
 /// (the training matrix is the delta's base) and serialize on one mutex;
 /// reads never block.
 ///
-/// Concurrency (PR 5): RunTcpLoop is a listener thread feeding a fixed
-/// pool of `Options::num_workers` shared-nothing worker threads through a
-/// bounded accept queue. Each worker owns its ServeWorkspace, its latency
-/// ring, and a cached shared_ptr lease on the current model generation
-/// (re-resolved lock-free when ModelRegistry::generation() moves), so the
-/// steady-state request path touches no shared mutable state. When the
-/// accept queue is full the listener *load-sheds*: the connection gets a
-/// 503-style `{"ok":false,"error":...,"code":503}` line and is closed
-/// instead of queueing without bound. Within a connection requests are
-/// pipelined: every complete line in the read buffer is answered and the
-/// replies are flushed as one batched write.
+/// Concurrency (PR 5, rebuilt event-driven in PR 10): RunTcpLoop is an
+/// epoll readiness loop (the IO thread) multiplexing every nonblocking
+/// connection socket, feeding a fixed pool of `Options::num_workers`
+/// shared-nothing worker threads through a bounded work queue. The IO
+/// thread owns all per-connection state (inbound line buffer, parsed
+/// request lines, outbound reply buffer); workers own only compute: each
+/// worker keeps its ServeWorkspace, its latency ring, and a cached
+/// shared_ptr lease on the current model generation (re-resolved
+/// lock-free when ModelRegistry::generation() moves), so the
+/// steady-state request path touches no shared mutable state. A
+/// connection has at most one dispatched batch in flight, so replies
+/// come back in request order and pipelined streams stay bit-identical
+/// to the batch oracle. Admission control sheds with a 503-style
+/// `{"ok":false,"error":...,"code":503}` line when
+/// `Options::max_connections` open connections are already admitted or
+/// accept() hits fd exhaustion (EMFILE reserve-fd parachute); a full
+/// work queue is *backpressure* (the IO thread holds parsed lines and
+/// retries after each completion), never a shed. Within a connection
+/// requests are pipelined: every complete line of a dispatched batch is
+/// answered into one buffer flushed in chunks of at most ~256 KiB, with
+/// EPOLLOUT-driven draining — a reader that never drains its socket hits
+/// the slow-consumer policy (max_outbound_bytes cap, write-progress
+/// deadline) instead of growing a buffer or blocking a worker. Idle and
+/// slowloris connections cost one fd and a few hundred bytes, never a
+/// worker: read deadlines are enforced by the IO loop's sweep, and the
+/// idle clock only advances on complete non-empty request lines.
 ///
 /// Hot reload: InstallReloadSignalHandler() latches SIGHUP into a flag
 /// that listener and workers poll between accepts/reads; the swap itself
@@ -219,26 +252,39 @@ class RequestServer {
     size_t latency_window = 4096;
     /// TCP worker threads (0 = one per hardware thread, at least 1).
     size_t num_workers = 0;
-    /// Accepted connections that may wait for a worker before the
-    /// listener starts shedding load with 503-style replies.
+    /// Depth of the IO-thread → worker dispatch queue (parsed request
+    /// batches awaiting a worker). A full queue is backpressure, not
+    /// shedding: the IO thread holds the connection's parsed lines and
+    /// re-dispatches after the next completion.
     size_t accept_queue = 128;
+    /// Open connections the epoll core admits before shedding new
+    /// accepts with a 503-style reply (0 = unlimited — bounded only by
+    /// the process fd limit, which the EMFILE parachute handles).
+    size_t max_connections = 0;
+    /// Slow-consumer policy: a connection whose outbound reply buffer
+    /// exceeds this many bytes (because the peer never drains its
+    /// socket) is dropped and counted in connections_slow_closed.
+    size_t max_outbound_bytes = 8 << 20;
     /// Longest request line a connection may send before it is answered
     /// with a 413-style reply and closed. Generous for real requests (a
     /// full-catalog exclude list is well under it); its real job is
     /// keeping a newline-free byte stream from growing a worker's buffer
     /// until the process OOMs.
     size_t max_request_bytes = 1 << 20;
-    /// Socket read/write deadline (SO_RCVTIMEO/SO_SNDTIMEO) in
-    /// milliseconds. Doubles as the wakeup granularity at which a worker
-    /// parked in read() notices idle expiry and shutdown drain; 0
-    /// disables deadlines entirely (workers park forever — the pre-PR 7
-    /// behavior, and the stdio loop's behavior always).
+    /// IO deadline in milliseconds, enforced by the epoll loop's sweep:
+    /// a connection with a nonempty outbound buffer that makes no write
+    /// progress for this long is dropped (slow consumer), and the sweep
+    /// itself ticks at this granularity (so idle expiry, shutdown drain,
+    /// and deadline checks are noticed within one tick). 0 disables
+    /// every deadline — idle reaping included — and the loop parks in
+    /// epoll_wait until readiness (the stdio loop never has deadlines).
     uint32_t io_timeout_ms = 1000;
     /// Close a connection with a 408-style reply after this long without
-    /// one complete request line (0 = never). Measured against completed
-    /// requests, not received bytes, so a slow-loris peer dribbling one
-    /// byte per second cannot hold a worker hostage by staying
-    /// technically active.
+    /// one complete request line (0 = never; also disabled when
+    /// io_timeout_ms is 0, which turns the sweep off). Measured against
+    /// completed non-empty request lines, not received bytes, so a
+    /// slow-loris peer dribbling one byte per second is reaped on
+    /// schedule despite staying technically active.
     uint32_t idle_timeout_ms = 30000;
     /// Backoff hint carried in 503 shed replies ("retry_after_ms"):
     /// clients honoring it (serving/loadgen.cc does) retry after this
@@ -277,13 +323,13 @@ class RequestServer {
 
   /// \brief Listens on 127.0.0.1:`port` (0 = kernel-assigned; see
   /// bound_port()) with backlog SOMAXCONN and serves connections on the
-  /// worker pool with the same line protocol (a `quit` verb or client EOF
-  /// ends that connection, not the server). Returns only on a socket
-  /// setup/accept error or after `max_connections` > 0 accepted
-  /// connections (0 = serve forever) — the latter is how tests and the
-  /// bench bound the loop; queued connections still drain before it
-  /// returns.
-  Status RunTcpLoop(uint16_t port, uint64_t max_connections = 0);
+  /// epoll IO loop + worker pool with the same line protocol (a `quit`
+  /// verb or client EOF ends that connection, not the server). Returns
+  /// only on a socket setup error or, with `max_accepts` > 0, after that
+  /// many connections have been accepted AND every open connection has
+  /// finished (0 = serve forever) — the bounded form is how tests and
+  /// the bench end the loop without signals.
+  Status RunTcpLoop(uint16_t port, uint64_t max_accepts = 0);
 
   /// \brief The port RunTcpLoop is listening on, or 0 when it is not.
   /// With port=0 this is how callers learn the kernel-assigned port;
@@ -430,8 +476,10 @@ class RequestServer {
   std::string ErrorReply(WorkerState* w, const std::string& message);
   std::string CodedErrorReply(WorkerState* w, const std::string& message,
                               uint32_t code);
-  void ServeConnection(int fd, WorkerState* w);
-  void ShedConnection(int fd);
+
+  /// The epoll IO loop lives in daemon.cc as a standalone struct (it owns
+  /// all per-connection state and needs the private handlers + counters).
+  friend struct RequestServerEpollCore;
 
   ModelRegistry* registry_;
   Options options_;
@@ -451,6 +499,11 @@ class RequestServer {
   std::atomic<uint64_t> reloads_{0};
   std::atomic<uint64_t> shed_{0};
   std::atomic<uint64_t> timed_out_{0};
+  std::atomic<uint64_t> open_conns_{0};
+  std::atomic<uint64_t> capped_{0};
+  std::atomic<uint64_t> slow_closed_{0};
+  std::atomic<uint64_t> accept_emfile_{0};
+  std::atomic<uint64_t> peak_outbound_{0};
   std::atomic<uint64_t> updates_{0};
   std::atomic<uint64_t> journal_recovered_{0};
   std::atomic<uint64_t> journal_replays_{0};

@@ -6,8 +6,10 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <thread>
 
@@ -109,10 +111,29 @@ void RunClient(const LoadGenOptions& options, uint32_t client_index,
         batch_histories.push_back(std::move(history));
         continue;
       }
-      const uint32_t user = static_cast<uint32_t>(user_cursor);
-      user_cursor = options.num_users == 0
-                        ? user_cursor + 1
-                        : (user_cursor + 1) % options.num_users;
+      uint32_t user;
+      if (options.zipf_skew > 0.0 && options.num_users > 0) {
+        // Bursty skew: a deterministic per-request u ∈ [0,1) raised to
+        // zipf_skew concentrates the mass near user 0 — hot rows absorb
+        // most of the burst, like real catalog traffic.
+        uint64_t h = ((static_cast<uint64_t>(client_index) << 32) | sent) *
+                         0x9e3779b97f4a7c15ULL +
+                     0xbf58476d1ce4e5b9ULL;
+        h ^= h >> 33;
+        h *= 0xff51afd7ed558ccdULL;
+        h ^= h >> 33;
+        const double u01 =
+            static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+        user = std::min(
+            options.num_users - 1,
+            static_cast<uint32_t>(static_cast<double>(options.num_users) *
+                                  std::pow(u01, options.zipf_skew)));
+      } else {
+        user = static_cast<uint32_t>(user_cursor);
+        user_cursor = options.num_users == 0
+                          ? user_cursor + 1
+                          : (user_cursor + 1) % options.num_users;
+      }
       batch += "{\"cmd\":\"recommend\",\"model\":\"" + options.model +
                "\",\"user\":" + std::to_string(user) +
                ",\"m\":" + std::to_string(options.m) + "}\n";
@@ -311,6 +332,167 @@ Result<LoadGenResult> RunLoadGen(const LoadGenOptions& options) {
       seconds > 0.0 ? static_cast<double>(result.requests) / seconds : 0.0;
   result.p50_latency_us = MergedPercentile(&latencies, 0.50);
   result.p99_latency_us = MergedPercentile(&latencies, 0.99);
+  return result;
+}
+
+Result<IdleFloodResult> RunIdleFlood(const IdleFloodOptions& options) {
+  if (options.port == 0) {
+    return Status::InvalidArgument("idle flood needs a nonzero port");
+  }
+  Stopwatch watch;
+  IdleFloodResult result;
+
+  // The idle fleet: plain connected sockets, held. No thread each — a
+  // connection the daemon holds for a fd must cost the generator no more
+  // than a fd either, or 10k of them could not be simulated at all.
+  std::vector<int> idle;
+  idle.reserve(options.idle_conns);
+  for (uint32_t i = 0; i < options.idle_conns; ++i) {
+    int fd = -1;
+    if (ConnectLoopback(options.port, &fd).ok()) {
+      idle.push_back(fd);
+    } else {
+      ++result.connections_dropped;  // refused/shed at connect time
+    }
+  }
+
+  std::atomic<bool> stop{false};
+
+  // Slowloris sidecars: one thread dribbles a byte to every loris fd per
+  // interval — none of them ever completes a request line, so a server
+  // whose idle clock counts completed requests reaps them all.
+  std::vector<int> loris(options.slow_writers, -1);
+  for (int& fd : loris) {
+    if (!ConnectLoopback(options.port, &fd).ok()) fd = -1;
+  }
+  std::thread loris_thread([&] {
+    const std::string drip = R"({"cmd":"recommend","user":0,)";
+    size_t at = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (int& fd : loris) {
+        if (fd < 0) continue;
+        const char byte = drip[at % drip.size()];
+        if (!net::SendAll(fd, &byte, 1)) {
+          ::close(fd);
+          fd = -1;
+          ++result.slow_writers_reaped;
+        }
+      }
+      ++at;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options.slow_writer_interval_ms));
+    }
+  });
+
+  // Never-reading sidecars: pipeline a pile of real requests, then go
+  // silent without ever reading a reply. The server's outbound buffer
+  // for these connections grows until its slow-consumer policy cuts
+  // them loose; a blocking daemon would have wedged a worker instead.
+  std::vector<int> mute(options.never_readers, -1);
+  std::thread mute_thread([&] {
+    std::string batch;
+    for (uint64_t r = 0; r < options.never_reader_requests; ++r) {
+      batch += "{\"cmd\":\"recommend\",\"model\":\"" + options.model +
+               "\",\"user\":0,\"m\":" + std::to_string(options.m) + "}\n";
+    }
+    for (int& fd : mute) {
+      if (!ConnectLoopback(options.port, &fd).ok()) fd = -1;
+    }
+    for (int& fd : mute) {
+      if (fd < 0) continue;
+      if (!net::SendAll(fd, batch.data(), batch.size())) {
+        ::close(fd);
+        fd = -1;
+        ++result.never_readers_closed;
+      }
+    }
+    // Hold without reading until the run ends; a reset from the server
+    // (slow-consumer disconnect) surfaces on the final probe below.
+  });
+
+  // The bursty senders run *through* the flood — their throughput and
+  // tail latency is what the connection core must protect.
+  if (options.burst_clients > 0) {
+    LoadGenOptions burst;
+    burst.port = options.port;
+    burst.clients = options.burst_clients;
+    burst.requests_per_client = options.requests_per_client;
+    burst.pipeline = options.pipeline;
+    burst.m = options.m;
+    burst.num_users = options.num_users;
+    burst.model = options.model;
+    burst.zipf_skew = options.zipf_skew;
+    burst.retry_shed = options.retry_shed;
+    burst.max_shed_retries = options.max_shed_retries;
+    burst.on_reply = options.on_burst_reply;
+    auto r = RunLoadGen(burst);
+    if (!r.ok()) {
+      stop.store(true, std::memory_order_relaxed);
+      loris_thread.join();
+      mute_thread.join();
+      for (const int fd : idle) ::close(fd);
+      for (const int fd : loris) {
+        if (fd >= 0) ::close(fd);
+      }
+      for (const int fd : mute) {
+        if (fd >= 0) ::close(fd);
+      }
+      return r.status();
+    }
+    result.burst_requests = r->requests;
+    result.burst_ok = r->ok_replies;
+    result.burst_errors = r->error_replies;
+    result.shed_retries = r->shed_retries;
+    result.burst_rps = r->requests_per_second;
+    result.burst_p50_us = r->p50_latency_us;
+    result.burst_p99_us = r->p99_latency_us;
+  }
+
+  // Keep the hostiles going for the full configured duration even when
+  // the burst finished early (a short burst must not cut the slowloris
+  // rehearsal short).
+  while (watch.ElapsedSeconds() * 1000.0 <
+         static_cast<double>(options.duration_ms)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  loris_thread.join();
+  mute_thread.join();
+
+  // End-of-run health probe of the idle fleet: a held connection is an
+  // open, silent socket. EAGAIN = healthy; EOF, reset, or any
+  // unsolicited bytes (a 408/503 the server pushed) = dropped.
+  for (const int fd : idle) {
+    char probe;
+    const ssize_t n = ::recv(fd, &probe, 1, MSG_DONTWAIT);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      ++result.connections_held;
+    } else {
+      ++result.connections_dropped;
+    }
+    ::close(fd);
+  }
+  for (const int fd : loris) {
+    if (fd >= 0) ::close(fd);
+  }
+  for (int& fd : mute) {
+    if (fd < 0) continue;
+    // A never-reader's socket holds unread replies whether or not the
+    // server already cut it loose, so the probe drains: EAGAIN with the
+    // buffer empty = the server is still patiently holding the backlog;
+    // EOF or a reset under the drained bytes = the slow-consumer policy
+    // disconnected it.
+    char sink[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd, sink, sizeof(sink), MSG_DONTWAIT);
+      if (n > 0) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      ++result.never_readers_closed;
+      break;
+    }
+    ::close(fd);
+  }
+  result.seconds = watch.ElapsedSeconds();
   return result;
 }
 

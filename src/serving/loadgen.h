@@ -55,6 +55,12 @@ struct LoadGenOptions {
   /// Catalog size generated histories draw from (required nonzero when
   /// history_every > 0).
   uint32_t num_items = 0;
+  /// Zipf-style burst skew: 0 (default) cycles users round-robin; > 0
+  /// draws each request's user as floor(num_users * u^zipf_skew) with a
+  /// deterministic per-request u ∈ [0,1) — a few hot users absorb most
+  /// of the traffic (skew 3 sends ~half the requests to the hottest
+  /// ~8% of rows), the bursty half of an idle-flood workload.
+  double zipf_skew = 0.0;
   /// Honor 503 shed replies: close, back off (the reply's retry_after_ms
   /// as base delay, doubled per attempt, capped, plus deterministic
   /// jitter so a shed fleet does not reconnect in lockstep), reconnect,
@@ -119,6 +125,94 @@ struct LoadGenResult {
 /// 127.0.0.1:`options.port`. Returns an error if any connection cannot
 /// be established or dies before its replies arrive.
 Result<LoadGenResult> RunLoadGen(const LoadGenOptions& options);
+
+/// \brief Shape of one idle-flood run — the connection-core stress
+/// workload: thousands of keep-alive connections that sit idle (costing
+/// the epoll daemon fds, not threads), a handful of Zipf-bursty senders
+/// doing real traffic through the flood, plus optional hostile sidecars
+/// (slowloris dribblers and never-reading consumers). The generator
+/// holds every idle connection with ~one fd — no thread per connection —
+/// so a single test process can field 10k of them.
+struct IdleFloodOptions {
+  /// Daemon port on 127.0.0.1 (required, nonzero).
+  uint16_t port = 0;
+  /// Idle keep-alive connections opened and held for the whole run.
+  uint32_t idle_conns = 1000;
+  /// Concurrent bursty senders (RunLoadGen clients riding through the
+  /// flood; 0 = flood only).
+  uint32_t burst_clients = 4;
+  /// Requests each burst client sends.
+  uint64_t requests_per_client = 500;
+  /// Pipelining depth of the burst clients.
+  uint32_t pipeline = 8;
+  /// Top-M requested per burst call.
+  uint32_t m = 20;
+  /// User-id space of the burst traffic.
+  uint32_t num_users = 1;
+  /// Model name sent with every burst request.
+  std::string model = "default";
+  /// Burst skew (LoadGenOptions::zipf_skew; 3 = heavily bursty).
+  double zipf_skew = 3.0;
+  /// Slowloris sidecars: connections dribbling one byte of a request
+  /// every `slow_writer_interval_ms`, never completing a line.
+  uint32_t slow_writers = 0;
+  /// Dribble cadence of the slowloris sidecars.
+  uint32_t slow_writer_interval_ms = 100;
+  /// Never-reading sidecars: connections that pipeline requests and
+  /// never read a reply — reply backlog builds until the server's
+  /// slow-consumer policy disconnects them.
+  uint32_t never_readers = 0;
+  /// Requests each never-reader pipelines before going silent.
+  uint64_t never_reader_requests = 256;
+  /// Hostile sidecars keep running at least this long, even when the
+  /// burst finishes earlier. The end-of-run health probe of the idle
+  /// fleet happens after both.
+  uint32_t duration_ms = 1000;
+  /// Burst clients honor 503 sheds with backoff (LoadGenOptions).
+  bool retry_shed = true;
+  /// Reconnect attempts per shed burst batch.
+  uint32_t max_shed_retries = 8;
+  /// Optional per-reply hook for the burst traffic (forwarded as
+  /// LoadGenOptions::on_reply — same thread-safety rules). Lets a caller
+  /// check every burst reply against an oracle *while* the flood holds,
+  /// which is how bench_conn proves bit-identical serving under 5k idle
+  /// connections.
+  std::function<void(uint32_t user, const std::string& line)> on_burst_reply;
+};
+
+/// \brief What an idle-flood run observed.
+struct IdleFloodResult {
+  /// Idle connections still healthy at the end of the run: connect
+  /// succeeded and the end-of-run probe (recv with MSG_DONTWAIT) saw an
+  /// open, silent socket — no EOF, no reset, no unsolicited 408/503.
+  uint64_t connections_held = 0;
+  /// Idle connections that failed to connect, were closed, or got an
+  /// unsolicited reply (a shed or reap) during the run.
+  uint64_t connections_dropped = 0;
+  /// Slowloris sidecars whose connection the server closed mid-run (the
+  /// 408 reap working as intended; dribbles never reset the idle clock).
+  uint64_t slow_writers_reaped = 0;
+  /// Never-readers whose connection the server closed mid-run (the
+  /// slow-consumer disconnect working as intended).
+  uint64_t never_readers_closed = 0;
+  /// Burst traffic tallies (RunLoadGen semantics).
+  uint64_t burst_requests = 0;
+  uint64_t burst_ok = 0;
+  uint64_t burst_errors = 0;
+  uint64_t shed_retries = 0;
+  double burst_rps = 0.0;
+  double burst_p50_us = 0.0;
+  double burst_p99_us = 0.0;
+  /// Wall clock of the whole run (connect flood to final probe).
+  double seconds = 0.0;
+};
+
+/// \brief Runs the idle flood against a daemon already listening on
+/// 127.0.0.1:`options.port`. Only setup failures (no port, first socket
+/// unopenable) are errors — dropped idle connections and reaped sidecars
+/// are *results*, because the run exists to measure how the server
+/// treats them.
+Result<IdleFloodResult> RunIdleFlood(const IdleFloodOptions& options);
 
 /// \brief The deterministic item ids of one generated history request:
 /// `len` ids in [0, num_items), unsorted and possibly duplicated (the

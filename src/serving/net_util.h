@@ -1,6 +1,7 @@
 #ifndef OCULAR_SERVING_NET_UTIL_H_
 #define OCULAR_SERVING_NET_UTIL_H_
 
+#include <fcntl.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -33,6 +34,17 @@ inline bool SendAll(int fd, const char* data, size_t size) {
     sent += static_cast<size_t>(w);
   }
   return true;
+}
+
+/// \brief Puts `fd` in nonblocking mode (O_NONBLOCK via fcntl); false on
+/// failure. The epoll readiness loop requires it on every socket it
+/// multiplexes — a blocking read on a readable-then-drained socket would
+/// stall the whole IO thread.
+inline bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  if ((flags & O_NONBLOCK) != 0) return true;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
 /// How one ReadLineBounded call ended.

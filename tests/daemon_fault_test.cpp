@@ -723,8 +723,12 @@ TEST(ShedRetryTest, LoadgenAbsorbs503WithBackoffAndTheRunCompletes) {
   ModelRegistry registry;
   ASSERT_TRUE(registry.Load("default", f.model_path, f.shared_train()).ok());
   RequestServer::Options options;
-  options.num_workers = 1;   // parked on blocker A
-  options.accept_queue = 1;  // B fills it; the loadgen client is shed
+  options.num_workers = 1;
+  // Blockers A and B hold both admission slots; the loadgen client is
+  // shed with 503 until the releaser frees a slot. (Under the epoll core
+  // idle connections cost no worker, so the cap — not a parked worker —
+  // is what produces the shed.)
+  options.max_connections = 2;
   options.io_timeout_ms = 50;
   options.retry_after_ms = 10;
   RequestServer server(&registry, options);
@@ -739,9 +743,9 @@ TEST(ShedRetryTest, LoadgenAbsorbs503WithBackoffAndTheRunCompletes) {
   ASSERT_TRUE(a.Connect(port));
   ASSERT_TRUE(a.Send(R"({"user":0,"m":3})"));
   std::string line;
-  ASSERT_TRUE(a.ReadLine(&line));  // the worker now owns A
+  ASSERT_TRUE(a.ReadLine(&line));  // A is live and admitted
   RawClient b;
-  ASSERT_TRUE(b.Connect(port));  // fills the single queue slot
+  ASSERT_TRUE(b.Connect(port));  // takes the second (and last) slot
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
 
   // Release the blockers while the loadgen is backing off: its shed
@@ -773,6 +777,89 @@ TEST(ShedRetryTest, LoadgenAbsorbs503WithBackoffAndTheRunCompletes) {
   RequestServer::RequestShutdown();
   serve_thread.join();
   EXPECT_FALSE(RequestServer::ShutdownRequested());
+  f.Cleanup();
+}
+
+TEST(ConnectionCoreFaultTest, EpollStallInjectionDoesNotDropConnections) {
+  FaultGuard guard;
+  DaemonFixture f = DaemonFixture::Make("fault_epoll_stall.oclr");
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Load("default", f.model_path, f.shared_train()).ok());
+  RequestServer::Options options;
+  options.num_workers = 1;
+  options.io_timeout_ms = 1000;  // deadlines far beyond the injected stall
+  RequestServer server(&registry, options);
+
+  std::thread serve_thread([&server] {
+    EXPECT_TRUE(server.RunTcpLoop(0, 0).ok());
+  });
+  const uint16_t port = WaitForPort(server, &serve_thread);
+  ASSERT_NE(port, 0);
+
+  // Freeze the whole readiness loop (reads, flushes, accepts, sweeps) for
+  // several iterations while pipelined traffic is in flight. The stall is
+  // pure delay: every request must still be answered, nothing shed,
+  // nothing torn.
+  ASSERT_TRUE(fault::Configure("daemon.epoll=3").ok());
+  LoadGenOptions load;
+  load.port = port;
+  load.clients = 2;
+  load.requests_per_client = 16;
+  load.pipeline = 4;
+  load.m = 4;
+  load.num_users = 50;
+  auto result = RunLoadGen(load);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->requests, 32u);
+  EXPECT_EQ(result->ok_replies, 32u);
+  EXPECT_EQ(result->error_replies, 0u);
+  EXPECT_EQ(server.Stats().connections_shed, 0u);
+
+  RequestServer::RequestShutdown();
+  serve_thread.join();
+  EXPECT_FALSE(RequestServer::ShutdownRequested());
+  f.Cleanup();
+}
+
+TEST(ConnectionCoreFaultTest, FlushFaultTearsOnlyTheTargetConnection) {
+  FaultGuard guard;
+  DaemonFixture f = DaemonFixture::Make("fault_flush_tear.oclr");
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Load("default", f.model_path, f.shared_train()).ok());
+  RequestServer::Options options;
+  options.num_workers = 1;
+  options.io_timeout_ms = 50;
+  RequestServer server(&registry, options);
+
+  std::thread serve_thread([&server] {
+    EXPECT_TRUE(server.RunTcpLoop(0, 2).ok());
+  });
+  const uint16_t port = WaitForPort(server, &serve_thread);
+  ASSERT_NE(port, 0);
+
+  // A's first reply flush dies ("daemon.flush"): the connection is torn
+  // mid-write-path — abrupt close, no reply bytes.
+  RawClient a;
+  ASSERT_TRUE(a.Connect(port));
+  ASSERT_TRUE(fault::Configure("daemon.flush=1").ok());
+  ASSERT_TRUE(a.Send(R"({"user":1,"m":3})"));
+  std::string line;
+  EXPECT_FALSE(a.ReadLine(&line))
+      << "flush-faulted connection must close without a reply, got: " << line;
+  a.Close();
+
+  // The blast radius is exactly one connection: the next client is served
+  // normally by the same loop.
+  RawClient b;
+  ASSERT_TRUE(b.Connect(port));
+  ASSERT_TRUE(b.Send(R"({"user":1,"m":3})"));
+  ASSERT_TRUE(b.ReadLine(&line)) << "connection after the tear must serve";
+  auto parsed = JsonValue::Parse(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  EXPECT_TRUE(parsed->Find("ok")->boolean());
+  b.Close();
+  serve_thread.join();
+  EXPECT_EQ(server.Stats().connections_shed, 0u);
   f.Cleanup();
 }
 

@@ -535,9 +535,15 @@ struct RawClient {
   int fd = -1;
   std::string buffer;
 
-  bool Connect(uint16_t port) {
+  /// `rcvbuf` > 0 pins SO_RCVBUF before connect (so it caps the
+  /// negotiated receive window): the slow-consumer tests need the
+  /// kernel's autotuned buffers NOT to absorb a whole reply flood.
+  bool Connect(uint16_t port, int rcvbuf = 0) {
     fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) return false;
+    if (rcvbuf > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+    }
     struct sockaddr_in addr;
     std::memset(&addr, 0, sizeof(addr));
     addr.sin_family = AF_INET;
@@ -557,14 +563,14 @@ struct RawClient {
   }
 };
 
-TEST(ConcurrentDaemonTest, FullAcceptQueueShedsWith503StyleReply) {
+TEST(ConcurrentDaemonTest, MaxConnectionsCapShedsWith503StyleReply) {
   DaemonFixture f = DaemonFixture::Make("daemon_shed.oclr");
   ModelRegistry registry;
   ASSERT_TRUE(registry.Load("default", f.model_path, f.shared_train()).ok());
 
   RequestServer::Options options;
-  options.num_workers = 1;   // the one worker will be parked on client A
-  options.accept_queue = 1;  // one waiter, everything beyond is shed
+  options.num_workers = 1;
+  options.max_connections = 2;  // A and B are admitted, C is shed
   RequestServer server(&registry, options);
 
   std::thread serve_thread([&server] {
@@ -573,17 +579,20 @@ TEST(ConcurrentDaemonTest, FullAcceptQueueShedsWith503StyleReply) {
   const uint16_t port = WaitForPort(server, &serve_thread);
   ASSERT_NE(port, 0) << "RunTcpLoop never started listening";
 
-  // A is being served (a completed round trip proves the worker owns it
-  // and is now parked in read() on the open connection).
+  // A and B are live admitted connections (completed round trips prove
+  // it) — under the epoll core an idle keep-alive connection costs no
+  // worker, so both stay open while the single worker serves either.
   RawClient a;
   ASSERT_TRUE(a.Connect(port));
   ASSERT_TRUE(a.Send(R"({"user":0,"m":3})"));
   std::string line;
   ASSERT_TRUE(a.ReadLine(&line));
-
-  // B fills the single accept-queue slot; C must be shed.
   RawClient b;
   ASSERT_TRUE(b.Connect(port));
+  ASSERT_TRUE(b.Send(R"({"user":1,"m":3})"));
+  ASSERT_TRUE(b.ReadLine(&line));
+
+  // C exceeds the admission cap: 503 with the retry contract, then close.
   RawClient c;
   ASSERT_TRUE(c.Connect(port));
   ASSERT_TRUE(c.ReadLine(&line)) << "shed connection must get a reply";
@@ -592,14 +601,102 @@ TEST(ConcurrentDaemonTest, FullAcceptQueueShedsWith503StyleReply) {
   EXPECT_FALSE(parsed->Find("ok")->boolean());
   ASSERT_NE(parsed->Find("code"), nullptr);
   EXPECT_EQ(parsed->Find("code")->number(), 503.0);
+  ASSERT_NE(parsed->Find("retry_after_ms"), nullptr);
   EXPECT_FALSE(c.ReadLine(&line)) << "shed connection must be closed";
   c.Close();
 
-  // Releasing A lets the worker drain B; the loop then exits (3 accepts).
+  // A and B were never disturbed by the shed.
+  ASSERT_TRUE(a.Send(R"({"user":2,"m":3})"));
+  ASSERT_TRUE(a.ReadLine(&line));
   a.Close();
   b.Close();
   serve_thread.join();
-  EXPECT_EQ(server.Stats().connections_shed, 1u);
+  const DaemonStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.connections_shed, 1u);
+  EXPECT_EQ(stats.connections_capped, 1u);
+  EXPECT_EQ(stats.connections_open, 0u);
+  std::remove(f.model_path.c_str());
+}
+
+TEST(ConcurrentDaemonTest, ConnectionCoreCountersAreExact) {
+  DaemonFixture f = DaemonFixture::Make("daemon_conn_counters.oclr");
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Load("default", f.model_path, f.shared_train()).ok());
+
+  RequestServer::Options options;
+  options.num_workers = 1;
+  // A tiny outbound cap so one never-reading client trips the
+  // slow-consumer policy deterministically: a single burst of large
+  // replies overflows it long before the socket buffer helps.
+  options.max_outbound_bytes = 16 << 10;
+  options.io_timeout_ms = 50;
+  options.idle_timeout_ms = 0;  // no 408s in this test
+  RequestServer server(&registry, options);
+
+  std::thread serve_thread([&server] {
+    EXPECT_TRUE(server.RunTcpLoop(0, 3).ok());
+  });
+  const uint16_t port = WaitForPort(server, &serve_thread);
+  ASSERT_NE(port, 0) << "RunTcpLoop never started listening";
+
+  // Two live connections; the stats verb must report the open gauge
+  // including both (the reply travels over one of them).
+  RawClient a;
+  ASSERT_TRUE(a.Connect(port));
+  RawClient b;
+  // A tiny receive window so the kernel cannot absorb B's reply flood
+  // for it — the backlog must land in the server's outbound buffer.
+  ASSERT_TRUE(b.Connect(port, /*rcvbuf=*/4096));
+  ASSERT_TRUE(a.Send(R"({"cmd":"ping"})"));
+  std::string line;
+  ASSERT_TRUE(a.ReadLine(&line));
+  ASSERT_TRUE(a.Send(R"({"cmd":"stats"})"));
+  ASSERT_TRUE(a.ReadLine(&line));
+  auto parsed = JsonValue::Parse(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  ASSERT_NE(parsed->Find("connections_open"), nullptr);
+  EXPECT_EQ(parsed->Find("connections_open")->number(), 2.0);
+  ASSERT_NE(parsed->Find("connections_slow_closed"), nullptr);
+  EXPECT_EQ(parsed->Find("connections_slow_closed")->number(), 0.0);
+  ASSERT_NE(parsed->Find("accept_emfile"), nullptr);
+  EXPECT_EQ(parsed->Find("accept_emfile")->number(), 0.0);
+
+  // B floods pipelined wide requests and never reads a byte: its reply
+  // backlog must hit the outbound cap (or stall past the write-progress
+  // deadline) and the connection must be dropped — never a blocked
+  // worker, never an unbounded buffer. The flood's replies (~6 MB) are
+  // sized past tcp_wmem's autotuning ceiling (4 MB on stock kernels) so
+  // the kernel cannot absorb them all on B's behalf.
+  std::string burst;
+  for (int i = 0; i < 8000; ++i) burst += R"({"user":1,"m":30})" "\n";
+  ASSERT_TRUE(b.Send(burst));
+  std::string probe_line;
+  bool slow_closed_seen = false;
+  for (int tries = 0; tries < 100 && !slow_closed_seen; ++tries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    slow_closed_seen = server.Stats().connections_slow_closed > 0;
+  }
+  EXPECT_TRUE(slow_closed_seen)
+      << "a never-reading client was not dropped by the slow-consumer "
+         "policy";
+
+  // A is still healthy after B's demise, and the peak outbound gauge
+  // recorded B's backlog.
+  ASSERT_TRUE(a.Send(R"({"user":2,"m":3})"));
+  ASSERT_TRUE(a.ReadLine(&probe_line));
+  const DaemonStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.connections_slow_closed, 1u);
+  EXPECT_GT(stats.peak_outbound_bytes, 0u);
+  EXPECT_EQ(stats.connections_shed, 0u);
+
+  b.Close();
+  a.Close();
+  // The third accept ends the bounded loop.
+  RawClient last;
+  ASSERT_TRUE(last.Connect(port));
+  last.Close();
+  serve_thread.join();
+  EXPECT_EQ(server.Stats().connections_open, 0u);
   std::remove(f.model_path.c_str());
 }
 

@@ -844,13 +844,12 @@ std::vector<std::string> ReplicaArgs(const DaemonFixture& f,
       "--port=" + std::to_string(port),
       "--io-timeout-ms=100",
       "--journal=0",  // replicas share the artifact; no journal races
-      // A daemon worker owns its connection until close, and the fleet
-      // pins (fleet workers + prober + inline) keep-alive connections
-      // per replica — replica workers must exceed that or the extras
-      // starve in the accept queue and probe deadlines eject a healthy
-      // replica. (The default is one worker per hardware thread: a
-      // 1-core CI box gets 1.)
-      "--workers=8",
+      // The epoll core multiplexes every connection on one IO thread:
+      // the fleet's pinned keep-alive sockets and the health prober cost
+      // no worker while idle, so two workers serve them all — the
+      // SIGKILL drill below doubles as the regression test that probes
+      // are never starved into false ejections by slim replicas.
+      "--workers=2",
   };
 }
 

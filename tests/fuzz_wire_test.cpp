@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -333,6 +334,151 @@ TEST(WireFuzzTest, TcpLineProtocolSurvivesPipelinedMutantBursts) {
   EXPECT_FALSE(RequestServer::ShutdownRequested());
   EXPECT_GE(server.Stats().requests_served,
             static_cast<uint64_t>(kBursts * kLinesPerBurst));
+  std::remove(f.model_path.c_str());
+}
+
+/// Connects a blocking loopback client with TCP_NODELAY (so 1-byte sends
+/// really hit the wire as 1-byte segments, exercising the server's
+/// incremental line assembly instead of kernel coalescing).
+int ConnectNoDelay(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+TEST(WireFuzzTest, OneByteTrickleDeliveryMatchesWholeLineDelivery) {
+  FuzzFixture f = FuzzFixture::Make("fuzz_trickle.oclr");
+  RequestServer::Options options;
+  options.serve.m = 5;
+  options.update_journal = false;
+  options.num_workers = 1;
+  options.io_timeout_ms = 100;
+  // A deliberately tiny framing cap so the newline-free trickle below
+  // proves the bound without streaming megabytes one byte at a time.
+  options.max_request_bytes = 2048;
+  RequestServer server(f.registry.get(), options);
+
+  std::thread serve_thread([&server] {
+    EXPECT_TRUE(server.RunTcpLoop(0, 0).ok());
+  });
+  uint16_t port = 0;
+  for (int ms = 0; ms < 10000 && port == 0; ++ms) {
+    port = server.bound_port();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_NE(port, 0);
+
+  // Deterministic corpus: recommend variants, hostile shapes, and seeded
+  // mutants. Lines whose reply depends on daemon state (stats) or that
+  // could end/alter the session (quit, reload, update) are excluded —
+  // the two deliveries below must produce bit-identical reply streams.
+  std::vector<std::string> corpus = {
+      R"({"cmd":"recommend","user":3,"m":10})",
+      R"({"cmd":"recommend","model":"default","user":0,"m":1})",
+      R"({"cmd":"recommend","user":7,"exclude":[1,5,9],"m":4})",
+      R"({"cmd":"recommend","history":[5,1,5,9],"m":6})",
+      R"({"cmd":"models"})",
+      R"({"user":1e9,"m":-3})",
+      R"({"cmd":42,"user":[],"m":{}})",
+      R"({{{{]]]]}}}})",
+      "{\"user\":0,\"m\":4}   trailing garbage",
+      std::string(300, '[') + "0" + std::string(300, ']'),
+      "{\"user\":" + std::string(400, '9') + "}",
+  };
+  uint64_t rng = 0x721c71eull;
+  while (corpus.size() < 40) {
+    std::string line = Mutant(&rng);
+    if (line.size() > 400) line.resize(400);
+    if (line.find("stats") != std::string::npos ||
+        line.find("quit") != std::string::npos ||
+        line.find("reload") != std::string::npos ||
+        line.find("update") != std::string::npos) {
+      continue;
+    }
+    corpus.push_back(std::move(line));
+  }
+
+  // Delivery 1: every line dribbled one byte per send(2) — the hardest
+  // possible split; the server assembles lines across ~hundreds of
+  // 1-byte reads per request.
+  std::vector<std::string> trickle_replies;
+  {
+    const int fd = ConnectNoDelay(port);
+    ASSERT_GE(fd, 0);
+    std::string read_buffer;
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      SCOPED_TRACE(i);
+      const std::string framed = corpus[i] + "\n";
+      for (const char byte : framed) {
+        ASSERT_TRUE(net::SendAll(fd, &byte, 1));
+      }
+      std::string reply;
+      ASSERT_TRUE(net::ReadLine(fd, &read_buffer, &reply))
+          << "trickled line " << i << " got no reply: " << corpus[i];
+      ExpectWellFormedReply(reply, corpus[i]);
+      trickle_replies.push_back(std::move(reply));
+    }
+    ::close(fd);
+  }
+
+  // Delivery 2: the same corpus as whole framed lines on a fresh
+  // connection. Byte-boundary splits must be invisible: identical bytes.
+  {
+    const int fd = ConnectNoDelay(port);
+    ASSERT_GE(fd, 0);
+    std::string read_buffer;
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      SCOPED_TRACE(i);
+      const std::string framed = corpus[i] + "\n";
+      ASSERT_TRUE(net::SendAll(fd, framed.data(), framed.size()));
+      std::string reply;
+      ASSERT_TRUE(net::ReadLine(fd, &read_buffer, &reply));
+      EXPECT_EQ(reply, trickle_replies[i])
+          << "delivery-dependent reply for: " << corpus[i];
+    }
+    ::close(fd);
+  }
+
+  // Buffer bound under trickle: a newline-free 1-byte stream must hit
+  // the 413 at max_request_bytes — the line buffer cannot grow past the
+  // cap no matter how the bytes arrive.
+  {
+    const int fd = ConnectNoDelay(port);
+    ASSERT_GE(fd, 0);
+    size_t sent = 0;
+    const char byte = 'z';
+    for (size_t i = 0; i < 4096; ++i) {
+      if (!net::SendAll(fd, &byte, 1)) break;  // peer closed: RST
+      ++sent;
+    }
+    std::string read_buffer, reply;
+    ASSERT_TRUE(net::ReadLine(fd, &read_buffer, &reply))
+        << "newline-free trickle must get a 413 reply";
+    auto parsed = JsonValue::Parse(reply);
+    ASSERT_TRUE(parsed.ok()) << reply;
+    EXPECT_FALSE(parsed->Find("ok")->boolean());
+    ASSERT_NE(parsed->Find("code"), nullptr);
+    EXPECT_EQ(parsed->Find("code")->number(), 413.0);
+    EXPECT_FALSE(net::ReadLine(fd, &read_buffer, &reply))
+        << "oversize trickle connection must be closed";
+    ::close(fd);
+  }
+
+  RequestServer::RequestShutdown();
+  serve_thread.join();
+  EXPECT_FALSE(RequestServer::ShutdownRequested());
   std::remove(f.model_path.c_str());
 }
 

@@ -74,6 +74,10 @@ commands:
   loadtest   --port=N [--clients=C] [--requests=R] [--pipeline=P]
              [--users=U] [--m=N] [--model=NAME] [--json] [--reconnect]
              [--history-every=N --items=I [--history-len=L]]
+             | --port=N --idle-conns=N [--burst-clients=C] [--requests=R]
+             [--slow-writers=N] [--never-readers=N] [--duration-ms=D]
+             [--zipf-skew=S]   (idle-flood mode: hold N keep-alive
+             connections while bursty traffic rides through)
 )";
 
 Result<Dataset> LoadInput(const Flags& flags) {
@@ -476,6 +480,118 @@ int CmdLoadtest(const Flags& flags) {
     return 1;
   }
   options.port = static_cast<uint16_t>(port);
+
+  // Idle-flood mode: hold --idle-conns keep-alive connections (plus
+  // optional slowloris dribblers and never-reading consumers) while
+  // --burst-clients do real traffic through the flood. Exercises the
+  // daemon's event-driven connection core rather than raw throughput.
+  const int64_t idle_conns = flags.GetInt("idle-conns", 0);
+  if (idle_conns > 0) {
+    IdleFloodOptions flood;
+    flood.port = options.port;
+    const int64_t burst_clients = flags.GetInt("burst-clients", 4);
+    const int64_t requests = flags.GetInt("requests", 500);
+    const int64_t pipeline = flags.GetInt("pipeline", 8);
+    const int64_t m = flags.GetInt("m", 20);
+    const int64_t users = flags.GetInt("users", 1);
+    const int64_t slow_writers = flags.GetInt("slow-writers", 0);
+    const int64_t never_readers = flags.GetInt("never-readers", 0);
+    const int64_t duration_ms = flags.GetInt("duration-ms", 1000);
+    const double zipf_skew = flags.GetDouble("zipf-skew", 3.0);
+    if (idle_conns > 1'000'000 || burst_clients < 0 || burst_clients > 4096 ||
+        requests < 1 || requests > 100'000'000 || pipeline < 1 ||
+        pipeline > 512 || m < 1 || m > UINT32_MAX || users < 1 ||
+        users > UINT32_MAX || slow_writers < 0 || slow_writers > 65536 ||
+        never_readers < 0 || never_readers > 65536 || duration_ms < 0 ||
+        duration_ms > 3600000 || zipf_skew < 0.0 || zipf_skew > 64.0) {
+      std::fprintf(stderr,
+                   "idle-flood flags out of range: --idle-conns in [1, 1e6], "
+                   "--burst-clients in [0, 4096], --pipeline in [1, 512], "
+                   "--slow-writers/--never-readers in [0, 65536], "
+                   "--duration-ms in [0, 3600000], --zipf-skew in [0, 64]\n");
+      return 1;
+    }
+    flood.idle_conns = static_cast<uint32_t>(idle_conns);
+    flood.burst_clients = static_cast<uint32_t>(burst_clients);
+    flood.requests_per_client = static_cast<uint64_t>(requests);
+    flood.pipeline = static_cast<uint32_t>(pipeline);
+    flood.m = static_cast<uint32_t>(m);
+    flood.num_users = static_cast<uint32_t>(users);
+    flood.model = flags.GetString("model", "default");
+    flood.zipf_skew = zipf_skew;
+    flood.slow_writers = static_cast<uint32_t>(slow_writers);
+    flood.never_readers = static_cast<uint32_t>(never_readers);
+    flood.duration_ms = static_cast<uint32_t>(duration_ms);
+    auto flood_result = RunIdleFlood(flood);
+    if (!flood_result.ok()) {
+      std::fprintf(stderr, "%s\n", flood_result.status().ToString().c_str());
+      return 1;
+    }
+    if (flags.GetBool("json")) {
+      JsonWriter w;
+      w.BeginObject();
+      w.Key("idle_conns");
+      w.UInt(flood.idle_conns);
+      w.Key("connections_held");
+      w.UInt(flood_result->connections_held);
+      w.Key("connections_dropped");
+      w.UInt(flood_result->connections_dropped);
+      w.Key("slow_writers_reaped");
+      w.UInt(flood_result->slow_writers_reaped);
+      w.Key("never_readers_closed");
+      w.UInt(flood_result->never_readers_closed);
+      w.Key("burst_requests");
+      w.UInt(flood_result->burst_requests);
+      w.Key("burst_ok");
+      w.UInt(flood_result->burst_ok);
+      w.Key("burst_errors");
+      w.UInt(flood_result->burst_errors);
+      w.Key("shed_retries");
+      w.UInt(flood_result->shed_retries);
+      w.Key("burst_rps");
+      w.Double(flood_result->burst_rps);
+      w.Key("burst_p50_us");
+      w.Double(flood_result->burst_p50_us);
+      w.Key("burst_p99_us");
+      w.Double(flood_result->burst_p99_us);
+      w.Key("seconds");
+      w.Double(flood_result->seconds);
+      w.EndObject();
+      std::printf("%s\n", w.str().c_str());
+    } else {
+      std::printf("idle flood: %llu/%u connections held for %.3f s\n",
+                  static_cast<unsigned long long>(
+                      flood_result->connections_held),
+                  flood.idle_conns, flood_result->seconds);
+      std::printf("  burst     : %llu requests, %llu ok, %llu errors, "
+                  "%.0f req/s, p99 %.1f us\n",
+                  static_cast<unsigned long long>(flood_result->burst_requests),
+                  static_cast<unsigned long long>(flood_result->burst_ok),
+                  static_cast<unsigned long long>(flood_result->burst_errors),
+                  flood_result->burst_rps, flood_result->burst_p99_us);
+      if (flood.slow_writers > 0) {
+        std::printf("  slowloris : %llu/%u reaped by the server\n",
+                    static_cast<unsigned long long>(
+                        flood_result->slow_writers_reaped),
+                    flood.slow_writers);
+      }
+      if (flood.never_readers > 0) {
+        std::printf("  mute conns: %llu/%u disconnected by the server\n",
+                    static_cast<unsigned long long>(
+                        flood_result->never_readers_closed),
+                    flood.never_readers);
+      }
+      if (flood_result->shed_retries > 0) {
+        std::printf("  shed      : %llu 503 replies absorbed by backoff\n",
+                    static_cast<unsigned long long>(
+                        flood_result->shed_retries));
+      }
+    }
+    const bool healthy = flood_result->connections_held == flood.idle_conns &&
+                         flood_result->burst_errors == 0;
+    return healthy ? 0 : 3;
+  }
+
   const int64_t clients = flags.GetInt("clients", 8);
   const int64_t requests = flags.GetInt("requests", 1000);
   const int64_t pipeline = flags.GetInt("pipeline", 16);

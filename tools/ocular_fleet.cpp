@@ -91,14 +91,16 @@ bool SpawnReplica(const std::string& served, const Flags& flags,
   args.push_back("--journal=" + std::string(flags.GetBool("journal", true)
                                                 ? "1"
                                                 : "0"));
-  // The fleet pins (workers + prober + inline) keep-alive connections on
-  // each replica, and a daemon worker owns its connection until close —
-  // replicas need more workers than that or the extra connections starve
-  // in the accept queue and probe deadlines eject a healthy replica.
-  // --replica-workers overrides the derived default.
+  // Replicas multiplex every connection on one epoll IO thread, so idle
+  // keep-alive connections (the fleet's pinned front-tier sockets, the
+  // health prober) cost no worker at all — workers only size request
+  // compute. Match the CPU instead of the old `front workers + 2` rule,
+  // which oversubscribed cores on small machines and never helped probes
+  // anyway. --replica-workers overrides the derived default.
+  const int64_t hw = static_cast<int64_t>(std::thread::hardware_concurrency());
   args.push_back("--workers=" +
-                 std::to_string(flags.GetInt(
-                     "replica-workers", flags.GetInt("workers", 4) + 2)));
+                 std::to_string(flags.GetInt("replica-workers",
+                                             hw > 0 ? hw : 1)));
   args.push_back("--port=" + std::to_string(port));
   const pid_t pid = ::fork();
   if (pid < 0) {

@@ -10,15 +10,23 @@
 //   --m=N                                default top-M per request (50)
 //   --workers=N                          TCP worker threads (0 = one per
 //                                        hardware thread)
-//   --accept-queue=N                     connections that may wait for a
-//                                        worker before load shedding (128)
+//   --accept-queue=N                     dispatch-queue depth between the
+//                                        IO thread and the workers (128);
+//                                        a full queue is backpressure,
+//                                        not shedding
+//   --max-connections=N                  open connections admitted before
+//                                        new arrivals get a 503 shed
+//                                        (0 = unlimited)
+//   --max-outbound-bytes=N               per-connection reply backlog a
+//                                        slow consumer may hold before
+//                                        disconnect (8 MiB)
 //   --update-sweeps=N                    default trainer sweeps an `update`
 //                                        request runs when it does not set
 //                                        its own "sweeps" (5)
 //   --max-request-bytes=N                longest request line before a
 //                                        413-style reply + close (1 MiB)
-//   --io-timeout-ms=N                    socket read/write deadline and
-//                                        idle/drain wakeup tick (1000;
+//   --io-timeout-ms=N                    IO-loop deadline sweep tick and
+//                                        write-stall deadline (1000;
 //                                        0 = no deadlines)
 //   --idle-timeout-ms=N                  close connections with no complete
 //                                        request for this long (30000;
@@ -124,6 +132,20 @@ inline int RunServeCommand(const Flags& flags) {
     return 1;
   }
   options.accept_queue = static_cast<size_t>(accept_queue);
+  const int64_t max_connections = flags.GetInt("max-connections", 0);
+  if (max_connections < 0 || max_connections > 1 << 20) {
+    std::fprintf(stderr,
+                 "--max-connections must be in [0, 1048576] (0 = unlimited)\n");
+    return 1;
+  }
+  options.max_connections = static_cast<size_t>(max_connections);
+  const int64_t max_outbound_bytes =
+      flags.GetInt("max-outbound-bytes", 8 << 20);
+  if (max_outbound_bytes < (64 << 10) || max_outbound_bytes > (1 << 30)) {
+    std::fprintf(stderr, "--max-outbound-bytes must be in [65536, 2^30]\n");
+    return 1;
+  }
+  options.max_outbound_bytes = static_cast<size_t>(max_outbound_bytes);
   const int64_t update_sweeps = flags.GetInt("update-sweeps", 5);
   if (update_sweeps < 1 || update_sweeps > 100000) {
     std::fprintf(stderr, "--update-sweeps must be in [1, 100000]\n");
